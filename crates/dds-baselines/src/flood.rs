@@ -1,0 +1,226 @@
+//! Full-topology flooding — the unbounded-bandwidth calibrator.
+//!
+//! Every node gossips every topology fact it learns to all neighbors,
+//! forwarding each fact at most once. With unlimited per-link bandwidth
+//! this converges in diameter-many rounds and gives every node the entire
+//! graph; it exists to calibrate what the `O(log n)` restriction costs
+//! (experiment A3) and as a knowledge upper bound in tests. Run it under
+//! [`BandwidthPolicy::Observe`] — it deliberately ignores the budget.
+//!
+//! [`BandwidthPolicy::Observe`]: dds_net::BandwidthPolicy::Observe
+
+use dds_net::{
+    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
+};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A topology fact: the `seq`-th change observed on `edge` was an
+/// insertion (`insert`) at round `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fact {
+    /// The changed edge.
+    pub edge: Edge,
+    /// The round the change happened (also orders facts per edge).
+    pub round: Round,
+    /// `true` for insertion.
+    pub insert: bool,
+}
+
+/// A bundle of facts (one message per link per round, arbitrarily big —
+/// this is the point of the calibrator).
+#[derive(Clone, Debug, Default)]
+pub struct FactBundle(pub Vec<Fact>);
+
+impl BitSized for FactBundle {
+    fn bit_size(&self, n: usize) -> u64 {
+        let l = dds_net::node_bits(n);
+        // Each fact: edge + round (log of round fits in 64; charge 2L for
+        // the edge + 64 for the round + 1 mark).
+        self.0.len() as u64 * (2 * l + 65)
+    }
+}
+
+/// Per-node state of the flooding calibrator.
+pub struct FloodNode {
+    id: NodeId,
+    /// Facts already seen (and therefore never broadcast again).
+    seen: FxHashSet<Fact>,
+    /// Facts waiting to be forwarded next round.
+    outbox: Vec<Fact>,
+    /// Catch-up transfers for freshly attached neighbors: the entire fact
+    /// history is replayed to them once.
+    catchup: FxHashMap<NodeId, Vec<Fact>>,
+    /// Believed edge set: edge → (last change round, present?).
+    belief: FxHashMap<Edge, (Round, bool)>,
+    consistent: bool,
+}
+
+impl FloodNode {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of edges currently believed present.
+    pub fn known_count(&self) -> usize {
+        self.belief.values().filter(|(_, p)| *p).count()
+    }
+
+    /// Whole-graph edge query.
+    pub fn query_edge(&self, e: Edge) -> Response<bool> {
+        if !self.consistent {
+            return Response::Inconsistent;
+        }
+        Response::Answer(self.belief.get(&e).is_some_and(|(_, p)| *p))
+    }
+
+    fn learn(&mut self, fact: Fact) {
+        if !self.seen.insert(fact) {
+            return;
+        }
+        self.outbox.push(fact);
+        let entry = self.belief.entry(fact.edge).or_insert((0, false));
+        // Later rounds win; within a round a deletion cannot coexist with
+        // an insertion of the same edge (batch invariant).
+        if fact.round >= entry.0 {
+            *entry = (fact.round, fact.insert);
+        }
+    }
+}
+
+impl Node for FloodNode {
+    type Msg = FactBundle;
+
+    fn new(id: NodeId, _n: usize) -> Self {
+        FloodNode {
+            id,
+            seen: FxHashSet::default(),
+            outbox: Vec::new(),
+            belief: FxHashMap::default(),
+            catchup: FxHashMap::default(),
+            consistent: true,
+        }
+    }
+
+    fn on_topology(&mut self, round: Round, events: &[LocalEvent]) {
+        for ev in events {
+            if ev.inserted {
+                // Replay our whole history to the new neighbor so it can
+                // catch up on facts flooded before the link existed.
+                let history: Vec<Fact> = self.seen.iter().copied().collect();
+                if !history.is_empty() {
+                    self.catchup.insert(ev.peer, history);
+                }
+            } else {
+                self.catchup.remove(&ev.peer);
+            }
+            self.learn(Fact {
+                edge: ev.edge,
+                round,
+                insert: ev.inserted,
+            });
+        }
+    }
+
+    fn send(&mut self, _round: Round, neighbors: &[NodeId]) -> Outbox<FactBundle> {
+        let mut out = Outbox::quiet();
+        out.flags = Flags {
+            is_empty: self.outbox.is_empty() && self.catchup.is_empty(),
+            neighbors_empty: true,
+        };
+        let fresh = std::mem::take(&mut self.outbox);
+        let mut catchup = std::mem::take(&mut self.catchup);
+        for &peer in neighbors {
+            let mut bundle = catchup.remove(&peer).unwrap_or_default();
+            bundle.extend(fresh.iter().copied());
+            if !bundle.is_empty() {
+                out.to(peer, FactBundle(bundle));
+            }
+        }
+        // Catch-up entries for peers that are not (or no longer) neighbors
+        // are dropped; the link never materialized.
+        out
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Received<FactBundle>], _neighbors: &[NodeId]) {
+        let mut any_nonempty = false;
+        for rec in inbox {
+            if !rec.flags.is_empty {
+                any_nonempty = true;
+            }
+            if let Some(bundle) = &rec.payload {
+                for &fact in &bundle.0 {
+                    self.learn(fact);
+                }
+            }
+        }
+        self.consistent = self.outbox.is_empty() && self.catchup.is_empty() && !any_nonempty;
+    }
+
+    fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, BandwidthConfig, BandwidthPolicy, EventBatch, SimConfig, Simulator};
+
+    fn flood_sim(n: usize) -> Simulator<FloodNode> {
+        let cfg = SimConfig {
+            bandwidth: BandwidthConfig {
+                factor: 8,
+                policy: BandwidthPolicy::Observe,
+            },
+            ..SimConfig::default()
+        };
+        Simulator::with_config(n, cfg)
+    }
+
+    #[test]
+    fn everyone_learns_everything_on_a_path() {
+        let mut sim = flood_sim(5);
+        for (u, w) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            sim.step(&EventBatch::insert(edge(u, w)));
+        }
+        sim.settle(32).unwrap();
+        // The far end knows the first edge — full topology knowledge.
+        assert_eq!(
+            sim.node(NodeId(4)).query_edge(edge(0, 1)),
+            Response::Answer(true)
+        );
+        assert_eq!(sim.node(NodeId(4)).known_count(), 4);
+    }
+
+    #[test]
+    fn deletions_are_gossiped_too() {
+        let mut sim = flood_sim(4);
+        for (u, w) in [(0, 1), (1, 2), (2, 3)] {
+            sim.step(&EventBatch::insert(edge(u, w)));
+        }
+        sim.settle(32).unwrap();
+        sim.step(&EventBatch::delete(edge(2, 3)));
+        sim.settle(32).unwrap();
+        assert_eq!(
+            sim.node(NodeId(0)).query_edge(edge(2, 3)),
+            Response::Answer(false)
+        );
+    }
+
+    #[test]
+    fn flooding_violates_the_congest_budget() {
+        // The whole point of the calibrator: it is NOT a CONGEST algorithm.
+        let mut sim = flood_sim(32);
+        let mut b = EventBatch::new();
+        for w in 1..32 {
+            b.push_insert(edge(0, w));
+        }
+        sim.step(&b);
+        sim.settle(64).unwrap();
+        assert!(
+            sim.bandwidth().violations() > 0,
+            "expected observed budget violations"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # dds-baselines — comparator algorithms
+//!
+//! The algorithms the paper measures its contribution against:
+//!
+//! - [`snapshot`]: full 2-hop neighborhood listing via chunked
+//!   neighborhood snapshots (Lemma 1) — `O(n / log n)` amortized, optimal
+//!   by Corollary 2;
+//! - [`no_timestamp`]: the §1.3 strawman without timestamps — *provably
+//!   incorrect* under edge flicker (used for failure injection);
+//! - [`flood`]: unbounded-bandwidth full-topology gossip — the calibrator
+//!   for what the `O(log n)` restriction costs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flood;
+pub mod no_timestamp;
+pub mod snapshot;
+
+pub use flood::FloodNode;
+pub use no_timestamp::NaiveTwoHopNode;
+pub use snapshot::SnapshotNode;

@@ -1,0 +1,421 @@
+//! Full 2-hop neighborhood listing via neighborhood snapshots (Lemma 1,
+//! Appendix B) — the `O(n / log n)` amortized baseline.
+//!
+//! Every node keeps a *separate* update queue per neighbor. Incident edge
+//! changes are enqueued as constant-size deltas on every per-neighbor
+//! queue; an edge **insertion** additionally enqueues a snapshot of the
+//! entire current neighborhood — an `O(n)`-bit string — on the queue of
+//! the *new* neighbor, chunked into `Θ(n / log n)` messages so each fits
+//! the `O(log n)`-bit link budget. One item is dequeued per queue per
+//! round.
+//!
+//! This is simultaneously:
+//! - the paper's **upper bound** for full 2-hop neighborhood listing
+//!   (and hence for membership listing of the 3-vertex path / any
+//!   2-diameter subgraph, Remark 2), and
+//! - the measured comparator for the **lower bounds** of Theorem 2 /
+//!   Corollary 2: its amortized cost grows as `Θ(n / log n)`, matching the
+//!   impossibility threshold — there is provably no asymptotically better
+//!   algorithm.
+
+use dds_net::{
+    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
+};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+
+/// Width (in node indices) of one snapshot chunk. A chunk is a bitmap over
+/// `CHUNK_SPAN` consecutive node ids plus an `O(log n)` header, sized to
+/// fit the default `8 · ceil(log2 n)` link budget.
+fn chunk_span(n: usize) -> usize {
+    // budget = 8 L bits; header uses ~L + 2 bits; keep the bitmap at 4 L.
+    (4 * dds_net::node_bits(n) as usize).max(1)
+}
+
+/// Wire message of the snapshot baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapMsg {
+    /// Constant-size delta: an incident edge of the sender changed.
+    Delta {
+        /// The changed edge (incident to the sender).
+        edge: Edge,
+        /// `true` for insertion, `false` for deletion.
+        insert: bool,
+    },
+    /// One chunk of a neighborhood snapshot: the sender's neighbors with
+    /// ids in `[start, start + span)`, encoded as a bitmap.
+    Chunk {
+        /// First node id covered by this chunk.
+        start: u32,
+        /// Number of node ids covered.
+        span: u32,
+        /// Neighbor ids within the covered range.
+        members: Vec<NodeId>,
+        /// Whether this is the final chunk of the snapshot.
+        last: bool,
+    },
+}
+
+impl BitSized for SnapMsg {
+    fn bit_size(&self, n: usize) -> u64 {
+        let l = dds_net::node_bits(n);
+        match self {
+            SnapMsg::Delta { .. } => 2 * l + 2,
+            // Bitmap of `span` bits + start header + flags.
+            SnapMsg::Chunk { span, .. } => u64::from(*span) + l + 3,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum QueueItem {
+    Delta { edge: Edge, insert: bool },
+    Chunk(SnapMsg),
+}
+
+/// Per-node state of the snapshot-based full 2-hop listing structure.
+pub struct SnapshotNode {
+    id: NodeId,
+    n: usize,
+    /// Current incident peers.
+    incident: FxHashSet<NodeId>,
+    /// Known neighborhoods of our neighbors (stale entries for ex-neighbors
+    /// are dropped on deletion).
+    known: FxHashMap<NodeId, FxHashSet<NodeId>>,
+    /// Per-neighbor update queues.
+    queues: FxHashMap<NodeId, VecDeque<QueueItem>>,
+    /// Neighbors whose initial snapshot transfer has completed.
+    synced: FxHashSet<NodeId>,
+    consistent: bool,
+}
+
+impl SnapshotNode {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Full 2-hop neighborhood listing query: does edge `{u, w}` exist
+    /// within distance 2 of this node? (Membership listing of the
+    /// 3-vertex path, per Corollary 2 / Remark 2.)
+    pub fn query_edge(&self, e: Edge) -> Response<bool> {
+        if !self.consistent {
+            return Response::Inconsistent;
+        }
+        let (u, w) = e.endpoints();
+        if e.touches(self.id) {
+            return Response::Answer(self.incident.contains(&e.other(self.id)));
+        }
+        let via_u = self.known.get(&u).is_some_and(|ns| ns.contains(&w));
+        let via_w = self.known.get(&w).is_some_and(|ns| ns.contains(&u));
+        Response::Answer(via_u || via_w)
+    }
+
+    /// 3-vertex-path membership query `v − u − w` centered anywhere in the
+    /// set: true iff the two edges exist in this node's 2-hop view.
+    pub fn query_path3(&self, center: NodeId, a: NodeId, b: NodeId) -> Response<bool> {
+        if !self.consistent {
+            return Response::Inconsistent;
+        }
+        let e1 = Edge::new(center, a);
+        let e2 = Edge::new(center, b);
+        match (self.query_edge(e1), self.query_edge(e2)) {
+            (Response::Answer(x), Response::Answer(y)) => Response::Answer(x && y),
+            _ => Response::Inconsistent,
+        }
+    }
+
+    /// Membership listing for an arbitrary pattern graph `H` of diameter
+    /// ≤ 2 (Remark 2): the query maps `H`'s vertices `0..k` to concrete
+    /// node ids (`vertices[i]` plays `H`-vertex `i`; this node must be
+    /// among them) and lists `H`'s edges as index pairs. Answers `true`
+    /// iff every pattern edge is present.
+    ///
+    /// Soundness relies on `H` having diameter ≤ 2 *when it occurs through
+    /// this node*: then every pattern edge lies within this node's 2-hop
+    /// view. For larger-diameter patterns the answer may be a false
+    /// negative — which, per Theorem 2 and Remark 1, is unavoidable for
+    /// any structure in this model.
+    pub fn query_pattern(
+        &self,
+        vertices: &[NodeId],
+        pattern_edges: &[(usize, usize)],
+    ) -> Response<bool> {
+        if !self.consistent {
+            return Response::Inconsistent;
+        }
+        assert!(
+            vertices.contains(&self.id),
+            "membership query must include the queried node"
+        );
+        let mut distinct = vertices.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() != vertices.len() {
+            return Response::Answer(false);
+        }
+        for &(x, y) in pattern_edges {
+            assert!(x < vertices.len() && y < vertices.len() && x != y, "bad pattern edge");
+            match self.query_edge(Edge::new(vertices[x], vertices[y])) {
+                Response::Answer(true) => {}
+                Response::Answer(false) => return Response::Answer(false),
+                Response::Inconsistent => return Response::Inconsistent,
+            }
+        }
+        Response::Answer(true)
+    }
+
+    /// Total queued items across all per-neighbor queues (diagnostics).
+    pub fn backlog(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    fn enqueue_delta_all(&mut self, edge: Edge, insert: bool) {
+        for q in self.queues.values_mut() {
+            q.push_back(QueueItem::Delta { edge, insert });
+        }
+    }
+
+    fn snapshot_chunks(&self) -> Vec<SnapMsg> {
+        let span = chunk_span(self.n);
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        while start < self.n {
+            let end = (start + span).min(self.n);
+            let members: Vec<NodeId> = (start..end)
+                .map(|i| NodeId(i as u32))
+                .filter(|p| self.incident.contains(p))
+                .collect();
+            chunks.push(SnapMsg::Chunk {
+                start: start as u32,
+                span: (end - start) as u32,
+                members,
+                last: end == self.n,
+            });
+            start = end;
+        }
+        chunks
+    }
+}
+
+impl Node for SnapshotNode {
+    type Msg = SnapMsg;
+
+    fn new(id: NodeId, n: usize) -> Self {
+        SnapshotNode {
+            id,
+            n,
+            incident: FxHashSet::default(),
+            known: FxHashMap::default(),
+            queues: FxHashMap::default(),
+            synced: FxHashSet::default(),
+            consistent: true,
+        }
+    }
+
+    fn on_topology(&mut self, _round: Round, events: &[LocalEvent]) {
+        // Deletions first: drop the neighbor's queue and knowledge.
+        for ev in events.iter().filter(|ev| !ev.inserted) {
+            self.incident.remove(&ev.peer);
+            self.queues.remove(&ev.peer);
+            self.known.remove(&ev.peer);
+            self.synced.remove(&ev.peer);
+            self.enqueue_delta_all(ev.edge, false);
+        }
+        for ev in events.iter().filter(|ev| ev.inserted) {
+            self.incident.insert(ev.peer);
+            // Tell everyone else about the new edge.
+            self.enqueue_delta_all(ev.edge, true);
+            // Give the new neighbor a full snapshot (which includes it).
+            let mut q = VecDeque::new();
+            for chunk in self.snapshot_chunks() {
+                q.push_back(QueueItem::Chunk(chunk));
+            }
+            self.queues.insert(ev.peer, q);
+        }
+    }
+
+    fn send(&mut self, _round: Round, neighbors: &[NodeId]) -> Outbox<SnapMsg> {
+        let mut out = Outbox::quiet();
+        let busy = self.queues.values().any(|q| !q.is_empty());
+        out.flags = Flags {
+            is_empty: !busy,
+            neighbors_empty: true,
+        };
+        // Dequeue one item from every per-neighbor queue.
+        for &peer in neighbors {
+            let Some(q) = self.queues.get_mut(&peer) else {
+                continue;
+            };
+            let Some(item) = q.pop_front() else { continue };
+            let msg = match item {
+                QueueItem::Delta { edge, insert } => SnapMsg::Delta { edge, insert },
+                QueueItem::Chunk(c) => c,
+            };
+            out.to(peer, msg);
+        }
+        out
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Received<SnapMsg>], _neighbors: &[NodeId]) {
+        let mut any_nonempty = false;
+        for rec in inbox {
+            if !rec.flags.is_empty {
+                any_nonempty = true;
+            }
+            let Some(msg) = &rec.payload else { continue };
+            match msg {
+                SnapMsg::Delta { edge, insert } => {
+                    // A delta describes the sender's incident edge; update
+                    // our view of the sender's neighborhood.
+                    debug_assert!(edge.touches(rec.from));
+                    let far = edge.other(rec.from);
+                    let entry = self.known.entry(rec.from).or_default();
+                    if *insert {
+                        entry.insert(far);
+                    } else {
+                        entry.remove(&far);
+                    }
+                }
+                SnapMsg::Chunk {
+                    start,
+                    span,
+                    members,
+                    last,
+                } => {
+                    let entry = self.known.entry(rec.from).or_default();
+                    let lo = NodeId(*start);
+                    let hi = NodeId(start + span);
+                    entry.retain(|p| *p < lo || *p >= hi);
+                    entry.extend(members.iter().copied());
+                    if *last {
+                        self.synced.insert(rec.from);
+                    }
+                }
+            }
+        }
+        let backlog: usize = self.queues.values().map(|q| q.len()).sum();
+        let all_synced = self.incident.iter().all(|p| self.synced.contains(p));
+        self.consistent = backlog == 0 && !any_nonempty && all_synced;
+    }
+
+    fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, EventBatch, Simulator};
+
+    fn settle(sim: &mut Simulator<SnapshotNode>, max: usize) {
+        sim.settle(max).expect("snapshot baseline must stabilize");
+    }
+
+    #[test]
+    fn learns_the_full_two_hop_neighborhood() {
+        // Star around node 1 built *before* node 0 attaches: the robust
+        // structure would not know the old spokes, the snapshot baseline
+        // must.
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(8);
+        for w in 2..8 {
+            sim.step(&EventBatch::insert(edge(1, w)));
+        }
+        settle(&mut sim, 64);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        settle(&mut sim, 64);
+        let node = sim.node(NodeId(0));
+        for w in 2..8u32 {
+            assert_eq!(
+                node.query_edge(edge(1, w)),
+                Response::Answer(true),
+                "missing old spoke {{1,{w}}}"
+            );
+        }
+        assert_eq!(node.query_edge(edge(2, 3)), Response::Answer(false));
+    }
+
+    #[test]
+    fn deltas_keep_view_current() {
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(4);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        settle(&mut sim, 64);
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        settle(&mut sim, 64);
+        assert_eq!(
+            sim.node(NodeId(0)).query_edge(edge(1, 2)),
+            Response::Answer(true)
+        );
+        sim.step(&EventBatch::delete(edge(1, 2)));
+        settle(&mut sim, 64);
+        assert_eq!(
+            sim.node(NodeId(0)).query_edge(edge(1, 2)),
+            Response::Answer(false)
+        );
+    }
+
+    #[test]
+    fn snapshot_transfer_takes_theta_n_over_log_n_rounds() {
+        // With n = 256 and the default budget, one snapshot is ~n/(4L)
+        // chunks; stabilization after one insertion must take that long.
+        let n = 256;
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(n);
+        for w in 2..n as u32 {
+            sim.step(&EventBatch::insert(edge(1, w)));
+        }
+        settle(&mut sim, 4 * n);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        let quiet = sim.settle(4 * n).expect("must stabilize") as f64;
+        let expected = n as f64 / chunk_span(n) as f64;
+        assert!(
+            quiet >= expected - 2.0,
+            "snapshot drained too fast: {quiet} rounds for expected ≥ {expected}"
+        );
+    }
+
+    #[test]
+    fn path3_membership_queries() {
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(4);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        settle(&mut sim, 64);
+        let node = sim.node(NodeId(0));
+        assert_eq!(
+            node.query_path3(NodeId(1), NodeId(0), NodeId(2)),
+            Response::Answer(true)
+        );
+        assert_eq!(
+            node.query_path3(NodeId(1), NodeId(0), NodeId(3)),
+            Response::Answer(false)
+        );
+    }
+
+    #[test]
+    fn flicker_does_not_corrupt_the_snapshot_view() {
+        // Unlike the no-timestamp strawman, per-neighbor queues are torn
+        // down and rebuilt with a fresh snapshot on reconnection, so the
+        // view heals.
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(3);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(0, 2));
+        b.push_insert(edge(1, 2));
+        sim.step(&b);
+        settle(&mut sim, 64);
+        let mut b = EventBatch::new();
+        b.push_delete(edge(1, 2));
+        b.push_delete(edge(0, 1));
+        b.push_delete(edge(0, 2));
+        sim.step(&b);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(0, 2));
+        sim.step(&b);
+        settle(&mut sim, 64);
+        assert_eq!(
+            sim.node(NodeId(0)).query_edge(edge(1, 2)),
+            Response::Answer(false)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! E1 bench — wall-clock cost of maintaining the robust 2-hop structure
+//! under ER churn, per network size. Complements the round-complexity
+//! table with simulation throughput (per-node cost should be near-flat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_net::{SimConfig, Simulator, Trace};
+use dds_robust::TwoHopNode;
+use dds_workloads::{record, ErChurn, ErChurnConfig};
+
+fn trace_for(n: usize) -> Trace {
+    record(
+        ErChurn::new(ErChurnConfig {
+            n,
+            target_edges: 2 * n,
+            changes_per_round: 4,
+            rounds: 200,
+            seed: 0xE1,
+        }),
+        usize::MAX,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_two_hop_maintenance");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let trace = trace_for(n);
+        group.bench_with_input(BenchmarkId::new("er_churn", n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sim: Simulator<TwoHopNode> =
+                    Simulator::with_config(trace.n, SimConfig::default());
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.meter().amortized()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E2 bench — triangle membership maintenance plus query cost: full
+//! simulation under planted-triangle churn, and the zero-communication
+//! query path (`list_triangles`) in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_net::{NodeId, Simulator, Trace};
+use dds_robust::TriangleNode;
+use dds_workloads::{record, Planted, PlantedConfig, Shape};
+
+fn trace_for(n: usize) -> Trace {
+    record(
+        Planted::new(PlantedConfig {
+            n,
+            shape: Shape::Clique(3),
+            spacing: 6,
+            lifetime: 40,
+            noise_per_round: 2,
+            rounds: 200,
+            seed: 0xE2,
+        }),
+        usize::MAX,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_triangle");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let trace = trace_for(n);
+        group.bench_with_input(BenchmarkId::new("maintenance", n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sim: Simulator<TriangleNode> = Simulator::new(trace.n);
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.inconsistent_nodes()
+            })
+        });
+    }
+
+    // Query-side: settled structure, enumerate triangles at every node.
+    let trace = trace_for(128);
+    let mut sim: Simulator<TriangleNode> = Simulator::new(trace.n);
+    for batch in &trace.batches {
+        sim.step(batch);
+    }
+    sim.settle(256).expect("stabilizes");
+    group.bench_function("query_list_triangles_all_nodes", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..trace.n as u32 {
+                if let dds_net::Response::Answer(ts) = sim.node(NodeId(v)).list_triangles() {
+                    total += ts.len();
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E4 bench — the Theorem-2 adversary: snapshot baseline (which must pay
+//! Θ(n/log n) rounds) versus the robust structure (O(1)) on identical
+//! inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_baselines::SnapshotNode;
+use dds_net::{Simulator, Trace};
+use dds_robust::TwoHopNode;
+use dds_workloads::{record, HSpec, Thm2Adversary};
+
+fn trace_for(n: usize) -> Trace {
+    record(Thm2Adversary::new(HSpec::path3(), n, n), usize::MAX)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_thm2_adversary");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let trace = trace_for(n);
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sim: Simulator<SnapshotNode> = Simulator::new(trace.n);
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.meter().amortized()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("robust", n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sim: Simulator<TwoHopNode> = Simulator::new(trace.n);
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.meter().amortized()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E5 bench — robust 3-hop maintenance cost under ER churn and under the
+//! deletion-heavy flicker stress, including the rayon-parallel simulator
+//! path for larger n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_net::{SimConfig, Simulator, Trace};
+use dds_robust::ThreeHopNode;
+use dds_workloads::{record, ErChurn, ErChurnConfig, Flicker, FlickerConfig};
+
+fn er(n: usize) -> Trace {
+    record(
+        ErChurn::new(ErChurnConfig {
+            n,
+            target_edges: 2 * n,
+            changes_per_round: 4,
+            rounds: 150,
+            seed: 0xE5,
+        }),
+        usize::MAX,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_three_hop");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let trace = er(n);
+        group.bench_with_input(BenchmarkId::new("er_churn", n), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sim: Simulator<ThreeHopNode> = Simulator::new(trace.n);
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.inconsistent_nodes()
+            })
+        });
+    }
+    {
+        let n = 512;
+        let trace = er(n);
+        for parallel in [false, true] {
+            let label = if parallel { "parallel" } else { "sequential" };
+            group.bench_with_input(BenchmarkId::new(label, n), &trace, |b, trace| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        parallel,
+                        ..SimConfig::default()
+                    };
+                    let mut sim: Simulator<ThreeHopNode> = Simulator::with_config(trace.n, cfg);
+                    for batch in &trace.batches {
+                        sim.step(batch);
+                    }
+                    sim.inconsistent_nodes()
+                })
+            });
+        }
+    }
+    {
+        let trace = record(
+            Flicker::new(FlickerConfig {
+                n: 128,
+                flickering: 32,
+                rounds: 150,
+                seed: 0xE5F,
+                ..FlickerConfig::default()
+            }),
+            usize::MAX,
+        );
+        group.bench_function("flicker_128", |b| {
+            b.iter(|| {
+                let mut sim: Simulator<ThreeHopNode> = Simulator::new(trace.n);
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.inconsistent_nodes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E6 bench — 4-/5-cycle listing: maintenance under planted-cycle churn
+//! plus the zero-communication cycle query and enumeration paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_net::{NodeId, Simulator};
+use dds_robust::ThreeHopNode;
+use dds_workloads::{record, Planted, PlantedConfig, Shape};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_cycles");
+    group.sample_size(10);
+    for k in [4usize, 5] {
+        let trace = record(
+            Planted::new(PlantedConfig {
+                n: 48,
+                shape: Shape::Cycle(k),
+                spacing: 8,
+                lifetime: 50,
+                noise_per_round: 1,
+                rounds: 150,
+                seed: 0xE6 + k as u64,
+            }),
+            usize::MAX,
+        );
+        group.bench_with_input(BenchmarkId::new("maintenance", k), &trace, |b, trace| {
+            b.iter(|| {
+                let mut sim: Simulator<ThreeHopNode> = Simulator::new(trace.n);
+                for batch in &trace.batches {
+                    sim.step(batch);
+                }
+                sim.inconsistent_nodes()
+            })
+        });
+
+        // Query side on a settled instance.
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(trace.n);
+        for batch in &trace.batches {
+            sim.step(batch);
+        }
+        sim.settle(512).expect("stabilizes");
+        let n = trace.n;
+        group.bench_with_input(BenchmarkId::new("list_cycles", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for v in (0..n as u32).step_by(6) {
+                    if let dds_net::Response::Answer(cs) = sim.node(NodeId(v)).list_cycles(k) {
+                        total += cs.len();
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

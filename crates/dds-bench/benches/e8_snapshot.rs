@@ -1,0 +1,29 @@
+//! E8 bench — snapshot (Lemma 1) transfer cost as the star grows: each
+//! new spoke forces an Θ(n)-bit neighborhood snapshot chunked over
+//! Θ(n/log n) rounds. Wall-clock grows superlinearly in n, mirroring the
+//! amortized-round table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_baselines::SnapshotNode;
+use dds_net::{edge, EventBatch, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_snapshot_star");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("grow_star", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Simulator<SnapshotNode> = Simulator::new(n);
+                for w in 1..n as u32 {
+                    sim.step(&EventBatch::insert(edge(0, w)));
+                    sim.settle(8 * n).expect("drains");
+                }
+                sim.meter().amortized()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerate every experiment table of the reproduction.
+//!
+//! ```text
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|all] [--csv] [--rounds N]
+//! ```
+//!
+//! With no arguments, runs everything. `--csv` additionally writes each
+//! table as CSV to `target/experiments/<id>.csv`.
+
+use dds_bench::runners;
+use dds_bench::Table;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let rounds = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(300);
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .map(|s| s.as_str())
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |id: &str| all || wanted.contains(&id);
+
+    let mut tables: Vec<(&str, Table)> = Vec::new();
+    let t0 = Instant::now();
+    if want("e1") {
+        tables.push(("e1", runners::e1_two_hop(rounds)));
+        tables.push((
+            "e1s",
+            dds_bench::sweep::amortized_sweep_table::<dds_robust::TwoHopNode>(
+                "E1s / Theorem 7 — robust 2-hop amortized across seeds (ER churn)",
+                &[64, 256],
+                10,
+                rounds,
+            ),
+        ));
+    }
+    if want("e2") {
+        tables.push(("e2", runners::e2_triangle(rounds)));
+    }
+    if want("e3") {
+        tables.push(("e3", runners::e3_cliques(rounds)));
+    }
+    if want("e4") {
+        tables.push(("e4", runners::e4_lower_bound_2hop()));
+    }
+    if want("e5") {
+        tables.push(("e5", runners::e5_three_hop(rounds)));
+        tables.push((
+            "e5s",
+            dds_bench::sweep::amortized_sweep_table::<dds_robust::ThreeHopNode>(
+                "E5s / Theorem 6 — robust 3-hop amortized across seeds (ER churn)",
+                &[64, 256],
+                10,
+                rounds,
+            ),
+        ));
+    }
+    if want("e6") {
+        tables.push(("e6", runners::e6_cycles(rounds)));
+    }
+    if want("e7") {
+        tables.push(("e7", runners::e7_six_cycle_wall()));
+    }
+    if want("e8") {
+        tables.push(("e8", runners::e8_snapshot_scaling()));
+    }
+    if want("e9") {
+        tables.push(("e9", runners::e9_remark1()));
+    }
+    if want("f2") || want("f3") {
+        tables.push(("f2", runners::f23_coverage(rounds)));
+    }
+    if want("a1") {
+        tables.push(("a1", runners::a1_timestamp_ablation()));
+    }
+    if want("a2") {
+        tables.push(("a2", runners::a2_two_hop_insufficient(rounds)));
+    }
+    if want("a3") {
+        tables.push(("a3", runners::a3_bandwidth(rounds)));
+    }
+
+    for (id, table) in &tables {
+        println!("{}", table.render());
+        if csv {
+            let dir = std::path::Path::new("target/experiments");
+            std::fs::create_dir_all(dir).expect("create output dir");
+            std::fs::write(dir.join(format!("{id}.csv")), table.to_csv())
+                .expect("write csv");
+        }
+    }
+    eprintln!(
+        "[{} table(s) in {:.1}s{}]",
+        tables.len(),
+        t0.elapsed().as_secs_f64(),
+        if csv { ", CSV in target/experiments/" } else { "" }
+    );
+}

@@ -1,0 +1,16 @@
+//! # dds-bench — experiment harness
+//!
+//! One runner per paper claim (tables E1–E9, figure reproductions F2/F3,
+//! ablations A1–A3 — see DESIGN.md's per-experiment index). The
+//! `experiments` binary prints every table; the Criterion benches measure
+//! the wall-clock cost of the same setups.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod runners;
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{sweep, Stats};
+pub use table::Table;

@@ -1,0 +1,169 @@
+//! Topology-change events.
+//!
+//! At the beginning of every round an arbitrary batch of edge insertions and
+//! deletions is applied to the network (this is the defining feature of the
+//! *highly dynamic* model: no bound on the number or location of changes).
+//! Each node is locally notified only of changes *incident to it*.
+
+use crate::ids::{Edge, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A single topology change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyEvent {
+    /// Edge appears in the graph.
+    Insert(Edge),
+    /// Edge disappears from the graph.
+    Delete(Edge),
+}
+
+impl TopologyEvent {
+    /// The edge this event concerns.
+    #[inline]
+    pub fn edge(self) -> Edge {
+        match self {
+            TopologyEvent::Insert(e) | TopologyEvent::Delete(e) => e,
+        }
+    }
+
+    /// True for insertions.
+    #[inline]
+    pub fn is_insert(self) -> bool {
+        matches!(self, TopologyEvent::Insert(_))
+    }
+
+    /// True for deletions.
+    #[inline]
+    pub fn is_delete(self) -> bool {
+        matches!(self, TopologyEvent::Delete(_))
+    }
+}
+
+/// What a single node observes at the start of a round: the change type of an
+/// incident edge, together with the other endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalEvent {
+    /// The incident edge that changed.
+    pub edge: Edge,
+    /// The neighbor at the far end of the changed edge.
+    pub peer: NodeId,
+    /// `true` if the edge was inserted, `false` if deleted.
+    pub inserted: bool,
+}
+
+/// A batch of topology changes applied at the beginning of one round.
+///
+/// Invariants enforced by [`EventBatch::push`] / checked by the simulator:
+/// an edge appears at most once per batch (the model applies one change per
+/// edge per round; flicker within a single round is meaningless because the
+/// graph `G_i` is a set).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventBatch {
+    events: Vec<TopologyEvent>,
+}
+
+impl EventBatch {
+    /// Empty batch (a "quiet" round).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batch with a single insertion.
+    pub fn insert(e: Edge) -> Self {
+        let mut b = Self::new();
+        b.push(TopologyEvent::Insert(e));
+        b
+    }
+
+    /// Batch with a single deletion.
+    pub fn delete(e: Edge) -> Self {
+        let mut b = Self::new();
+        b.push(TopologyEvent::Delete(e));
+        b
+    }
+
+    /// Append an event.
+    ///
+    /// # Panics
+    /// Panics if the batch already contains an event for the same edge.
+    pub fn push(&mut self, ev: TopologyEvent) {
+        assert!(
+            !self.events.iter().any(|p| p.edge() == ev.edge()),
+            "duplicate event for edge {:?} within one round",
+            ev.edge()
+        );
+        self.events.push(ev);
+    }
+
+    /// Append an insertion of `e`.
+    pub fn push_insert(&mut self, e: Edge) {
+        self.push(TopologyEvent::Insert(e));
+    }
+
+    /// Append a deletion of `e`.
+    pub fn push_delete(&mut self, e: Edge) {
+        self.push(TopologyEvent::Delete(e));
+    }
+
+    /// The events of this batch, in application order.
+    pub fn events(&self) -> &[TopologyEvent] {
+        &self.events
+    }
+
+    /// Number of topology changes in this batch.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the batch is a quiet round.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate over the events.
+    pub fn iter(&self) -> impl Iterator<Item = TopologyEvent> + '_ {
+        self.events.iter().copied()
+    }
+}
+
+impl FromIterator<TopologyEvent> for EventBatch {
+    fn from_iter<I: IntoIterator<Item = TopologyEvent>>(iter: I) -> Self {
+        let mut b = EventBatch::new();
+        for ev in iter {
+            b.push(ev);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::edge;
+
+    #[test]
+    fn batch_collects_events() {
+        let b: EventBatch = [
+            TopologyEvent::Insert(edge(0, 1)),
+            TopologyEvent::Delete(edge(1, 2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b.len(), 2);
+        assert!(b.events()[0].is_insert());
+        assert!(b.events()[1].is_delete());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate event")]
+    fn batch_rejects_duplicate_edge() {
+        let mut b = EventBatch::insert(edge(0, 1));
+        b.push_delete(edge(1, 0)); // same canonical edge
+    }
+
+    #[test]
+    fn quiet_round() {
+        assert!(EventBatch::new().is_empty());
+        assert_eq!(EventBatch::new().len(), 0);
+    }
+}

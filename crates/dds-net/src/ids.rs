@@ -1,0 +1,189 @@
+//! Node, edge and round identifiers.
+//!
+//! All identifiers are small copyable newtypes. Edges are *undirected* and
+//! stored in canonical (min, max) order so that `{u, w}` and `{w, u}` compare
+//! equal, hash equal, and serialize identically — the paper's edges are
+//! unordered pairs throughout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node. Nodes are fixed for the lifetime of an
+/// execution (the paper's network "starts as an empty graph on `n` nodes");
+/// only *edges* are dynamic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index of this node in `0..n` arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A synchronous round number. Round 0 is the initial empty graph; the first
+/// batch of topology changes arrives at the beginning of round 1 (the paper's
+/// `G_i` is the graph at the beginning of round `i`).
+pub type Round = u64;
+
+/// Sentinel used for "never inserted" timestamps (the paper's `t_e = -1`).
+/// We keep rounds unsigned and use an explicit option-like sentinel instead.
+pub const NEVER: Round = Round::MAX;
+
+/// An undirected edge in canonical (min, max) order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+}
+
+impl Edge {
+    /// Create the canonical undirected edge `{u, w}`.
+    ///
+    /// # Panics
+    /// Panics on self-loops: the model graph is simple.
+    #[inline]
+    pub fn new(u: NodeId, w: NodeId) -> Self {
+        assert_ne!(u, w, "self-loops are not allowed in the network model");
+        if u < w {
+            Edge { a: u, b: w }
+        } else {
+            Edge { a: w, b: u }
+        }
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn lo(self) -> NodeId {
+        self.a
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn hi(self) -> NodeId {
+        self.b
+    }
+
+    /// Both endpoints as `(lo, hi)`.
+    #[inline]
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// Whether `v` is an endpoint of this edge.
+    #[inline]
+    pub fn touches(self, v: NodeId) -> bool {
+        self.a == v || self.b == v
+    }
+
+    /// The endpoint that is not `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint.
+    #[inline]
+    pub fn other(self, v: NodeId) -> NodeId {
+        if self.a == v {
+            self.b
+        } else if self.b == v {
+            self.a
+        } else {
+            panic!("{v:?} is not an endpoint of {self:?}");
+        }
+    }
+
+    /// Shared endpoint of two adjacent edges, if any.
+    #[inline]
+    pub fn shared(self, other: Edge) -> Option<NodeId> {
+        if other.touches(self.a) {
+            Some(self.a)
+        } else if other.touches(self.b) {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{},{}}}", self.a, self.b)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{},{}}}", self.a, self.b)
+    }
+}
+
+/// Convenience constructor: `edge(1, 2)` for tests and examples.
+#[inline]
+pub fn edge(u: u32, w: u32) -> Edge {
+    Edge::new(NodeId(u), NodeId(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order() {
+        assert_eq!(edge(3, 7), edge(7, 3));
+        assert_eq!(edge(3, 7).lo(), NodeId(3));
+        assert_eq!(edge(3, 7).hi(), NodeId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let _ = edge(4, 4);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = edge(1, 2);
+        assert_eq!(e.other(NodeId(1)), NodeId(2));
+        assert_eq!(e.other(NodeId(2)), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_requires_endpoint() {
+        edge(1, 2).other(NodeId(9));
+    }
+
+    #[test]
+    fn touches_and_shared() {
+        let e = edge(1, 2);
+        assert!(e.touches(NodeId(1)));
+        assert!(!e.touches(NodeId(3)));
+        assert_eq!(e.shared(edge(2, 3)), Some(NodeId(2)));
+        assert_eq!(e.shared(edge(3, 4)), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_canonical_pair() {
+        assert!(edge(1, 2) < edge(1, 3));
+        assert!(edge(1, 9) < edge(2, 3));
+    }
+}

@@ -1,0 +1,182 @@
+//! Messages and per-link bandwidth accounting.
+//!
+//! The model allows `O(log n)` bits per link per round. Every protocol
+//! message type implements [`BitSized`], which reports its encoded size in
+//! bits as a function of `n`; the simulator checks each transmitted message
+//! against the configured budget (see [`crate::bandwidth`]).
+//!
+//! Piggybacked boolean flags that default to `true` (the paper's `IsEmpty` /
+//! `AreNeighborsEmpty` convention: "we do not send IsEmpty = true") are
+//! carried in [`Flags`] and cost bits only for the `false` values.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits needed to name a node among `n` nodes.
+#[inline]
+pub fn node_bits(n: usize) -> u64 {
+    // ceil(log2(n)) with a floor of 1 bit.
+    (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1) as u64
+}
+
+/// Encoded size (in bits) of a message, as a function of the network size.
+///
+/// Implementations must be *honest upper bounds* on a natural binary
+/// encoding: node ids cost [`node_bits`]`(n)`, constant-size marks cost O(1).
+pub trait BitSized {
+    /// Encoded size of `self` in bits, for a network on `n` nodes.
+    fn bit_size(&self, n: usize) -> u64;
+}
+
+impl BitSized for () {
+    fn bit_size(&self, _n: usize) -> u64 {
+        0
+    }
+}
+
+/// The paper's zero-default boolean flags, piggybacked on every round.
+///
+/// `is_empty` corresponds to "my queue was empty at the beginning of this
+/// round"; `neighbors_empty` to "all my neighbors reported empty queues last
+/// round" (used only by the 3-hop structure). A `true` flag is *not sent*
+/// (absence of the `false` signal is interpreted as `true`), so only `false`
+/// values contribute bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flags {
+    /// `IsEmpty`: the sender's queue was empty at the beginning of the round.
+    pub is_empty: bool,
+    /// `AreNeighborsEmpty`: the sender received `IsEmpty = true` from all of
+    /// its neighbors at the end of the previous round.
+    pub neighbors_empty: bool,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            is_empty: true,
+            neighbors_empty: true,
+        }
+    }
+}
+
+impl Flags {
+    /// Flags for a fully quiet sender.
+    pub fn quiet() -> Self {
+        Self::default()
+    }
+}
+
+impl BitSized for Flags {
+    fn bit_size(&self, _n: usize) -> u64 {
+        // Only `false` values are physically transmitted.
+        u64::from(!self.is_empty) + u64::from(!self.neighbors_empty)
+    }
+}
+
+/// A message addressed to one neighbor, or broadcast to all current
+/// neighbors. Protocols emit at most one payload per round (the single
+/// dequeue of the paper) but the addressing differs per algorithm: the 2-hop
+/// structure sends a dequeued item only to *some* neighbors (those whose
+/// connecting edge is old enough), the 3-hop structure broadcasts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Addressed<M> {
+    /// Send to exactly this neighbor (must be a current neighbor).
+    To(NodeId, M),
+    /// Send to every current neighbor.
+    Broadcast(M),
+    /// Send to every current neighbor in the given set.
+    Multicast(Vec<NodeId>, M),
+}
+
+/// Everything a node emits in one round: at most a handful of addressed
+/// payloads (protocols in this repository emit at most one dequeued item,
+/// possibly multicast) plus the piggybacked flags that go to all neighbors.
+#[derive(Clone, Debug)]
+pub struct Outbox<M> {
+    /// Addressed payload messages.
+    pub payloads: Vec<Addressed<M>>,
+    /// Flags broadcast to all current neighbors.
+    pub flags: Flags,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox {
+            payloads: Vec::new(),
+            flags: Flags::default(),
+        }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An outbox with no payloads and quiet flags.
+    pub fn quiet() -> Self {
+        Self::default()
+    }
+
+    /// Add a unicast payload.
+    pub fn to(&mut self, peer: NodeId, msg: M) {
+        self.payloads.push(Addressed::To(peer, msg));
+    }
+
+    /// Add a broadcast payload.
+    pub fn broadcast(&mut self, msg: M) {
+        self.payloads.push(Addressed::Broadcast(msg));
+    }
+
+    /// Add a multicast payload.
+    pub fn multicast(&mut self, peers: Vec<NodeId>, msg: M) {
+        self.payloads.push(Addressed::Multicast(peers, msg));
+    }
+}
+
+/// A received message: sender, payload and the sender's flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Received<M> {
+    /// Which neighbor sent this.
+    pub from: NodeId,
+    /// Payload, if the sender dequeued something for us this round.
+    pub payload: Option<M>,
+    /// Sender's piggybacked flags.
+    pub flags: Flags,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_bits_is_ceil_log2() {
+        assert_eq!(node_bits(1), 1);
+        assert_eq!(node_bits(2), 1);
+        assert_eq!(node_bits(3), 2);
+        assert_eq!(node_bits(4), 2);
+        assert_eq!(node_bits(5), 3);
+        assert_eq!(node_bits(1024), 10);
+        assert_eq!(node_bits(1025), 11);
+    }
+
+    #[test]
+    fn quiet_flags_cost_zero_bits() {
+        assert_eq!(Flags::quiet().bit_size(1000), 0);
+        let busy = Flags {
+            is_empty: false,
+            neighbors_empty: true,
+        };
+        assert_eq!(busy.bit_size(1000), 1);
+        let both = Flags {
+            is_empty: false,
+            neighbors_empty: false,
+        };
+        assert_eq!(both.bit_size(1000), 2);
+    }
+
+    #[test]
+    fn outbox_builders() {
+        let mut ob: Outbox<u32> = Outbox::quiet();
+        ob.to(NodeId(1), 7);
+        ob.broadcast(9);
+        ob.multicast(vec![NodeId(2), NodeId(3)], 11);
+        assert_eq!(ob.payloads.len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! The protocol interface implemented by every distributed dynamic data
+//! structure in this repository.
+//!
+//! A round (paper Figure 1) maps onto the trait as:
+//!
+//! 1. **Topology change**: the simulator applies the round's [`EventBatch`]
+//!    and calls [`Node::on_topology`] with each node's incident changes.
+//! 2. **React & send**: the simulator calls [`Node::send`]; the node may
+//!    dequeue one item from its internal queue and address it.
+//! 3. **Receive & update**: the simulator delivers messages over edges of
+//!    `G_i` and calls [`Node::receive`] once with the full inbox.
+//! 4. **Query**: user code may call query methods on `&Node` — crucially
+//!    with no communication; a node either answers or reports that it is
+//!    inconsistent via [`Node::is_consistent`].
+//!
+//! [`EventBatch`]: crate::event::EventBatch
+
+use crate::event::LocalEvent;
+use crate::ids::{NodeId, Round};
+use crate::message::{BitSized, Outbox, Received};
+
+/// Query response of a distributed dynamic data structure: either a value,
+/// or an indication that the local structure is mid-update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response<T> {
+    /// The structure is consistent and answers the query.
+    Answer(T),
+    /// The structure is updating; the caller must retry later.
+    Inconsistent,
+}
+
+impl<T> Response<T> {
+    /// The answer, if consistent.
+    pub fn answer(self) -> Option<T> {
+        match self {
+            Response::Answer(t) => Some(t),
+            Response::Inconsistent => None,
+        }
+    }
+
+    /// True when the response is `Inconsistent`.
+    pub fn is_inconsistent(&self) -> bool {
+        matches!(self, Response::Inconsistent)
+    }
+
+    /// Map the inner answer.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Response<U> {
+        match self {
+            Response::Answer(t) => Response::Answer(f(t)),
+            Response::Inconsistent => Response::Inconsistent,
+        }
+    }
+
+    /// Unwrap the answer, panicking when inconsistent. Test helper.
+    pub fn expect_answer(self, msg: &str) -> T {
+        match self {
+            Response::Answer(t) => t,
+            Response::Inconsistent => panic!("expected consistent answer: {msg}"),
+        }
+    }
+}
+
+/// Per-node protocol state machine.
+///
+/// Implementations must be deterministic: the simulator feeds events and
+/// inboxes in a deterministic order and the whole execution must be
+/// reproducible (tests rely on this).
+pub trait Node: Send + Sync {
+    /// Message payload type.
+    type Msg: BitSized + Clone + Send + Sync;
+
+    /// Construct the state for node `id` in a network of `n` nodes.
+    fn new(id: NodeId, n: usize) -> Self;
+
+    /// Phase 1: local notifications for this round's incident changes.
+    /// `events` is empty on quiet rounds.
+    fn on_topology(&mut self, round: Round, events: &[LocalEvent]);
+
+    /// Phase 2: react & send. `neighbors` is the node's current neighbor set
+    /// in `G_i` (sorted). At most one queue item may be dequeued, but it may
+    /// be multicast (the paper's send step).
+    fn send(&mut self, round: Round, neighbors: &[NodeId]) -> Outbox<Self::Msg>;
+
+    /// Phase 3: receive & update. `inbox` holds one entry per current
+    /// neighbor (sorted by sender id), including neighbors that sent only
+    /// flags. Flag-only entries have `payload == None`.
+    fn receive(&mut self, round: Round, inbox: &[Received<Self::Msg>], neighbors: &[NodeId]);
+
+    /// Whether this node's structure is consistent at the end of the round.
+    fn is_consistent(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_combinators() {
+        let r: Response<bool> = Response::Answer(true);
+        assert_eq!(r.answer(), Some(true));
+        assert!(!r.is_inconsistent());
+        assert_eq!(r.map(|b| !b), Response::Answer(false));
+
+        let i: Response<bool> = Response::Inconsistent;
+        assert_eq!(i.answer(), None);
+        assert!(i.is_inconsistent());
+        assert_eq!(i.map(|b| !b), Response::Inconsistent);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected consistent answer")]
+    fn expect_answer_panics_when_inconsistent() {
+        let i: Response<u8> = Response::Inconsistent;
+        i.expect_answer("boom");
+    }
+}

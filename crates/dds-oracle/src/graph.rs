@@ -1,0 +1,220 @@
+//! Centralized ground-truth dynamic graph.
+//!
+//! Maintains the true evolving graph `G_i` together with the true insertion
+//! timestamps `t_e` (which the paper uses only for analysis — protocol nodes
+//! never see them for non-incident edges). All reference computations used
+//! by tests and experiments are built on this structure.
+
+use dds_net::{Edge, EventBatch, NodeId, Round, TopologyEvent};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Ground-truth graph with true insertion timestamps.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    n: usize,
+    round: Round,
+    adj: Vec<FxHashSet<NodeId>>,
+    /// Present edges with their latest insertion round.
+    ts: FxHashMap<Edge, Round>,
+}
+
+impl DynamicGraph {
+    /// Empty graph on `n` nodes at round 0.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            n,
+            round: 0,
+            adj: vec![FxHashSet::default(); n],
+            ts: FxHashMap::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round (the round whose batch was last applied).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of present edges.
+    pub fn edge_count(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether `e` is present.
+    pub fn has_edge(&self, e: Edge) -> bool {
+        self.ts.contains_key(&e)
+    }
+
+    /// True insertion timestamp `t_e` of a present edge.
+    pub fn t(&self, e: Edge) -> Option<Round> {
+        self.ts.get(&e).copied()
+    }
+
+    /// Present edges (unspecified order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.ts.keys().copied()
+    }
+
+    /// Present neighbors of `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// Sorted neighbor list.
+    pub fn neighbors_sorted(&self, v: NodeId) -> Vec<NodeId> {
+        let mut ns: Vec<NodeId> = self.adj[v.index()].iter().copied().collect();
+        ns.sort_unstable();
+        ns
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Whether `u` and `w` are adjacent.
+    pub fn adjacent(&self, u: NodeId, w: NodeId) -> bool {
+        self.adj[u.index()].contains(&w)
+    }
+
+    /// Apply one round's batch. Rounds advance by one per call, mirroring
+    /// the simulator (`advance_quiet` for rounds without changes).
+    pub fn apply(&mut self, batch: &EventBatch) {
+        self.round += 1;
+        for ev in batch.iter() {
+            match ev {
+                TopologyEvent::Insert(e) => {
+                    let prev = self.ts.insert(e, self.round);
+                    assert!(prev.is_none(), "insert of present edge {e:?}");
+                    self.adj[e.lo().index()].insert(e.hi());
+                    self.adj[e.hi().index()].insert(e.lo());
+                }
+                TopologyEvent::Delete(e) => {
+                    let prev = self.ts.remove(&e);
+                    assert!(prev.is_some(), "delete of absent edge {e:?}");
+                    self.adj[e.lo().index()].remove(&e.hi());
+                    self.adj[e.hi().index()].remove(&e.lo());
+                }
+            }
+        }
+    }
+
+    /// Advance one quiet round.
+    pub fn advance_quiet(&mut self) {
+        self.round += 1;
+    }
+
+    /// Nodes at distance exactly ≤ `r` from `v` (BFS), including `v`.
+    pub fn ball(&self, v: NodeId, r: usize) -> FxHashSet<NodeId> {
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        seen.insert(v);
+        let mut frontier = vec![v];
+        for _ in 0..r {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for w in self.neighbors(u) {
+                    if seen.insert(w) {
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        seen
+    }
+
+    /// The paper's `E^{v,r}`: all present edges lying on some path of length
+    /// ≤ `r` starting at `v` — equivalently, edges with at least one
+    /// endpoint at distance ≤ `r − 1` from `v`. For `r = 2` this is "edges
+    /// that touch `v` or any of its neighbors", matching the paper.
+    pub fn r_hop_edges(&self, v: NodeId, r: usize) -> FxHashSet<Edge> {
+        assert!(r >= 1);
+        let near = self.ball(v, r - 1);
+        let mut out = FxHashSet::default();
+        for &u in &near {
+            for w in self.neighbors(u) {
+                out.insert(Edge::new(u, w));
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the present edge set.
+    pub fn edge_set(&self) -> FxHashSet<Edge> {
+        self.ts.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::edge;
+
+    fn path_graph() -> DynamicGraph {
+        // 0 - 1 - 2 - 3 - 4, inserted over separate rounds.
+        let mut g = DynamicGraph::new(5);
+        for (u, w) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            g.apply(&EventBatch::insert(edge(u, w)));
+        }
+        g
+    }
+
+    #[test]
+    fn timestamps_advance_per_round() {
+        let g = path_graph();
+        assert_eq!(g.t(edge(0, 1)), Some(1));
+        assert_eq!(g.t(edge(3, 4)), Some(4));
+        assert_eq!(g.round(), 4);
+    }
+
+    #[test]
+    fn ball_radii() {
+        let g = path_graph();
+        let b0 = g.ball(NodeId(0), 0);
+        assert_eq!(b0.len(), 1);
+        let b2 = g.ball(NodeId(0), 2);
+        assert_eq!(b2.len(), 3); // {0, 1, 2}
+        let b9 = g.ball(NodeId(0), 9);
+        assert_eq!(b9.len(), 5);
+    }
+
+    #[test]
+    fn r_hop_edges_match_definition() {
+        let g = path_graph();
+        // E^{0,1} = edges incident to 0.
+        let e1 = g.r_hop_edges(NodeId(0), 1);
+        assert_eq!(e1.len(), 1);
+        assert!(e1.contains(&edge(0, 1)));
+        // E^{0,2} = edges touching 0 or its neighbor 1: {0,1}, {1,2}.
+        let e2 = g.r_hop_edges(NodeId(0), 2);
+        assert_eq!(e2.len(), 2);
+        assert!(e2.contains(&edge(1, 2)));
+        // E^{0,3} adds {2,3}.
+        let e3 = g.r_hop_edges(NodeId(0), 3);
+        assert_eq!(e3.len(), 3);
+        assert!(e3.contains(&edge(2, 3)));
+        assert!(!e3.contains(&edge(3, 4)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_timestamp() {
+        let mut g = path_graph();
+        g.apply(&EventBatch::delete(edge(0, 1)));
+        assert!(!g.has_edge(edge(0, 1)));
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        assert_eq!(g.t(edge(0, 1)), Some(6));
+    }
+
+    #[test]
+    fn quiet_rounds_advance_clock_only() {
+        let mut g = path_graph();
+        let edges_before = g.edge_count();
+        g.advance_quiet();
+        assert_eq!(g.round(), 5);
+        assert_eq!(g.edge_count(), edges_before);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dds-oracle — centralized ground truth for the dynamic-subgraphs suite
+//!
+//! A sequential, centralized view of the evolving network graph with true
+//! insertion timestamps. It provides:
+//!
+//! - [`DynamicGraph`]: the graph `G_i` with `t_e` timestamps and `E^{v,r}`
+//!   r-hop edge sets;
+//! - subgraph enumeration (triangles, k-cliques, k-cycles, k-paths) used to
+//!   verify the distributed structures' answers;
+//! - the paper's robust-set definitions `R^{v,2}`, `T^{v,2}`, `R^{v,3}`
+//!   evaluated directly from the definitions (the "ideal algorithm").
+//!
+//! Nothing in this crate is available to protocol nodes — it exists for
+//! testing, verification and experiment reporting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph;
+pub mod robust;
+pub mod stats;
+pub mod subgraphs;
+
+pub use graph::DynamicGraph;
+pub use stats::GraphStats;
+pub use subgraphs::{canonical_cycle, Clique, Cycle, Triangle};

@@ -1,0 +1,238 @@
+//! Reference ("ideal algorithm") computations of the paper's robust
+//! neighborhood sets, evaluated directly from the ground-truth graph and
+//! true timestamps. The distributed data structures are tested against
+//! these definitions.
+//!
+//! Definitions (with `t_e` the true latest insertion round of edge `e`):
+//!
+//! - **`R^{v,2}` (robust 2-hop, Appendix A)** — edge `e = {u,w}` is
+//!   `(v,i)`-robust iff `v ∈ e`, or `t_e ≥ t_{v,u}` and `{v,u} ∈ G_i`, or
+//!   `t_e ≥ t_{v,w}` and `{v,w} ∈ G_i`.
+//! - **`T^{v,2}` (triangle temporal patterns, Figure 2)** — all edges
+//!   incident to `v`, plus `{u,w}` whenever the path `v−u−w` exists and
+//!   (a) `t_{u,w} ≥ t_{v,u}`, or (b) `{v,w} ∈ G_i` and
+//!   `t_{u,w} < t_{v,u}, t_{v,w}`.
+//! - **`R^{v,3}` (robust 3-hop, Figure 3)** — all edges incident to `v`,
+//!   plus every edge of a path `v−u−w` with `t_{u,w} ≥ t_{v,u}` (pattern
+//!   (a)), plus every edge of a simple path `v−u−w−x` with
+//!   `t_{w,x} ≥ t_{u,w}, t_{v,u}` (pattern (b)).
+
+use crate::graph::DynamicGraph;
+use dds_net::{Edge, NodeId};
+use rustc_hash::FxHashSet;
+
+impl DynamicGraph {
+    /// The robust 2-hop neighborhood `R^{v,2}` per Appendix A.
+    pub fn robust_two_hop(&self, v: NodeId) -> FxHashSet<Edge> {
+        let mut out: FxHashSet<Edge> = FxHashSet::default();
+        for u in self.neighbors(v) {
+            let ev = Edge::new(v, u);
+            out.insert(ev);
+            let t_vu = self.t(ev).expect("present");
+            for w in self.neighbors(u) {
+                if w == v {
+                    continue;
+                }
+                let e = Edge::new(u, w);
+                let te = self.t(e).expect("present");
+                if te >= t_vu {
+                    out.insert(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// The triangle temporal-pattern set `T^{v,2}` per Figure 2 (patterns
+    /// (a) and (b)) plus all edges incident to `v`.
+    pub fn triangle_patterns(&self, v: NodeId) -> FxHashSet<Edge> {
+        let mut out = self.robust_two_hop(v); // pattern (a) + incident
+        for u in self.neighbors(v) {
+            let t_vu = self.t(Edge::new(v, u)).expect("present");
+            for w in self.neighbors(u) {
+                if w == v {
+                    continue;
+                }
+                let e = Edge::new(u, w);
+                let te = self.t(e).expect("present");
+                // Pattern (b): {v,w} also exists and e is older than both
+                // incident edges.
+                if let Some(t_vw) = self.adjacent(v, w).then(|| {
+                    self.t(Edge::new(v, w)).expect("present")
+                }) {
+                    if te < t_vu && te < t_vw {
+                        out.insert(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The robust 3-hop neighborhood `R^{v,3}` per Section 3 (Figure 3).
+    pub fn robust_three_hop(&self, v: NodeId) -> FxHashSet<Edge> {
+        let mut out: FxHashSet<Edge> = FxHashSet::default();
+        for u in self.neighbors(v) {
+            let e_vu = Edge::new(v, u);
+            out.insert(e_vu);
+            let t_vu = self.t(e_vu).expect("present");
+            for w in self.neighbors(u) {
+                if w == v {
+                    continue;
+                }
+                let e_uw = Edge::new(u, w);
+                let t_uw = self.t(e_uw).expect("present");
+                // Pattern (a): v−u−w with t_{u,w} ≥ t_{v,u}; both edges of
+                // the path are in R^{v,3}.
+                if t_uw >= t_vu {
+                    out.insert(e_uw);
+                }
+                for x in self.neighbors(w) {
+                    if x == v || x == u {
+                        continue;
+                    }
+                    let e_wx = Edge::new(w, x);
+                    let t_wx = self.t(e_wx).expect("present");
+                    // Pattern (b): v−u−w−x with t_{w,x} ≥ t_{u,w}, t_{v,u};
+                    // all three edges of the path are in R^{v,3}.
+                    if t_wx >= t_uw && t_wx >= t_vu {
+                        out.insert(e_uw);
+                        out.insert(e_wx);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of `E^{v,r}` captured by a robust subset; the Figure 2/3
+    /// "coverage" series of the experiment harness. Returns `(robust, all)`
+    /// cardinalities.
+    pub fn coverage(&self, v: NodeId, robust: &FxHashSet<Edge>, r: usize) -> (usize, usize) {
+        let all = self.r_hop_edges(v, r);
+        debug_assert!(robust.is_subset(&all), "robust set must be within E^{{v,{r}}}");
+        (robust.len(), all.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, EventBatch};
+
+    /// Triangle inserted in order {0,1}, {1,2}, {0,2}.
+    fn staged_triangle() -> DynamicGraph {
+        let mut g = DynamicGraph::new(3);
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        g.apply(&EventBatch::insert(edge(1, 2)));
+        g.apply(&EventBatch::insert(edge(0, 2)));
+        g
+    }
+
+    #[test]
+    fn robust_two_hop_respects_insertion_order() {
+        let g = staged_triangle();
+        // For v=0: {1,2} is robust (t=2 ≥ t_{0,1}=1).
+        let r0 = g.robust_two_hop(NodeId(0));
+        assert!(r0.contains(&edge(1, 2)));
+        // For v=2: {0,1} has t=1 < t_{2,1}=2 and < t_{2,0}=3: not robust.
+        let r2 = g.robust_two_hop(NodeId(2));
+        assert!(!r2.contains(&edge(0, 1)));
+        assert!(r2.contains(&edge(1, 2)));
+        assert!(r2.contains(&edge(0, 2)));
+    }
+
+    #[test]
+    fn triangle_patterns_cover_the_far_edge_for_every_corner() {
+        let g = staged_triangle();
+        // Membership listing needs every corner to know all three edges.
+        for v in 0..3u32 {
+            let t = g.triangle_patterns(NodeId(v));
+            assert!(t.contains(&edge(0, 1)), "v{v} misses {{0,1}}");
+            assert!(t.contains(&edge(1, 2)), "v{v} misses {{1,2}}");
+            assert!(t.contains(&edge(0, 2)), "v{v} misses {{0,2}}");
+        }
+    }
+
+    #[test]
+    fn pattern_b_requires_both_incident_edges() {
+        // Path 0-1-2 only (no {0,2} edge), with {1,2} older than {0,1}.
+        let mut g = DynamicGraph::new(3);
+        g.apply(&EventBatch::insert(edge(1, 2)));
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        let t = g.triangle_patterns(NodeId(0));
+        // {1,2} has t=1 < t_{0,1}=2 and no edge {0,2}: not in T^{0,2}.
+        assert!(!t.contains(&edge(1, 2)));
+    }
+
+    #[test]
+    fn robust_three_hop_pattern_b() {
+        // Path 0-1-2-3 inserted oldest-to-newest: the far edge {2,3} is
+        // newest, so the whole path is in R^{0,3}.
+        let mut g = DynamicGraph::new(4);
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        g.apply(&EventBatch::insert(edge(1, 2)));
+        g.apply(&EventBatch::insert(edge(2, 3)));
+        let r = g.robust_three_hop(NodeId(0));
+        assert!(r.contains(&edge(0, 1)));
+        assert!(r.contains(&edge(1, 2)));
+        assert!(r.contains(&edge(2, 3)));
+
+        // Reverse insertion order: only the incident edge is robust.
+        let mut g2 = DynamicGraph::new(4);
+        g2.apply(&EventBatch::insert(edge(2, 3)));
+        g2.apply(&EventBatch::insert(edge(1, 2)));
+        g2.apply(&EventBatch::insert(edge(0, 1)));
+        let r2 = g2.robust_three_hop(NodeId(0));
+        assert!(r2.contains(&edge(0, 1)));
+        assert!(!r2.contains(&edge(1, 2)));
+        assert!(!r2.contains(&edge(2, 3)));
+    }
+
+    #[test]
+    fn robust_sets_are_subsets_of_r_hop_edges() {
+        let g = staged_triangle();
+        for v in 0..3u32 {
+            let v = NodeId(v);
+            assert!(g.robust_two_hop(v).is_subset(&g.r_hop_edges(v, 2)));
+            assert!(g.triangle_patterns(v).is_subset(&g.r_hop_edges(v, 2)));
+            assert!(g.robust_three_hop(v).is_subset(&g.r_hop_edges(v, 3)));
+        }
+    }
+
+    #[test]
+    fn robust_two_hop_subset_of_three_hop() {
+        // The paper: R^{v,3} includes the robust 2-hop neighborhood.
+        let g = staged_triangle();
+        for v in 0..3u32 {
+            let v = NodeId(v);
+            assert!(g.robust_two_hop(v).is_subset(&g.robust_three_hop(v)));
+        }
+    }
+
+    #[test]
+    fn four_cycle_newest_edge_opposite_corner_sees_it() {
+        // 4-cycle 0-1-2-3-0; insert {2,3} last. Then for v=0 (not incident
+        // to the newest edge) pattern (b) puts the whole far side in
+        // R^{0,3}, which is what Theorem 5's proof uses.
+        let mut g = DynamicGraph::new(4);
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        g.apply(&EventBatch::insert(edge(3, 0)));
+        g.apply(&EventBatch::insert(edge(1, 2)));
+        g.apply(&EventBatch::insert(edge(2, 3)));
+        let r = g.robust_three_hop(NodeId(0));
+        for e in [edge(0, 1), edge(3, 0), edge(1, 2), edge(2, 3)] {
+            assert!(r.contains(&e), "missing {e:?}");
+        }
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let g = staged_triangle();
+        let v = NodeId(0);
+        let r = g.robust_two_hop(v);
+        let (rob, all) = g.coverage(v, &r, 2);
+        assert_eq!(all, 3);
+        assert_eq!(rob, r.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Graph statistics over the ground-truth graph: degree distribution,
+//! clustering, connectivity. Used by the CLI's `trace info` and by
+//! workload sanity checks.
+
+use crate::graph::DynamicGraph;
+use dds_net::NodeId;
+
+/// Summary statistics of the current graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes (including isolated ones).
+    pub n: usize,
+    /// Number of present edges.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Global clustering coefficient (3 × triangles / open wedges).
+    pub clustering: f64,
+    /// Number of connected components (isolated nodes count).
+    pub components: usize,
+    /// Number of triangles.
+    pub triangles: usize,
+}
+
+impl DynamicGraph {
+    /// Number of paths of length 2 ("wedges") centered anywhere.
+    pub fn wedge_count(&self) -> usize {
+        (0..self.n() as u32)
+            .map(|v| {
+                let d = self.degree(NodeId(v));
+                d * d.saturating_sub(1) / 2
+            })
+            .sum()
+    }
+
+    /// Connected components via union-find over present edges.
+    pub fn component_count(&self) -> usize {
+        let mut parent: Vec<usize> = (0..self.n()).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in self.edges() {
+            let (a, b) = (e.lo().index(), e.hi().index());
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut roots: Vec<usize> = (0..self.n()).map(|i| find(&mut parent, i)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+
+    /// Full summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        let n = self.n();
+        let degrees: Vec<usize> = (0..n as u32).map(|v| self.degree(NodeId(v))).collect();
+        let triangles = self.all_triangles().len();
+        let wedges = self.wedge_count();
+        GraphStats {
+            n,
+            edges: self.edge_count(),
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            mean_degree: degrees.iter().sum::<usize>() as f64 / n.max(1) as f64,
+            clustering: if wedges == 0 {
+                0.0
+            } else {
+                3.0 * triangles as f64 / wedges as f64
+            },
+            components: self.component_count(),
+            triangles,
+        }
+    }
+
+    /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for v in 0..self.n() as u32 {
+            let d = self.degree(NodeId(v));
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, EventBatch};
+
+    fn triangle_plus_isolated() -> DynamicGraph {
+        let mut g = DynamicGraph::new(5);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(1, 2));
+        b.push_insert(edge(0, 2));
+        g.apply(&b);
+        g
+    }
+
+    #[test]
+    fn triangle_stats() {
+        let g = triangle_plus_isolated();
+        let s = g.stats();
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.triangles, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.min_degree, 0);
+        // Triangle: 3 wedges, 1 triangle → clustering 1.0.
+        assert!((s.clustering - 1.0).abs() < 1e-9);
+        // Components: the triangle + two isolated nodes.
+        assert_eq!(s.components, 3);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let mut g = DynamicGraph::new(3);
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        g.apply(&EventBatch::insert(edge(1, 2)));
+        let s = g.stats();
+        assert_eq!(s.triangles, 0);
+        assert_eq!(g.wedge_count(), 1);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = triangle_plus_isolated();
+        let hist = g.degree_histogram();
+        assert_eq!(hist, vec![2, 0, 3]); // 2 isolated, 3 of degree 2
+    }
+
+    #[test]
+    fn component_count_merges_under_insertion() {
+        let mut g = DynamicGraph::new(4);
+        assert_eq!(g.component_count(), 4);
+        g.apply(&EventBatch::insert(edge(0, 1)));
+        assert_eq!(g.component_count(), 3);
+        g.apply(&EventBatch::insert(edge(2, 3)));
+        assert_eq!(g.component_count(), 2);
+        g.apply(&EventBatch::insert(edge(1, 2)));
+        assert_eq!(g.component_count(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! Subgraph enumeration on the ground-truth graph.
+//!
+//! Used by tests and experiments to verify the distributed data structures:
+//! triangles, k-cliques, k-cycles and k-paths. All enumerations return each
+//! subgraph exactly once in a canonical form.
+
+use crate::graph::DynamicGraph;
+use dds_net::NodeId;
+use rustc_hash::FxHashSet;
+
+/// A triangle as a sorted vertex triple.
+pub type Triangle = [NodeId; 3];
+
+/// A clique as a sorted vertex list.
+pub type Clique = Vec<NodeId>;
+
+/// A cycle as a canonical vertex sequence (see [`canonical_cycle`]).
+pub type Cycle = Vec<NodeId>;
+
+/// Canonicalize a cycle given as a closed walk `c[0] - c[1] - … - c[k-1] -
+/// c[0]`: rotate so the minimum vertex is first, then pick the direction
+/// with the smaller second vertex. Two traversals of the same cycle map to
+/// the same canonical form.
+pub fn canonical_cycle(cycle: &[NodeId]) -> Cycle {
+    let k = cycle.len();
+    assert!(k >= 3);
+    let (min_pos, _) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, v)| **v)
+        .expect("nonempty");
+    let fwd: Vec<NodeId> = (0..k).map(|i| cycle[(min_pos + i) % k]).collect();
+    let bwd: Vec<NodeId> = (0..k).map(|i| cycle[(min_pos + k - i) % k]).collect();
+    if fwd[1] <= bwd[1] {
+        fwd
+    } else {
+        bwd
+    }
+}
+
+impl DynamicGraph {
+    /// All triangles containing `v`, as sorted triples.
+    pub fn triangles_containing(&self, v: NodeId) -> Vec<Triangle> {
+        let ns = self.neighbors_sorted(v);
+        let mut out = Vec::new();
+        for (i, &u) in ns.iter().enumerate() {
+            for &w in &ns[i + 1..] {
+                if self.adjacent(u, w) {
+                    let mut t = [v, u, w];
+                    t.sort_unstable();
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// All triangles in the graph, each once.
+    pub fn all_triangles(&self) -> Vec<Triangle> {
+        let mut out = Vec::new();
+        for vi in 0..self.n() as u32 {
+            let v = NodeId(vi);
+            let ns = self.neighbors_sorted(v);
+            for (i, &u) in ns.iter().enumerate() {
+                if u < v {
+                    continue;
+                }
+                for &w in &ns[i + 1..] {
+                    if self.adjacent(u, w) {
+                        out.push([v, u, w]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the vertex set forms a clique (all pairs adjacent).
+    pub fn is_clique(&self, vs: &[NodeId]) -> bool {
+        for (i, &u) in vs.iter().enumerate() {
+            for &w in &vs[i + 1..] {
+                if u == w || !self.adjacent(u, w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All k-cliques containing `v`, as sorted vertex lists.
+    pub fn cliques_containing(&self, v: NodeId, k: usize) -> Vec<Clique> {
+        assert!(k >= 1);
+        let mut out = Vec::new();
+        let ns = self.neighbors_sorted(v);
+        let mut current = vec![v];
+        self.extend_clique(&ns, 0, k, &mut current, &mut out);
+        out.iter_mut().for_each(|c| c.sort_unstable());
+        out
+    }
+
+    fn extend_clique(
+        &self,
+        candidates: &[NodeId],
+        from: usize,
+        k: usize,
+        current: &mut Vec<NodeId>,
+        out: &mut Vec<Clique>,
+    ) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in from..candidates.len() {
+            let c = candidates[i];
+            if current.iter().all(|&m| self.adjacent(m, c)) {
+                current.push(c);
+                self.extend_clique(candidates, i + 1, k, current, out);
+                current.pop();
+            }
+        }
+    }
+
+    /// Whether the vertex sequence is a k-cycle in the graph: distinct
+    /// vertices and all consecutive pairs (cyclically) adjacent.
+    pub fn is_cycle(&self, vs: &[NodeId]) -> bool {
+        let k = vs.len();
+        if k < 3 {
+            return false;
+        }
+        let distinct: FxHashSet<NodeId> = vs.iter().copied().collect();
+        if distinct.len() != k {
+            return false;
+        }
+        (0..k).all(|i| self.adjacent(vs[i], vs[(i + 1) % k]))
+    }
+
+    /// All simple cycles of length exactly `k`, canonicalized, each once.
+    ///
+    /// Intended for small `k` (≤ 8); complexity is O(n · Δ^(k-1)).
+    pub fn all_cycles(&self, k: usize) -> Vec<Cycle> {
+        assert!(k >= 3);
+        let mut out: FxHashSet<Cycle> = FxHashSet::default();
+        for vi in 0..self.n() as u32 {
+            let start = NodeId(vi);
+            // Only anchor cycles at their minimum vertex.
+            let mut path = vec![start];
+            self.cycle_dfs(start, start, k, &mut path, &mut out);
+        }
+        let mut v: Vec<Cycle> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn cycle_dfs(
+        &self,
+        start: NodeId,
+        cur: NodeId,
+        k: usize,
+        path: &mut Vec<NodeId>,
+        out: &mut FxHashSet<Cycle>,
+    ) {
+        if path.len() == k {
+            if self.adjacent(cur, start) {
+                out.insert(canonical_cycle(path));
+            }
+            return;
+        }
+        for w in self.neighbors(cur) {
+            // Anchoring: all cycle vertices must exceed the start vertex.
+            if w <= start || path.contains(&w) {
+                continue;
+            }
+            path.push(w);
+            self.cycle_dfs(start, w, k, path, out);
+            path.pop();
+        }
+    }
+
+    /// All cycles of length `k` containing `v`.
+    pub fn cycles_containing(&self, v: NodeId, k: usize) -> Vec<Cycle> {
+        self.all_cycles(k)
+            .into_iter()
+            .filter(|c| c.contains(&v))
+            .collect()
+    }
+
+    /// All simple paths with exactly `edges` edges starting at `v`, as
+    /// vertex sequences `[v, …]`.
+    pub fn paths_from(&self, v: NodeId, edges: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut path = vec![v];
+        self.path_dfs(edges, &mut path, &mut out);
+        out
+    }
+
+    fn path_dfs(&self, edges: usize, path: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>) {
+        if path.len() == edges + 1 {
+            out.push(path.clone());
+            return;
+        }
+        let cur = *path.last().expect("nonempty");
+        let mut ns = self.neighbors_sorted(cur);
+        ns.retain(|w| !path.contains(w));
+        for w in ns {
+            path.push(w);
+            self.path_dfs(edges, path, out);
+            path.pop();
+        }
+    }
+
+    /// All simple paths with exactly `edges` edges in the graph, each
+    /// undirected path once (canonical: endpoints ordered).
+    pub fn all_paths(&self, edges: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        for vi in 0..self.n() as u32 {
+            let v = NodeId(vi);
+            for p in self.paths_from(v, edges) {
+                // Keep only the direction from the smaller endpoint.
+                if p[0] < *p.last().expect("nonempty") {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, EventBatch};
+
+    fn complete(n: u32) -> DynamicGraph {
+        let mut g = DynamicGraph::new(n as usize);
+        let mut b = EventBatch::new();
+        for u in 0..n {
+            for w in (u + 1)..n {
+                b.push_insert(edge(u, w));
+            }
+        }
+        g.apply(&b);
+        g
+    }
+
+    fn cycle_graph(k: u32) -> DynamicGraph {
+        let mut g = DynamicGraph::new(k as usize);
+        let mut b = EventBatch::new();
+        for i in 0..k {
+            b.push_insert(edge(i, (i + 1) % k));
+        }
+        g.apply(&b);
+        g
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = complete(4);
+        assert_eq!(g.all_triangles().len(), 4);
+        assert_eq!(g.triangles_containing(NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn k5_clique_counts() {
+        let g = complete(5);
+        // C(4, k-1) cliques containing a fixed vertex.
+        assert_eq!(g.cliques_containing(NodeId(0), 3).len(), 6);
+        assert_eq!(g.cliques_containing(NodeId(0), 4).len(), 4);
+        assert_eq!(g.cliques_containing(NodeId(0), 5).len(), 1);
+        assert!(g.is_clique(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]));
+    }
+
+    #[test]
+    fn cycle_graph_has_one_cycle() {
+        for k in [4usize, 5, 6] {
+            let g = cycle_graph(k as u32);
+            let cycles = g.all_cycles(k);
+            assert_eq!(cycles.len(), 1, "C_{k} must contain exactly one {k}-cycle");
+            assert!(g.is_cycle(&cycles[0]));
+            // And no shorter cycles.
+            for j in 3..k {
+                assert!(g.all_cycles(j).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn k4_cycle_counts() {
+        let g = complete(4);
+        // K4: 4 triangles, 3 distinct 4-cycles.
+        assert_eq!(g.all_cycles(3).len(), 4);
+        assert_eq!(g.all_cycles(4).len(), 3);
+    }
+
+    #[test]
+    fn k5_cycle_counts() {
+        let g = complete(5);
+        // K5: C(5,3) = 10 triangles, 15 4-cycles, 12 5-cycles.
+        assert_eq!(g.all_cycles(3).len(), 10);
+        assert_eq!(g.all_cycles(4).len(), 15);
+        assert_eq!(g.all_cycles(5).len(), 12);
+    }
+
+    #[test]
+    fn canonical_cycle_is_rotation_and_direction_invariant() {
+        let c = [NodeId(3), NodeId(1), NodeId(4), NodeId(2)];
+        let mut expect = canonical_cycle(&c);
+        for rot in 0..4 {
+            let rotated: Vec<NodeId> = (0..4).map(|i| c[(rot + i) % 4]).collect();
+            assert_eq!(canonical_cycle(&rotated), expect);
+            let reversed: Vec<NodeId> = rotated.iter().rev().copied().collect();
+            assert_eq!(canonical_cycle(&reversed), expect);
+        }
+        expect.sort_unstable();
+        assert_eq!(
+            expect,
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn paths_on_path_graph() {
+        let mut g = DynamicGraph::new(4);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(1, 2));
+        b.push_insert(edge(2, 3));
+        g.apply(&b);
+        assert_eq!(g.paths_from(NodeId(0), 3), vec![vec![
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3)
+        ]]);
+        // One undirected 3-edge path.
+        assert_eq!(g.all_paths(3).len(), 1);
+        // Two undirected 2-edge paths: 0-1-2 and 1-2-3.
+        assert_eq!(g.all_paths(2).len(), 2);
+    }
+
+    #[test]
+    fn cycles_containing_filters() {
+        let g = complete(4);
+        assert_eq!(g.cycles_containing(NodeId(0), 4).len(), 3);
+    }
+}

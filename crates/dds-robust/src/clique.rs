@@ -1,0 +1,105 @@
+//! k-clique membership listing (Corollary 1).
+//!
+//! A thin convenience layer: triangle membership listing already implies
+//! k-clique membership listing for every `k ≥ 3`, because a k-clique `H`
+//! containing `v` is fully determined by the triangles `{v, a, b}` over all
+//! pairs `a, b ∈ H \ {v}` — each edge of `H` appears in one of them. The
+//! actual query lives on [`TriangleNode::query_clique`]; this module adds
+//! clique *enumeration* on top.
+//!
+//! [`TriangleNode::query_clique`]: crate::triangle::TriangleNode::query_clique
+
+use crate::triangle::TriangleNode;
+use dds_net::{Edge, NodeId, Response};
+
+impl TriangleNode {
+    /// Enumerate all k-cliques containing this node, as sorted vertex
+    /// lists. Exact when consistent (the known set equals `T^{v,2}`, which
+    /// contains every edge among the closed neighborhood's triangles).
+    pub fn list_cliques(&self, k: usize) -> Response<Vec<Vec<NodeId>>> {
+        if !self.consistent() {
+            return Response::Inconsistent;
+        }
+        assert!(k >= 1);
+        // Candidate pool: our neighbors (every clique through v lies in
+        // v's closed neighborhood).
+        let mut peers: Vec<NodeId> = self
+            .known_edges()
+            .filter(|e| e.touches(self.id()))
+            .map(|e| e.other(self.id()))
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        let mut out = Vec::new();
+        let mut current = vec![self.id()];
+        self.extend(&peers, 0, k, &mut current, &mut out);
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort();
+        Response::Answer(out)
+    }
+
+    fn extend(
+        &self,
+        peers: &[NodeId],
+        from: usize,
+        k: usize,
+        current: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in from..peers.len() {
+            let c = peers[i];
+            if current.iter().all(|&m| self.knows_edge(Edge::new(m, c))) {
+                current.push(c);
+                self.extend(peers, i + 1, k, current, out);
+                current.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, EventBatch, Simulator};
+
+    fn complete_sim(n: u32) -> Simulator<TriangleNode> {
+        let mut sim: Simulator<TriangleNode> = Simulator::new(n as usize);
+        for u in 0..n {
+            for w in (u + 1)..n {
+                sim.step(&EventBatch::insert(edge(u, w)));
+            }
+        }
+        sim.settle(256).expect("must stabilize");
+        sim
+    }
+
+    #[test]
+    fn k5_clique_enumeration() {
+        let sim = complete_sim(5);
+        let node = sim.node(NodeId(0));
+        assert_eq!(node.list_cliques(3).expect_answer("ok").len(), 6);
+        assert_eq!(node.list_cliques(4).expect_answer("ok").len(), 4);
+        assert_eq!(node.list_cliques(5).expect_answer("ok").len(), 1);
+        assert_eq!(node.list_cliques(6).expect_answer("ok").len(), 0);
+    }
+
+    #[test]
+    fn clique_membership_after_edge_removal() {
+        let mut sim = complete_sim(4);
+        sim.step(&EventBatch::delete(edge(2, 3)));
+        sim.settle(256).unwrap();
+        let node = sim.node(NodeId(0));
+        assert_eq!(
+            node.query_clique(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+            Response::Answer(false)
+        );
+        // The two remaining triangles through 0 survive.
+        assert_eq!(node.list_cliques(3).expect_answer("ok").len(), 2);
+    }
+}

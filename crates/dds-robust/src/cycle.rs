@@ -1,0 +1,288 @@
+//! 4-cycle and 5-cycle listing (Theorems 3 and 5).
+//!
+//! A pure query layer over the robust 3-hop structure: a node answers
+//! `true` on a cycle query iff *every* edge of the cycle is in its
+//! surviving set `S̃_v`. Theorem 5's argument: for any k-cycle (k ∈ {4,5})
+//! take the most recently inserted edge `{u_a, u_b}` — for the node `v`
+//! *antipodal* to it, every cycle edge lies on a 2- or 3-path from `v`
+//! ending at that newest edge, so the whole cycle is in `R^{v,3}` and `v`
+//! answers `true`. Soundness: a consistent node never reports an edge
+//! outside `E^{v,2}_i ∪ E^{v,3}_{i−1}`, so a `true` answer can only name
+//! actually-existing edges (up to the model's inherent one-round delay,
+//! which is why the paper states correctness with respect to `G_{i−1}`).
+//!
+//! This is *listing*, not membership listing: the guarantee is that **at
+//! least one** node of the cycle answers `true`, not all of them —
+//! Theorem 4 shows membership-style guarantees are impossible here, and
+//! k ≥ 6 cycle listing is impossible altogether.
+
+use crate::three_hop::ThreeHopNode;
+use dds_net::{Edge, NodeId, Response};
+use rustc_hash::FxHashSet;
+
+impl ThreeHopNode {
+    /// Cycle listing query: `cycle` is a vertex sequence (the cyclic order
+    /// of the candidate cycle) that must contain this node. Answers `true`
+    /// iff every consecutive edge (cyclically) is known.
+    ///
+    /// The paper's listing guarantee holds for cycle lengths 4 and 5: if
+    /// all cycle nodes are queried and all are consistent, at least one
+    /// answers `true` iff the cycle exists.
+    pub fn query_cycle(&self, cycle: &[NodeId]) -> Response<bool> {
+        if !self.consistent() {
+            return Response::Inconsistent;
+        }
+        assert!(
+            cycle.contains(&self.id()),
+            "cycle listing query must include the queried node"
+        );
+        let k = cycle.len();
+        if k < 3 {
+            return Response::Answer(false);
+        }
+        let distinct: FxHashSet<NodeId> = cycle.iter().copied().collect();
+        if distinct.len() != k {
+            return Response::Answer(false);
+        }
+        let all_known = (0..k).all(|i| {
+            let e = Edge::new(cycle[i], cycle[(i + 1) % k]);
+            self.knows_edge(e)
+        });
+        Response::Answer(all_known)
+    }
+
+    /// Enumerate all k-cycles through this node that are fully contained
+    /// in the known edge set, as canonical vertex sequences. Supports the
+    /// experiment harness; `k` should be 4 or 5 for the paper's guarantee.
+    pub fn list_cycles(&self, k: usize) -> Response<Vec<Vec<NodeId>>> {
+        if !self.consistent() {
+            return Response::Inconsistent;
+        }
+        assert!(k >= 3, "cycles have at least 3 vertices");
+        let adj = self.known_adjacency();
+        let empty: Vec<NodeId> = Vec::new();
+        let nbrs = |v: NodeId| adj.get(&v).unwrap_or(&empty).iter().copied();
+
+        let mut out: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+        // DFS from this node; dedup via canonicalization.
+        let mut stack = vec![self.id()];
+        fn dfs(
+            k: usize,
+            start: NodeId,
+            path: &mut Vec<NodeId>,
+            nbrs: &dyn Fn(NodeId) -> Vec<NodeId>,
+            out: &mut FxHashSet<Vec<NodeId>>,
+        ) {
+            let cur = *path.last().expect("nonempty");
+            if path.len() == k {
+                if nbrs(cur).contains(&start) {
+                    out.insert(canonicalize(path));
+                }
+                return;
+            }
+            for w in nbrs(cur) {
+                if !path.contains(&w) {
+                    path.push(w);
+                    dfs(k, start, path, nbrs, out);
+                    path.pop();
+                }
+            }
+        }
+        let nbrs_vec = |v: NodeId| nbrs(v).collect::<Vec<_>>();
+        dfs(k, self.id(), &mut stack, &nbrs_vec, &mut out);
+        let mut cycles: Vec<Vec<NodeId>> = out.into_iter().collect();
+        cycles.sort();
+        Response::Answer(cycles)
+    }
+}
+
+/// Canonical form of a closed walk: rotate the minimum vertex to the front
+/// and pick the lexicographically smaller direction.
+fn canonicalize(cycle: &[NodeId]) -> Vec<NodeId> {
+    let k = cycle.len();
+    let (min_pos, _) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, v)| **v)
+        .expect("nonempty");
+    let fwd: Vec<NodeId> = (0..k).map(|i| cycle[(min_pos + i) % k]).collect();
+    let bwd: Vec<NodeId> = (0..k).map(|i| cycle[(min_pos + k - i) % k]).collect();
+    if fwd[1] <= bwd[1] {
+        fwd
+    } else {
+        bwd
+    }
+}
+
+/// Check the paper's *listing* guarantee over a set of queried nodes: at
+/// least one consistent node answered `true`. Returns `None` when every
+/// queried node is inconsistent (no guarantee applies).
+pub fn listing_verdict(responses: &[Response<bool>]) -> Option<bool> {
+    let mut any_answer = false;
+    let mut any_true = false;
+    for r in responses {
+        if let Response::Answer(b) = r {
+            any_answer = true;
+            any_true |= b;
+        }
+    }
+    any_answer.then_some(any_true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::{edge, EventBatch, Simulator};
+
+    fn settle(sim: &mut Simulator<ThreeHopNode>) {
+        sim.settle(256).expect("must stabilize");
+    }
+
+    fn query_all(sim: &Simulator<ThreeHopNode>, cycle: &[u32]) -> Vec<Response<bool>> {
+        let vs: Vec<NodeId> = cycle.iter().map(|&v| NodeId(v)).collect();
+        vs.iter().map(|&v| sim.node(v).query_cycle(&vs)).collect()
+    }
+
+    #[test]
+    fn four_cycle_listed_for_every_insertion_order() {
+        use std::collections::HashSet;
+        // All 24 permutations of the 4 cycle edges.
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let mut perms: HashSet<Vec<usize>> = HashSet::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let p = vec![a, b, c, d];
+                        let s: HashSet<usize> = p.iter().copied().collect();
+                        if s.len() == 4 {
+                            perms.insert(p);
+                        }
+                    }
+                }
+            }
+        }
+        for perm in perms {
+            let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+            for &i in &perm {
+                let (u, w) = edges[i];
+                sim.step(&EventBatch::insert(edge(u, w)));
+            }
+            settle(&mut sim);
+            let verdict = listing_verdict(&query_all(&sim, &[0, 1, 2, 3]));
+            assert_eq!(
+                verdict,
+                Some(true),
+                "4-cycle not listed for insertion order {perm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn five_cycle_listed_for_rotating_insertion_orders() {
+        // 5 rotations of sequential insertion around the cycle plus the
+        // adversarial interleaving from §1.3.
+        let base = [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)];
+        for rot in 0..5 {
+            let mut sim: Simulator<ThreeHopNode> = Simulator::new(5);
+            for i in 0..5 {
+                let (u, w) = base[(rot + i) % 5];
+                sim.step(&EventBatch::insert(edge(u, w)));
+            }
+            settle(&mut sim);
+            let verdict = listing_verdict(&query_all(&sim, &[0, 1, 2, 3, 4]));
+            assert_eq!(verdict, Some(true), "5-cycle not listed for rotation {rot}");
+        }
+    }
+
+    #[test]
+    fn adversarial_interleaving_from_intro_still_lists_the_4_cycle() {
+        // §1.3's order {v,u}, {w,x}, {v,x}, {u,w} for cycle v-u-w-x =
+        // 0-1-2-3: the 4-cycle is in no node's robust *2-hop* set, but the
+        // 3-hop structure must catch it.
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        sim.step(&EventBatch::insert(edge(2, 3)));
+        sim.step(&EventBatch::insert(edge(0, 3)));
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        settle(&mut sim);
+        let verdict = listing_verdict(&query_all(&sim, &[0, 1, 2, 3]));
+        assert_eq!(verdict, Some(true));
+    }
+
+    #[test]
+    fn missing_edge_means_no_false_positive() {
+        // Path 0-1-2-3 (no closing edge): consistent nodes must all say
+        // false for the candidate cycle 0-1-2-3.
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+        for (u, w) in [(0, 1), (1, 2), (2, 3)] {
+            sim.step(&EventBatch::insert(edge(u, w)));
+        }
+        settle(&mut sim);
+        let verdict = listing_verdict(&query_all(&sim, &[0, 1, 2, 3]));
+        assert_eq!(verdict, Some(false));
+    }
+
+    #[test]
+    fn deleted_cycle_is_unlisted() {
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+        for (u, w) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            sim.step(&EventBatch::insert(edge(u, w)));
+        }
+        settle(&mut sim);
+        assert_eq!(listing_verdict(&query_all(&sim, &[0, 1, 2, 3])), Some(true));
+        sim.step(&EventBatch::delete(edge(1, 2)));
+        settle(&mut sim);
+        assert_eq!(
+            listing_verdict(&query_all(&sim, &[0, 1, 2, 3])),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn list_cycles_enumerates_known_cycles() {
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+        // Insert around the cycle so that node 0 sees everything (the edge
+        // {2,3} is inserted last, antipodal to 0).
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        sim.step(&EventBatch::insert(edge(3, 0)));
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        sim.step(&EventBatch::insert(edge(2, 3)));
+        settle(&mut sim);
+        let cycles = sim
+            .node(NodeId(0))
+            .list_cycles(4)
+            .expect_answer("consistent");
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(
+            cycles[0],
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn degenerate_queries_answer_false() {
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        settle(&mut sim);
+        let node = sim.node(NodeId(0));
+        // Repeated vertex.
+        assert_eq!(
+            node.query_cycle(&[NodeId(0), NodeId(1), NodeId(1), NodeId(2)]),
+            Response::Answer(false)
+        );
+    }
+
+    #[test]
+    fn canonicalize_is_stable() {
+        // Same cycle under rotation and reversal.
+        let a = [NodeId(2), NodeId(0), NodeId(3), NodeId(1)];
+        let rotated = [NodeId(0), NodeId(3), NodeId(1), NodeId(2)];
+        let reversed = [NodeId(1), NodeId(3), NodeId(0), NodeId(2)];
+        assert_eq!(canonicalize(&a), canonicalize(&rotated));
+        assert_eq!(canonicalize(&a), canonicalize(&reversed));
+        // A genuinely different cycle maps elsewhere.
+        let other = [NodeId(0), NodeId(1), NodeId(3), NodeId(2)];
+        assert_ne!(canonicalize(&a), canonicalize(&other));
+    }
+}

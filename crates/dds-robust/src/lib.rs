@@ -1,0 +1,34 @@
+//! # dds-robust — the SPAA 2021 data structures
+//!
+//! Implementation of the distributed dynamic data structures of
+//! *Finding Subgraphs in Highly Dynamic Networks* (Censor-Hillel, Kolobov,
+//! Schwartzman, SPAA 2021):
+//!
+//! | Module | Result | Guarantee |
+//! |--------|--------|-----------|
+//! | [`two_hop`] | Theorem 7 | robust 2-hop neighborhood listing, O(1) amortized |
+//! | [`triangle`] | Theorem 1 | triangle **membership** listing, O(1) amortized |
+//! | [`clique`] | Corollary 1 | k-clique membership listing for every k ≥ 3 |
+//! | [`three_hop`] | Theorem 6 | robust 3-hop neighborhood listing, O(1) amortized |
+//! | [`cycle`] | Theorems 3/5 | 4-cycle and 5-cycle **listing**, O(1) amortized |
+//!
+//! All protocols obey the model of [`dds_net`]: `O(log n)`-bit messages,
+//! one queued item transmitted per round, queries answered with zero
+//! communication (or an explicit `Inconsistent` indication), and constant
+//! amortized inconsistency per topology change.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clique;
+pub mod cycle;
+pub mod paths;
+pub mod three_hop;
+pub mod triangle;
+pub mod two_hop;
+
+pub use cycle::listing_verdict;
+pub use paths::Path;
+pub use three_hop::{ThreeHopMsg, ThreeHopNode};
+pub use triangle::{TriMsg, TriangleNode};
+pub use two_hop::{TwoHopMsg, TwoHopNode};

@@ -1,0 +1,222 @@
+//! Short vertex paths for the robust 3-hop structure.
+//!
+//! The 3-hop algorithm (Theorem 6) stores, for every known edge, the set of
+//! *paths on which the edge was learned*. Paths have at most 3 edges
+//! (4 vertices), so they are kept inline with no heap allocation.
+
+use dds_net::{Edge, NodeId};
+use std::fmt;
+
+/// Maximum number of vertices in a stored path (3 edges).
+pub const MAX_PATH_NODES: usize = 4;
+
+/// An inline vertex path with 1..=3 edges.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    nodes: [NodeId; MAX_PATH_NODES],
+    len: u8, // number of vertices, 2..=4
+}
+
+impl Path {
+    /// Single-edge path `a − b`.
+    pub fn edge(e: Edge) -> Self {
+        let mut nodes = [NodeId(0); MAX_PATH_NODES];
+        nodes[0] = e.lo();
+        nodes[1] = e.hi();
+        Path { nodes, len: 2 }
+    }
+
+    /// Path from an explicit vertex sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence has fewer than 2 or more than 4 vertices, or
+    /// if two consecutive vertices coincide.
+    pub fn from_nodes(vs: &[NodeId]) -> Self {
+        assert!(
+            (2..=MAX_PATH_NODES).contains(&vs.len()),
+            "path must have 2..=4 vertices, got {}",
+            vs.len()
+        );
+        for w in vs.windows(2) {
+            assert_ne!(w[0], w[1], "consecutive repeated vertex in path");
+        }
+        let mut nodes = [NodeId(0); MAX_PATH_NODES];
+        nodes[..vs.len()].copy_from_slice(vs);
+        Path {
+            nodes,
+            len: vs.len() as u8,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.len as usize - 1
+    }
+
+    /// The vertex sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes[..self.len as usize]
+    }
+
+    /// First vertex.
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last vertex.
+    pub fn last(&self) -> NodeId {
+        self.nodes[self.len as usize - 1]
+    }
+
+    /// The edges of the path, in order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().windows(2).map(|w| Edge::new(w[0], w[1]))
+    }
+
+    /// The final edge of the path.
+    pub fn last_edge(&self) -> Edge {
+        let ns = self.nodes();
+        Edge::new(ns[ns.len() - 2], ns[ns.len() - 1])
+    }
+
+    /// Whether the path uses edge `e` (as a consecutive pair).
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.edges().any(|f| f == e)
+    }
+
+    /// Whether the path visits vertex `v`.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.nodes().contains(&v)
+    }
+
+    /// Whether all vertices are distinct.
+    pub fn is_simple(&self) -> bool {
+        let ns = self.nodes();
+        for i in 0..ns.len() {
+            for j in (i + 1)..ns.len() {
+                if ns[i] == ns[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Prepend vertex `v`, producing `v − self`.
+    ///
+    /// # Panics
+    /// Panics if the path already has 4 vertices or `v` equals the current
+    /// first vertex.
+    pub fn prepend(&self, v: NodeId) -> Path {
+        assert!(self.num_nodes() < MAX_PATH_NODES, "path already full");
+        assert_ne!(v, self.first(), "degenerate prepend");
+        let mut nodes = [NodeId(0); MAX_PATH_NODES];
+        nodes[0] = v;
+        nodes[1..=self.len as usize].copy_from_slice(self.nodes());
+        Path {
+            nodes,
+            len: self.len + 1,
+        }
+    }
+
+    /// The prefix subpaths `p'' ⊆ p` leading to each edge along `p`,
+    /// paired with that edge: `(edge_i, p[0..=i+1])`.
+    pub fn prefixes(&self) -> impl Iterator<Item = (Edge, Path)> + '_ {
+        (2..=self.num_nodes()).map(move |k| {
+            let sub = Path::from_nodes(&self.nodes()[..k]);
+            (sub.last_edge(), sub)
+        })
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for v in self.nodes() {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::edge;
+
+    fn p(vs: &[u32]) -> Path {
+        let ns: Vec<NodeId> = vs.iter().map(|&v| NodeId(v)).collect();
+        Path::from_nodes(&ns)
+    }
+
+    #[test]
+    fn edge_path() {
+        let e = edge(3, 1);
+        let path = Path::edge(e);
+        assert_eq!(path.num_edges(), 1);
+        assert_eq!(path.last_edge(), e);
+        assert!(path.contains_edge(e));
+        assert!(path.is_simple());
+    }
+
+    #[test]
+    fn prepend_builds_longer_paths() {
+        let path = p(&[1, 2]).prepend(NodeId(0));
+        assert_eq!(path.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(path.num_edges(), 2);
+        let longer = path.prepend(NodeId(9));
+        assert_eq!(longer.num_edges(), 3);
+        assert_eq!(longer.first(), NodeId(9));
+        assert_eq!(longer.last(), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already full")]
+    fn prepend_respects_capacity() {
+        let _ = p(&[0, 1, 2, 3]).prepend(NodeId(9));
+    }
+
+    #[test]
+    fn non_simple_detection() {
+        // v−u−w−v style walk: first == last.
+        let walk = p(&[1, 2, 3]).prepend(NodeId(3));
+        assert!(!walk.is_simple());
+        assert!(p(&[0, 1, 2, 3]).is_simple());
+    }
+
+    #[test]
+    fn contains_edge_checks_consecutive_pairs_only() {
+        let path = p(&[0, 1, 2, 3]);
+        assert!(path.contains_edge(edge(1, 2)));
+        assert!(!path.contains_edge(edge(0, 2)));
+        assert!(!path.contains_edge(edge(0, 3)));
+    }
+
+    #[test]
+    fn prefixes_enumerate_subpaths() {
+        let path = p(&[0, 1, 2, 3]);
+        let pre: Vec<(Edge, Path)> = path.prefixes().collect();
+        assert_eq!(pre.len(), 3);
+        assert_eq!(pre[0].0, edge(0, 1));
+        assert_eq!(pre[0].1, p(&[0, 1]));
+        assert_eq!(pre[1].0, edge(1, 2));
+        assert_eq!(pre[1].1, p(&[0, 1, 2]));
+        assert_eq!(pre[2].0, edge(2, 3));
+        assert_eq!(pre[2].1, path);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive repeated")]
+    fn rejects_immediate_repeat() {
+        let _ = p(&[0, 0]);
+    }
+}

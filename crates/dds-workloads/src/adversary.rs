@@ -1,0 +1,603 @@
+//! The paper's lower-bound adversary constructions.
+//!
+//! Lower bounds cannot be "run", but their adversaries can: these
+//! workloads generate the exact topology-change sequences used in the
+//! proofs of Theorem 2 (non-clique membership listing needs Ω(n / log n)
+//! amortized rounds), Theorem 4 / Figure 4 (k-cycle listing for k ≥ 6
+//! needs Ω(√n / log n)) and Remark 1 (same for 3-path listing). The
+//! experiment harness runs legal algorithms on them and checks that the
+//! measured cost tracks the predicted growth, and that the O(1)
+//! structures cannot solve the forbidden problems on these inputs.
+
+use crate::schedule::{EdgeLedger, Workload};
+use dds_net::{Edge, EventBatch, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// Theorem 2: H-membership listing for non-clique H.
+// ---------------------------------------------------------------------
+
+/// A k-vertex pattern graph `H` with two designated non-adjacent vertices
+/// `a` and `b`. Vertices are numbered `0..k` with `a = 0`, `b = 1`.
+#[derive(Clone, Debug)]
+pub struct HSpec {
+    k: usize,
+    /// Adjacency over `0..k` (a = 0, b = 1 must be non-adjacent).
+    edges: Vec<(usize, usize)>,
+}
+
+impl HSpec {
+    /// Custom pattern. Vertex 0 plays `a`, vertex 1 plays `b`.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are adjacent (then `H` could be a clique and
+    /// the construction does not apply) or indices are out of range.
+    pub fn new(k: usize, edges: Vec<(usize, usize)>) -> Self {
+        assert!(k >= 3);
+        for &(x, y) in &edges {
+            assert!(x < k && y < k && x != y, "bad edge ({x},{y})");
+            assert!(
+                !(x.min(y) == 0 && x.max(y) == 1),
+                "a and b must be non-adjacent in H"
+            );
+        }
+        HSpec { k, edges }
+    }
+
+    /// The 3-vertex path `a − c − b` (membership listing of which is
+    /// exactly 2-hop neighborhood listing — Corollary 2).
+    pub fn path3() -> Self {
+        HSpec::new(3, vec![(0, 2), (1, 2)])
+    }
+
+    /// `K4` minus the edge `{a, b}` — the densest 4-vertex non-clique.
+    pub fn k4_minus_edge() -> Self {
+        HSpec::new(4, vec![(0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    /// Number of vertices of `H`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Neighbors of `a` within the core vertices `2..k`.
+    pub fn core_neighbors_of_a(&self) -> Vec<usize> {
+        self.core_neighbors(0)
+    }
+
+    /// Neighbors of `b` within the core vertices `2..k`.
+    pub fn core_neighbors_of_b(&self) -> Vec<usize> {
+        self.core_neighbors(1)
+    }
+
+    fn core_neighbors(&self, v: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|&(x, y)| {
+                if x == v && y >= 2 {
+                    Some(y)
+                } else if y == v && x >= 2 {
+                    Some(x)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Edges of `H` among the core vertices `2..k`.
+    pub fn core_edges(&self) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|&(x, y)| x >= 2 && y >= 2)
+            .collect()
+    }
+}
+
+/// The Theorem 2 adversary: core nodes wired per `H`'s internal structure;
+/// a stream of fresh nodes `u_ℓ` connects per `N_a`, waits `stabilize`
+/// rounds, then rewires per `N_b` — forcing the (re-)transmission of
+/// Ω(log C(n, ℓ)) bits per iteration over O(1) active links.
+pub struct Thm2Adversary {
+    h: HSpec,
+    n: usize,
+    stabilize: usize,
+    round: usize,
+    script: Vec<EventBatch>,
+}
+
+impl Thm2Adversary {
+    /// Build the adversary on `n` nodes with `stabilize` quiet rounds after
+    /// each connection phase. Uses `t = n − (k − 2)` fresh nodes.
+    pub fn new(h: HSpec, n: usize, stabilize: usize) -> Self {
+        let k = h.k();
+        assert!(n > k, "need room for fresh nodes");
+        let core = |i: usize| NodeId((i - 2) as u32); // core vertex i∈2..k → node i−2
+        let fresh = |l: usize| NodeId((k - 2 + l) as u32); // u_{l+1}
+
+        let mut ledger = EdgeLedger::new();
+        let mut script: Vec<EventBatch> = Vec::new();
+
+        // Base: wire the core per H.
+        let mut base = EventBatch::new();
+        for (x, y) in h.core_edges() {
+            ledger.insert(&mut base, Edge::new(core(x), core(y)));
+        }
+        script.push(base);
+        for _ in 0..stabilize {
+            script.push(EventBatch::new());
+        }
+
+        let t = n - (k - 2);
+        let na: Vec<NodeId> = h.core_neighbors_of_a().into_iter().map(core).collect();
+        let nb: Vec<NodeId> = h.core_neighbors_of_b().into_iter().map(core).collect();
+        for l in 0..t {
+            let u = fresh(l);
+            // Connect per N_a.
+            let mut b = EventBatch::new();
+            for &c in &na {
+                ledger.insert(&mut b, Edge::new(u, c));
+            }
+            script.push(b);
+            for _ in 0..stabilize {
+                script.push(EventBatch::new());
+            }
+            // Disconnect everything.
+            let mut b = EventBatch::new();
+            let incident: Vec<Edge> = ledger.iter().filter(|e| e.touches(u)).collect();
+            for e in incident {
+                ledger.delete(&mut b, e);
+            }
+            script.push(b);
+            // Reconnect per N_b (separate round so an edge in Na ∩ Nb is
+            // not deleted and inserted within one batch).
+            let mut b = EventBatch::new();
+            for &c in &nb {
+                ledger.insert(&mut b, Edge::new(u, c));
+            }
+            script.push(b);
+            for _ in 0..stabilize {
+                script.push(EventBatch::new());
+            }
+        }
+
+        Thm2Adversary {
+            h,
+            n,
+            stabilize,
+            round: 0,
+            script,
+        }
+    }
+
+    /// The pattern used.
+    pub fn pattern(&self) -> &HSpec {
+        &self.h
+    }
+
+    /// Quiet rounds inserted after each phase.
+    pub fn stabilize(&self) -> usize {
+        self.stabilize
+    }
+}
+
+impl Workload for Thm2Adversary {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        let b = self.script.get(self.round)?.clone();
+        self.round += 1;
+        Some(b)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4 / Figure 4: k-cycle listing for k ≥ 6.
+// ---------------------------------------------------------------------
+
+/// The Figure 4 construction for k-cycle listing, `k ≥ 6`.
+///
+/// `t` rows, each with `γ = ⌈k/2⌉ − 1` hub nodes `u^1..u^γ` and `D` leaf
+/// nodes `v^1..v^D`. Phase I wires each row: `u^1` to a random `2D/3`
+/// subset of the leaves (the hidden configuration — the information the
+/// lower bound counts), all leaves to `u^2`, and the hub path
+/// `u^2 − … − u^γ`. Phase II connects row pairs at the `u^1` and `u^γ`
+/// ends, waits, and disconnects — each such merge forces Ω(D) bits across
+/// the two bridging edges.
+pub struct Thm4Adversary {
+    k: usize,
+    t: usize,
+    d: usize,
+    stabilize: usize,
+    n: usize,
+    /// Per-row chosen leaf subsets (indices into `[D]`), for verification.
+    subsets: Vec<Vec<usize>>,
+    round: usize,
+    script: Vec<EventBatch>,
+}
+
+impl Thm4Adversary {
+    /// Build for cycle length `k ≥ 6` with `t` rows of `d` leaves and
+    /// `stabilize` quiet rounds after each merge. `n = t · (γ + d)`.
+    pub fn new(k: usize, t: usize, d: usize, stabilize: usize, seed: u64) -> Self {
+        assert!(k >= 6);
+        assert!(d >= 3 && t >= 2);
+        let gamma = k.div_ceil(2) - 1;
+        let n = t * (gamma + d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ledger = EdgeLedger::new();
+        let mut script: Vec<EventBatch> = Vec::new();
+        let u = |row: usize, j: usize| NodeId((row * (gamma + d) + (j - 1)) as u32);
+        let v = |row: usize, j: usize| NodeId((row * (gamma + d) + gamma + (j - 1)) as u32);
+
+        // Phase I: one row per round.
+        let mut subsets = Vec::with_capacity(t);
+        for row in 0..t {
+            let mut batch = EventBatch::new();
+            let mut idx: Vec<usize> = (1..=d).collect();
+            idx.shuffle(&mut rng);
+            let mut chosen: Vec<usize> = idx.into_iter().take(2 * d / 3).collect();
+            chosen.sort_unstable();
+            for &j in &chosen {
+                ledger.insert(&mut batch, Edge::new(u(row, 1), v(row, j)));
+            }
+            for j in 1..=d {
+                ledger.insert(&mut batch, Edge::new(u(row, 2), v(row, j)));
+            }
+            for j in 2..gamma {
+                ledger.insert(&mut batch, Edge::new(u(row, j), u(row, j + 1)));
+            }
+            subsets.push(chosen);
+            script.push(batch);
+        }
+        // Phase I stabilization must outlast the hubs' queue drain: each
+        // hub enqueues O(D) items (own insertions plus 2-path rebroadcasts
+        // of its leaves' announcements) at one dequeue per round. Cutting
+        // this short would let row-interior knowledge leak across the merge
+        // edges while still queued, voiding the information bottleneck the
+        // lower bound relies on.
+        let phase1_quiet = (4 * d + 8).max(stabilize);
+        for _ in 0..phase1_quiet {
+            script.push(EventBatch::new());
+        }
+
+        // Phase II: pairwise merges.
+        for l in 1..t {
+            for m in 0..l {
+                let mut b = EventBatch::new();
+                ledger.insert(&mut b, Edge::new(u(l, 1), u(m, 1)));
+                if gamma > 1 {
+                    ledger.insert(&mut b, Edge::new(u(l, gamma), u(m, gamma)));
+                }
+                script.push(b);
+                for _ in 0..stabilize {
+                    script.push(EventBatch::new());
+                }
+                let mut b = EventBatch::new();
+                ledger.delete(&mut b, Edge::new(u(l, 1), u(m, 1)));
+                if gamma > 1 {
+                    ledger.delete(&mut b, Edge::new(u(l, gamma), u(m, gamma)));
+                }
+                script.push(b);
+            }
+            // Odd-k adjustment (paper step 2): shorten one side of row l's
+            // hub path so the merged cycle has odd length.
+            if k % 2 == 1 && gamma >= 3 {
+                let a = k / 2 - 2; // ⌊k/2⌋ − 2 (1-indexed hub)
+                let bqi = k.div_ceil(2) - 2; // ⌈k/2⌉ − 2
+                let mut bch = EventBatch::new();
+                if a >= 1 && bqi >= 1 {
+                    ledger.delete(&mut bch, Edge::new(u(l, a), u(l, bqi)));
+                    ledger.delete(&mut bch, Edge::new(u(l, bqi), u(l, gamma)));
+                    ledger.insert(&mut bch, Edge::new(u(l, a), u(l, gamma)));
+                }
+                if !bch.is_empty() {
+                    script.push(bch);
+                }
+            }
+        }
+
+        Thm4Adversary {
+            k,
+            t,
+            d,
+            stabilize,
+            n,
+            subsets,
+            round: 0,
+            script,
+        }
+    }
+
+    /// Convenience: parameters from a target node count, using the paper's
+    /// balance `t = D + γ ≈ √n`.
+    pub fn with_n(k: usize, n_target: usize, stabilize: usize, seed: u64) -> Self {
+        let gamma = k.div_ceil(2) - 1;
+        let t = ((n_target as f64).sqrt() as usize).max(2);
+        let d = (t.saturating_sub(gamma)).max(3);
+        Self::new(k, t, d, stabilize, seed)
+    }
+
+    /// Cycle length parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rows.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Leaves per row.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Hub count per row, `γ = ⌈k/2⌉ − 1`.
+    pub fn gamma(&self) -> usize {
+        self.k.div_ceil(2) - 1
+    }
+
+    /// Quiet rounds inserted after each merge.
+    pub fn stabilize(&self) -> usize {
+        self.stabilize
+    }
+
+    /// Number of script rounds in phase I including its stabilization
+    /// tail; the first merge batch is the round after this.
+    pub fn phase1_rounds(&self) -> usize {
+        self.t + (4 * self.d + 8).max(self.stabilize)
+    }
+
+    /// The hidden per-row leaf subsets (1-indexed leaf positions).
+    pub fn subsets(&self) -> &[Vec<usize>] {
+        &self.subsets
+    }
+
+    /// Node id of hub `u^j` (1-indexed) in `row`.
+    pub fn hub(&self, row: usize, j: usize) -> NodeId {
+        NodeId((row * (self.gamma() + self.d) + (j - 1)) as u32)
+    }
+
+    /// Node id of leaf `v^j` (1-indexed) in `row`.
+    pub fn leaf(&self, row: usize, j: usize) -> NodeId {
+        NodeId((row * (self.gamma() + self.d) + self.gamma() + (j - 1)) as u32)
+    }
+
+    /// For k = 6: the k-cycle through leaf position `j` when rows `l` and
+    /// `m` are merged (exists iff `j` is in both rows' subsets).
+    pub fn merge_cycle6(&self, l: usize, m: usize, j: usize) -> Vec<NodeId> {
+        assert_eq!(self.k, 6, "explicit cycle construction provided for k = 6");
+        vec![
+            self.leaf(l, j),
+            self.hub(l, 1),
+            self.hub(m, 1),
+            self.leaf(m, j),
+            self.hub(m, 2),
+            self.hub(l, 2),
+        ]
+    }
+}
+
+impl Workload for Thm4Adversary {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        let b = self.script.get(self.round)?.clone();
+        self.round += 1;
+        Some(b)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remark 1: 3-path listing.
+// ---------------------------------------------------------------------
+
+/// The Remark 1 adversary: the Theorem 4 construction with `u^1` and
+/// `u^γ` unified into a single hub per row — already 4-vertex subgraphs
+/// (3-edge paths) hit the Ω(√n / log n) wall.
+pub struct Remark1Adversary {
+    t: usize,
+    d: usize,
+    n: usize,
+    subsets: Vec<Vec<usize>>,
+    round: usize,
+    script: Vec<EventBatch>,
+}
+
+impl Remark1Adversary {
+    /// Build with `t` rows of `d` leaves and `stabilize` quiet rounds.
+    pub fn new(t: usize, d: usize, stabilize: usize, seed: u64) -> Self {
+        assert!(d >= 3 && t >= 2);
+        let n = t * (1 + d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ledger = EdgeLedger::new();
+        let mut script = Vec::new();
+        let hub = |row: usize| NodeId((row * (1 + d)) as u32);
+        let leaf = |row: usize, j: usize| NodeId((row * (1 + d) + j) as u32);
+
+        let mut subsets = Vec::with_capacity(t);
+        for row in 0..t {
+            let mut batch = EventBatch::new();
+            let mut idx: Vec<usize> = (1..=d).collect();
+            idx.shuffle(&mut rng);
+            let mut chosen: Vec<usize> = idx.into_iter().take(2 * d / 3).collect();
+            chosen.sort_unstable();
+            for &j in &chosen {
+                ledger.insert(&mut batch, Edge::new(hub(row), leaf(row, j)));
+            }
+            subsets.push(chosen);
+            script.push(batch);
+        }
+        for _ in 0..stabilize {
+            script.push(EventBatch::new());
+        }
+        for l in 1..t {
+            for m in 0..l {
+                let mut b = EventBatch::new();
+                ledger.insert(&mut b, Edge::new(hub(l), hub(m)));
+                script.push(b);
+                for _ in 0..stabilize {
+                    script.push(EventBatch::new());
+                }
+                let mut b = EventBatch::new();
+                ledger.delete(&mut b, Edge::new(hub(l), hub(m)));
+                script.push(b);
+            }
+        }
+
+        Remark1Adversary {
+            t,
+            d,
+            n,
+            subsets,
+            round: 0,
+            script,
+        }
+    }
+
+    /// Number of rows.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Leaves per row.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Hidden leaf subsets per row.
+    pub fn subsets(&self) -> &[Vec<usize>] {
+        &self.subsets
+    }
+
+    /// Hub node of `row`.
+    pub fn hub(&self, row: usize) -> NodeId {
+        NodeId((row * (1 + self.d)) as u32)
+    }
+
+    /// Leaf `j` (1-indexed) of `row`.
+    pub fn leaf(&self, row: usize, j: usize) -> NodeId {
+        NodeId((row * (1 + self.d) + j) as u32)
+    }
+}
+
+impl Workload for Remark1Adversary {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        let b = self.script.get(self.round)?.clone();
+        self.round += 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::record;
+
+    #[test]
+    fn path3_spec() {
+        let h = HSpec::path3();
+        assert_eq!(h.core_neighbors_of_a(), vec![2]);
+        assert_eq!(h.core_neighbors_of_b(), vec![2]);
+        assert!(h.core_edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent")]
+    fn hspec_rejects_adjacent_ab() {
+        HSpec::new(3, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn thm2_trace_is_valid() {
+        let t = record(Thm2Adversary::new(HSpec::path3(), 24, 4), usize::MAX);
+        assert!(t.validate().is_ok());
+        assert!(t.total_changes() > 24);
+    }
+
+    #[test]
+    fn thm2_k4_minus_edge_trace_is_valid() {
+        let t = record(
+            Thm2Adversary::new(HSpec::k4_minus_edge(), 24, 3),
+            usize::MAX,
+        );
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn thm4_structure_for_k6() {
+        let adv = Thm4Adversary::new(6, 4, 6, 2, 42);
+        assert_eq!(adv.gamma(), 2);
+        assert_eq!(adv.n(), 4 * (2 + 6));
+        // Each subset has 2D/3 leaves.
+        for s in adv.subsets() {
+            assert_eq!(s.len(), 4);
+        }
+        let t = record(Thm4Adversary::new(6, 4, 6, 2, 42), usize::MAX);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn thm4_merge_cycles_exist_in_final_phase() {
+        // During a merge of rows l and m, for every shared leaf index j the
+        // 6-cycle must exist. Reconstruct the graph right after the first
+        // merge and check.
+        let adv = Thm4Adversary::new(6, 3, 6, 0, 7);
+        let shared: Vec<usize> = adv.subsets()[1]
+            .iter()
+            .copied()
+            .filter(|j| adv.subsets()[0].contains(j))
+            .collect();
+        assert!(
+            !shared.is_empty(),
+            "2D/3 subsets of [6] must intersect (pigeonhole)"
+        );
+        // Replay rounds up to and including the first merge batch (which
+        // follows phase I and its stabilization tail).
+        let mut w = Thm4Adversary::new(6, 3, 6, 0, 7);
+        let mut g = dds_oracle::DynamicGraph::new(w.n());
+        for _ in 0..(w.phase1_rounds() + 1) {
+            let b = w.next_batch().expect("script long enough");
+            g.apply(&b);
+        }
+        for &j in &shared {
+            let cyc = adv.merge_cycle6(1, 0, j);
+            assert!(g.is_cycle(&cyc), "expected 6-cycle {cyc:?}");
+        }
+    }
+
+    #[test]
+    fn thm4_odd_k_trace_is_valid() {
+        let t = record(Thm4Adversary::new(7, 3, 5, 1, 9), usize::MAX);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn remark1_trace_is_valid() {
+        let t = record(Remark1Adversary::new(4, 6, 2, 5), usize::MAX);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn with_n_balances_parameters() {
+        let adv = Thm4Adversary::with_n(6, 400, 1, 1);
+        // t ≈ √400 = 20, d = t − γ = 18.
+        assert_eq!(adv.t(), 20);
+        assert_eq!(adv.d(), 18);
+    }
+}

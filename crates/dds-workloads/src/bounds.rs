@@ -1,0 +1,100 @@
+//! Numeric evaluation of the paper's lower-bound curves.
+//!
+//! These functions reproduce the counting arguments of Theorems 2 and 4
+//! as concrete numbers, so the experiment harness can print the predicted
+//! bound next to the measured cost of the legal algorithms.
+
+/// `log2 (n choose k)` via a stable sum of logarithms.
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    acc
+}
+
+/// Theorem 2's total-communication count for pattern size `k` on `n`
+/// nodes: `Σ_{ℓ=1}^{1 + (n−k+1)/2} log2 C(n−k+1, ℓ−1)` — the bits that
+/// must cross the O(1) active links, Ω(n²) overall.
+pub fn thm2_total_bits(n: u64, k: u64) -> f64 {
+    let m = n.saturating_sub(k).saturating_add(1); // n − k + 1
+    let mut total = 0.0;
+    for l in 1..=(1 + m / 2) {
+        total += log2_binomial(m, l.saturating_sub(1));
+    }
+    total
+}
+
+/// Theorem 2's amortized lower bound shape: `n / log2 n`.
+pub fn thm2_amortized_bound(n: u64) -> f64 {
+    let n = n.max(2) as f64;
+    n / n.log2()
+}
+
+/// Theorem 4's per-merge information content for row width `d`:
+/// `log2 C(D, 2D/3) − log2 C(5D/6, D/2)` — the bits one component must
+/// learn about the other's hidden leaf subset, Ω(D).
+pub fn thm4_bits_per_merge(d: u64) -> f64 {
+    (log2_binomial(d, 2 * d / 3) - log2_binomial(5 * d / 6, d / 2)).max(0.0)
+}
+
+/// Theorem 4's total communication over the full schedule: `Ω(t² · D)`
+/// bits, evaluated as `C(t,2) · bits_per_merge(d)`.
+pub fn thm4_total_bits(t: u64, d: u64) -> f64 {
+    (t * (t - 1) / 2) as f64 * thm4_bits_per_merge(d)
+}
+
+/// Theorem 4's amortized lower bound shape: `√n / log2 n`.
+pub fn thm4_amortized_bound(n: u64) -> f64 {
+    let n = n.max(2) as f64;
+    n.sqrt() / n.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_logs_match_known_values() {
+        assert!((log2_binomial(4, 2) - (6f64).log2()).abs() < 1e-9);
+        assert!((log2_binomial(10, 0)).abs() < 1e-9);
+        assert!((log2_binomial(10, 10)).abs() < 1e-9);
+        assert_eq!(log2_binomial(3, 5), f64::NEG_INFINITY);
+        // Symmetry.
+        assert!((log2_binomial(20, 7) - log2_binomial(20, 13)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm2_count_grows_quadratically() {
+        let b1 = thm2_total_bits(100, 3);
+        let b2 = thm2_total_bits(200, 3);
+        // Doubling n should roughly quadruple the bit count.
+        let ratio = b2 / b1;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "expected ~4x growth, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn thm4_bits_per_merge_is_linear_in_d() {
+        let a = thm4_bits_per_merge(60);
+        let b = thm4_bits_per_merge(120);
+        let ratio = b / a;
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "expected ~2x growth, got {ratio}"
+        );
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn amortized_bounds_are_monotone() {
+        assert!(thm2_amortized_bound(1 << 12) > thm2_amortized_bound(1 << 8));
+        assert!(thm4_amortized_bound(1 << 12) > thm4_amortized_bound(1 << 8));
+    }
+}

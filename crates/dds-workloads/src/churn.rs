@@ -1,0 +1,262 @@
+//! Peer-to-peer session churn — the paper's §1 motivating scenario.
+//!
+//! Peers join and leave the network with session (online) and absence
+//! (offline) durations drawn from a heavy-tailed Pareto distribution, as
+//! measured for real P2P systems (sessions short on average, heavy tail).
+//! A joining peer connects to up to `degree` uniformly random online
+//! peers; a leaving peer drops all its links at once — precisely the
+//! "arbitrary number of changes per round" regime the model targets.
+
+use crate::schedule::{EdgeLedger, Workload};
+use dds_net::{Edge, EventBatch, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`P2pChurn`].
+#[derive(Clone, Copy, Debug)]
+pub struct P2pChurnConfig {
+    /// Number of peers.
+    pub n: usize,
+    /// Links a joining peer attempts to open.
+    pub degree: usize,
+    /// Pareto shape for session lengths (smaller = heavier tail);
+    /// the classic measurement studies report shapes around 1.5–2.
+    pub session_shape: f64,
+    /// Minimum session length in rounds (Pareto scale).
+    pub session_min: f64,
+    /// Mean offline time in rounds (geometric).
+    pub offline_mean: f64,
+    /// Triadic closure: joining peers connect to one random peer and then
+    /// prefer that peer's neighbors (friend-of-friend), producing the
+    /// clustered overlays real P2P measurements show — and plenty of
+    /// triangles for the membership structures to track.
+    pub triadic: bool,
+    /// Number of rounds to generate.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for P2pChurnConfig {
+    fn default() -> Self {
+        P2pChurnConfig {
+            n: 128,
+            degree: 3,
+            session_shape: 1.6,
+            session_min: 4.0,
+            offline_mean: 8.0,
+            triadic: false,
+            rounds: 500,
+            seed: 0x9E37,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PeerState {
+    /// Offline until the stored round.
+    Offline { until: u64 },
+    /// Online until the stored round.
+    Online { until: u64 },
+}
+
+/// Heavy-tailed P2P churn workload.
+pub struct P2pChurn {
+    cfg: P2pChurnConfig,
+    ledger: EdgeLedger,
+    states: Vec<PeerState>,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl P2pChurn {
+    /// New workload from configuration.
+    pub fn new(cfg: P2pChurnConfig) -> Self {
+        assert!(cfg.n >= 2);
+        assert!(cfg.session_shape > 1.0, "need finite mean session length");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        // Stagger initial joins.
+        let states = (0..cfg.n)
+            .map(|_| PeerState::Offline {
+                until: rng.gen_range(0..8),
+            })
+            .collect();
+        P2pChurn {
+            cfg,
+            ledger: EdgeLedger::new(),
+            states,
+            rng,
+            round: 0,
+        }
+    }
+
+    /// Pareto(shape, min) sample, in whole rounds (≥ 1).
+    fn pareto(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let x = self.cfg.session_min / u.powf(1.0 / self.cfg.session_shape);
+        x.ceil().max(1.0) as u64
+    }
+
+    fn geometric(&mut self) -> u64 {
+        let p = 1.0 / self.cfg.offline_mean.max(1.0);
+        let mut k = 1u64;
+        while !self.rng.gen_bool(p) && k < 1000 {
+            k += 1;
+        }
+        k
+    }
+
+    fn online_peers(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                PeerState::Online { .. } => Some(NodeId(i as u32)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Workload for P2pChurn {
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        if self.round >= self.cfg.rounds as u64 {
+            return None;
+        }
+        self.round += 1;
+        let mut batch = EventBatch::new();
+        let online_before = self.online_peers();
+        for i in 0..self.cfg.n {
+            let v = NodeId(i as u32);
+            match self.states[i] {
+                PeerState::Offline { until } if self.round >= until => {
+                    // Join: go online and connect to online peers.
+                    let session = self.pareto();
+                    self.states[i] = PeerState::Online {
+                        until: self.round + session,
+                    };
+                    let mut candidates = online_before.clone();
+                    candidates.retain(|&p| p != v);
+                    let mut first: Option<NodeId> = None;
+                    for link in 0..self.cfg.degree {
+                        if candidates.is_empty() {
+                            break;
+                        }
+                        // Triadic closure: after the first link, prefer
+                        // neighbors of the first contact.
+                        let peer = if self.cfg.triadic && link > 0 {
+                            let anchor = first.expect("set on first link");
+                            let fof: Vec<NodeId> = candidates
+                                .iter()
+                                .copied()
+                                .filter(|&c| self.ledger.has(Edge::new(anchor, c)))
+                                .collect();
+                            let pool = if fof.is_empty() { &candidates } else { &fof };
+                            pool[self.rng.gen_range(0..pool.len())]
+                        } else {
+                            candidates[self.rng.gen_range(0..candidates.len())]
+                        };
+                        candidates.retain(|&c| c != peer);
+                        if first.is_none() {
+                            first = Some(peer);
+                        }
+                        self.ledger.insert(&mut batch, Edge::new(v, peer));
+                    }
+                }
+                PeerState::Online { until } if self.round >= until => {
+                    // Leave: drop all links at once.
+                    let incident: Vec<Edge> =
+                        self.ledger.iter().filter(|e| e.touches(v)).collect();
+                    for e in incident {
+                        self.ledger.delete(&mut batch, e);
+                    }
+                    self.states[i] = PeerState::Offline {
+                        until: self.round + self.geometric(),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::record;
+
+    #[test]
+    fn produces_valid_traces_with_real_churn() {
+        let trace = record(P2pChurn::new(P2pChurnConfig::default()), usize::MAX);
+        assert_eq!(trace.rounds(), 500);
+        assert!(trace.validate().is_ok());
+        // Both joins and leaves must actually occur.
+        let (mut ins, mut del) = (0usize, 0usize);
+        for b in &trace.batches {
+            for ev in b.iter() {
+                if ev.is_insert() {
+                    ins += 1;
+                } else {
+                    del += 1;
+                }
+            }
+        }
+        assert!(ins > 100, "too few joins: {ins}");
+        assert!(del > 100, "too few leaves: {del}");
+    }
+
+    #[test]
+    fn sessions_are_heavy_tailed() {
+        let mut w = P2pChurn::new(P2pChurnConfig {
+            session_shape: 1.5,
+            ..P2pChurnConfig::default()
+        });
+        let samples: Vec<u64> = (0..2000).map(|_| w.pareto()).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let max = *samples.iter().max().unwrap();
+        // Heavy tail: the max dwarfs the mean.
+        assert!(max as f64 > 8.0 * mean, "max {max} vs mean {mean}");
+        assert!(samples.iter().all(|&s| s >= 4), "scale respected");
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = P2pChurnConfig::default();
+        assert_eq!(
+            record(P2pChurn::new(cfg), 200),
+            record(P2pChurn::new(cfg), 200)
+        );
+    }
+
+    #[test]
+    fn triadic_closure_creates_triangles() {
+        let count_triangles = |triadic: bool| {
+            let cfg = P2pChurnConfig {
+                n: 64,
+                degree: 4,
+                session_min: 30.0,
+                triadic,
+                rounds: 300,
+                ..P2pChurnConfig::default()
+            };
+            let trace = record(P2pChurn::new(cfg), usize::MAX);
+            assert!(trace.validate().is_ok());
+            let mut g = dds_oracle::DynamicGraph::new(cfg.n);
+            for b in &trace.batches {
+                g.apply(b);
+            }
+            g.all_triangles().len()
+        };
+        let with = count_triangles(true);
+        let without = count_triangles(false);
+        assert!(
+            with > without.max(3),
+            "triadic closure should produce more triangles ({with} vs {without})"
+        );
+    }
+}

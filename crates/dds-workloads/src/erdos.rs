@@ -1,0 +1,148 @@
+//! Evolving Erdős–Rényi churn: random insertions and deletions that keep
+//! the graph near a target density. The bread-and-butter background
+//! workload for the O(1)-amortized experiments (E1, E2, E5).
+
+use crate::schedule::{EdgeLedger, Workload};
+use dds_net::{Edge, EventBatch, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`ErChurn`].
+#[derive(Clone, Copy, Debug)]
+pub struct ErChurnConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Target number of edges; insertions are favored below it, deletions
+    /// above it.
+    pub target_edges: usize,
+    /// Topology changes attempted per round.
+    pub changes_per_round: usize,
+    /// Number of rounds to generate.
+    pub rounds: usize,
+    /// RNG seed (executions are reproducible).
+    pub seed: u64,
+}
+
+impl Default for ErChurnConfig {
+    fn default() -> Self {
+        ErChurnConfig {
+            n: 64,
+            target_edges: 128,
+            changes_per_round: 4,
+            rounds: 500,
+            seed: 0xDD5,
+        }
+    }
+}
+
+/// Evolving Erdős–Rényi workload.
+pub struct ErChurn {
+    cfg: ErChurnConfig,
+    ledger: EdgeLedger,
+    rng: SmallRng,
+    emitted: usize,
+}
+
+impl ErChurn {
+    /// New workload from configuration.
+    pub fn new(cfg: ErChurnConfig) -> Self {
+        assert!(cfg.n >= 2);
+        ErChurn {
+            ledger: EdgeLedger::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            emitted: 0,
+            cfg,
+        }
+    }
+
+    fn random_pair(&mut self) -> Edge {
+        loop {
+            let u = self.rng.gen_range(0..self.cfg.n as u32);
+            let w = self.rng.gen_range(0..self.cfg.n as u32);
+            if u != w {
+                return Edge::new(NodeId(u), NodeId(w));
+            }
+        }
+    }
+}
+
+impl Workload for ErChurn {
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        if self.emitted >= self.cfg.rounds {
+            return None;
+        }
+        self.emitted += 1;
+        let mut batch = EventBatch::new();
+        for _ in 0..self.cfg.changes_per_round {
+            let fill = self.ledger.len() as f64 / self.cfg.target_edges.max(1) as f64;
+            let want_delete = self.rng.gen_bool(fill.clamp(0.0, 1.0) * 0.5);
+            if want_delete && !self.ledger.is_empty() {
+                // Delete a random present edge.
+                let m = self.ledger.len();
+                let idx = self.rng.gen_range(0..m);
+                let picked = self.ledger.iter().nth(idx);
+                if let Some(e) = picked {
+                    self.ledger.delete(&mut batch, e);
+                }
+            } else {
+                let e = self.random_pair();
+                if self.ledger.has(e) {
+                    self.ledger.delete(&mut batch, e);
+                } else {
+                    self.ledger.insert(&mut batch, e);
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::record;
+
+    #[test]
+    fn produces_valid_traces() {
+        let cfg = ErChurnConfig {
+            n: 32,
+            target_edges: 48,
+            changes_per_round: 6,
+            rounds: 200,
+            seed: 7,
+        };
+        let trace = record(ErChurn::new(cfg), usize::MAX);
+        assert_eq!(trace.rounds(), 200);
+        assert!(trace.validate().is_ok());
+        assert!(trace.total_changes() > 500);
+    }
+
+    #[test]
+    fn density_hovers_near_target() {
+        let cfg = ErChurnConfig {
+            n: 32,
+            target_edges: 60,
+            changes_per_round: 8,
+            rounds: 400,
+            seed: 11,
+        };
+        let trace = record(ErChurn::new(cfg), usize::MAX);
+        let final_edges = trace.final_edges().len();
+        assert!(
+            final_edges > 20 && final_edges < 140,
+            "density drifted: {final_edges} edges"
+        );
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let cfg = ErChurnConfig::default();
+        let a = record(ErChurn::new(cfg), 100);
+        let b = record(ErChurn::new(cfg), 100);
+        assert_eq!(a, b);
+    }
+}

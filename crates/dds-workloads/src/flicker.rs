@@ -1,0 +1,205 @@
+//! The §1.3 flicker counterexample as a reusable schedule, plus a
+//! repeating adversarial flicker workload.
+//!
+//! `staggered_flicker_trace` produces the exact sequence that breaks the
+//! timestamp-free strawman: a triangle `v−u−w` whose far edge `{u,w}` is
+//! deleted while each incident edge is down precisely during the round in
+//! which the corresponding endpoint announces the deletion (`i_u ≠ i_w`,
+//! arranged by clogging `u`'s queue with a helper insertion).
+
+use crate::schedule::{EdgeLedger, Workload};
+use dds_net::{Edge, EventBatch, NodeId, Trace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The canonical staggered flicker scenario on 4 nodes
+/// (`v = 0, u = 1, w = 2`, helper `3`). After this trace, a sound 2-hop
+/// structure at node 0 must answer `false` for `{1,2}`; the strawman
+/// answers `true`.
+pub fn staggered_flicker_trace() -> Trace {
+    let e = |u: u32, w: u32| Edge::new(NodeId(u), NodeId(w));
+    let mut t = Trace::new(4);
+    // Build the triangle.
+    let mut b = EventBatch::new();
+    b.push_insert(e(0, 1));
+    b.push_insert(e(0, 2));
+    b.push_insert(e(1, 2));
+    t.push(b);
+    // Drain queues (each endpoint has ≤ 2 items).
+    for _ in 0..4 {
+        t.push(EventBatch::new());
+    }
+    // Round r: clog node 1, delete the far edge, and down v−w while node 2
+    // announces the deletion.
+    let mut b = EventBatch::new();
+    b.push_insert(e(1, 3));
+    b.push_delete(e(1, 2));
+    b.push_delete(e(0, 2));
+    t.push(b);
+    // Round r+1: restore v−w, down v−u while node 1 announces.
+    let mut b = EventBatch::new();
+    b.push_insert(e(0, 2));
+    b.push_delete(e(0, 1));
+    t.push(b);
+    // Round r+2: restore v−u.
+    t.push(EventBatch::insert(e(0, 1)));
+    // Let everything settle.
+    for _ in 0..8 {
+        t.push(EventBatch::new());
+    }
+    debug_assert!(t.validate().is_ok());
+    t
+}
+
+/// Configuration for the repeating random flicker workload.
+#[derive(Clone, Copy, Debug)]
+pub struct FlickerConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edges in the stable backbone (ring) that never flickers.
+    pub backbone: bool,
+    /// Number of concurrently flickering edges.
+    pub flickering: usize,
+    /// Rounds an edge stays up/down in each flicker cycle.
+    pub period: u64,
+    /// Number of rounds to generate.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlickerConfig {
+    fn default() -> Self {
+        FlickerConfig {
+            n: 32,
+            backbone: true,
+            flickering: 8,
+            period: 2,
+            rounds: 400,
+            seed: 0xF11C,
+        }
+    }
+}
+
+/// Repeating flicker workload: a stable ring backbone plus a set of random
+/// chords that are inserted and deleted on a short period — a deletion-
+/// heavy stress for the robust structures' cascade rules.
+pub struct Flicker {
+    cfg: FlickerConfig,
+    ledger: EdgeLedger,
+    chords: Vec<Edge>,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl Flicker {
+    /// New workload from configuration.
+    pub fn new(cfg: FlickerConfig) -> Self {
+        assert!(cfg.n >= 4);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut chords = Vec::new();
+        while chords.len() < cfg.flickering {
+            let u = rng.gen_range(0..cfg.n as u32);
+            let w = rng.gen_range(0..cfg.n as u32);
+            if u == w {
+                continue;
+            }
+            // Avoid ring edges.
+            if (u as i64 - w as i64).rem_euclid(cfg.n as i64) == 1
+                || (w as i64 - u as i64).rem_euclid(cfg.n as i64) == 1
+            {
+                continue;
+            }
+            let e = Edge::new(NodeId(u), NodeId(w));
+            if !chords.contains(&e) {
+                chords.push(e);
+            }
+        }
+        Flicker {
+            cfg,
+            ledger: EdgeLedger::new(),
+            chords,
+            rng,
+            round: 0,
+        }
+    }
+}
+
+impl Workload for Flicker {
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        if self.round >= self.cfg.rounds as u64 {
+            return None;
+        }
+        self.round += 1;
+        let mut batch = EventBatch::new();
+        if self.round == 1 && self.cfg.backbone {
+            for i in 0..self.cfg.n as u32 {
+                let e = Edge::new(NodeId(i), NodeId((i + 1) % self.cfg.n as u32));
+                self.ledger.insert(&mut batch, e);
+            }
+            return Some(batch);
+        }
+        // Toggle each chord on its period, with a per-chord phase so the
+        // flickers are staggered (the adversarial ingredient).
+        for (i, &e) in self.chords.clone().iter().enumerate() {
+            let phase = i as u64 % self.cfg.period.max(1);
+            if (self.round + phase).is_multiple_of(self.cfg.period.max(1)) {
+                if self.ledger.has(e) {
+                    self.ledger.delete(&mut batch, e);
+                } else {
+                    self.ledger.insert(&mut batch, e);
+                }
+            }
+        }
+        // Occasionally churn one random chord target to vary the pattern.
+        if self.rng.gen_bool(0.05) && !self.chords.is_empty() {
+            let i = self.rng.gen_range(0..self.chords.len());
+            let u = self.rng.gen_range(0..self.cfg.n as u32);
+            let w = self.rng.gen_range(0..self.cfg.n as u32);
+            if u != w {
+                let e = Edge::new(NodeId(u), NodeId(w));
+                if !self.ledger.has(e) && !self.chords.contains(&e) {
+                    // Retire the old chord if it is down.
+                    if !self.ledger.has(self.chords[i]) {
+                        self.chords[i] = e;
+                    }
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::record;
+
+    #[test]
+    fn canonical_trace_is_valid() {
+        let t = staggered_flicker_trace();
+        assert!(t.validate().is_ok());
+        // Final graph: triangle edges {0,1},{0,2} present, {1,2} gone.
+        let fin = t.final_edges();
+        assert!(fin.contains(&Edge::new(NodeId(0), NodeId(1))));
+        assert!(fin.contains(&Edge::new(NodeId(0), NodeId(2))));
+        assert!(!fin.contains(&Edge::new(NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn repeating_flicker_is_valid_and_busy() {
+        let t = record(Flicker::new(FlickerConfig::default()), usize::MAX);
+        assert!(t.validate().is_ok());
+        assert!(t.total_changes() > 400, "changes: {}", t.total_changes());
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = FlickerConfig::default();
+        assert_eq!(record(Flicker::new(cfg), 100), record(Flicker::new(cfg), 100));
+    }
+}

@@ -1,0 +1,251 @@
+//! Planted-structure workloads: k-cliques and k-cycles inserted (edge by
+//! edge, in adversarially shuffled order) and later dissolved, on top of
+//! background Erdős–Rényi noise. Used by the correctness-vs-oracle
+//! experiments E2 (triangles), E3 (cliques) and E6 (cycles).
+
+use crate::schedule::{EdgeLedger, Workload};
+use dds_net::{Edge, EventBatch, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// What shape to plant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Complete graph on `k` vertices.
+    Clique(usize),
+    /// Simple cycle on `k` vertices.
+    Cycle(usize),
+}
+
+impl Shape {
+    /// Number of vertices of the shape.
+    pub fn vertices(self) -> usize {
+        match self {
+            Shape::Clique(k) | Shape::Cycle(k) => k,
+        }
+    }
+
+    /// Edges of the shape over the given vertex list.
+    pub fn edges(self, vs: &[NodeId]) -> Vec<Edge> {
+        match self {
+            Shape::Clique(k) => {
+                assert_eq!(vs.len(), k);
+                let mut out = Vec::new();
+                for (i, &u) in vs.iter().enumerate() {
+                    for &w in &vs[i + 1..] {
+                        out.push(Edge::new(u, w));
+                    }
+                }
+                out
+            }
+            Shape::Cycle(k) => {
+                assert_eq!(vs.len(), k);
+                (0..k).map(|i| Edge::new(vs[i], vs[(i + 1) % k])).collect()
+            }
+        }
+    }
+}
+
+/// Configuration for [`Planted`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Shape to plant.
+    pub shape: Shape,
+    /// Rounds between consecutive plantings.
+    pub spacing: u64,
+    /// Rounds a planted shape lives before dissolution.
+    pub lifetime: u64,
+    /// Background noise changes per round.
+    pub noise_per_round: usize,
+    /// Number of rounds to generate.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            n: 48,
+            shape: Shape::Clique(3),
+            spacing: 12,
+            lifetime: 30,
+            noise_per_round: 2,
+            rounds: 400,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// A planted shape in flight.
+#[derive(Clone, Debug)]
+struct Plant {
+    vertices: Vec<NodeId>,
+    /// Edges not yet inserted (shuffled order).
+    to_insert: Vec<Edge>,
+    /// Round at which dissolution starts.
+    dies_at: u64,
+    /// Edges of the shape (for dissolution).
+    edges: Vec<Edge>,
+}
+
+/// Planted-structure workload with background noise.
+pub struct Planted {
+    cfg: PlantedConfig,
+    ledger: EdgeLedger,
+    rng: SmallRng,
+    round: u64,
+    plants: Vec<Plant>,
+    /// Completed plantings, for test introspection: (vertices, completed_round).
+    history: Vec<(Vec<NodeId>, u64)>,
+}
+
+impl Planted {
+    /// New workload from configuration.
+    pub fn new(cfg: PlantedConfig) -> Self {
+        assert!(cfg.n >= cfg.shape.vertices() + 2);
+        Planted {
+            ledger: EdgeLedger::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            round: 0,
+            plants: Vec::new(),
+            history: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Vertices and completion rounds of fully planted shapes so far.
+    pub fn history(&self) -> &[(Vec<NodeId>, u64)] {
+        &self.history
+    }
+
+    fn pick_vertices(&mut self) -> Vec<NodeId> {
+        let k = self.cfg.shape.vertices();
+        let mut vs: Vec<NodeId> = Vec::with_capacity(k);
+        while vs.len() < k {
+            let v = NodeId(self.rng.gen_range(0..self.cfg.n as u32));
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+        vs
+    }
+}
+
+impl Workload for Planted {
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        if self.round >= self.cfg.rounds as u64 {
+            return None;
+        }
+        self.round += 1;
+        let mut batch = EventBatch::new();
+
+        // Start a new planting on schedule.
+        if self.round % self.cfg.spacing == 1 {
+            let vs = self.pick_vertices();
+            let mut edges = self.cfg.shape.edges(&vs);
+            edges.shuffle(&mut self.rng);
+            self.plants.push(Plant {
+                vertices: vs,
+                to_insert: edges.clone(),
+                dies_at: self.round + self.cfg.lifetime,
+                edges,
+            });
+        }
+
+        // Advance every in-flight planting: one edge per round.
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, plant) in self.plants.iter_mut().enumerate() {
+            if let Some(e) = plant.to_insert.pop() {
+                // Skip edges that already exist from noise; they are part
+                // of the shape either way.
+                self.ledger.insert(&mut batch, e);
+                if plant.to_insert.is_empty() {
+                    self.history.push((plant.vertices.clone(), self.round));
+                }
+            } else if self.round >= plant.dies_at {
+                for &e in &plant.edges {
+                    self.ledger.delete(&mut batch, e);
+                }
+                finished.push(i);
+            }
+        }
+        for i in finished.into_iter().rev() {
+            self.plants.remove(i);
+        }
+
+        // Background noise, away from in-flight plant vertices to keep the
+        // planted shapes unambiguous.
+        let busy: Vec<NodeId> = self
+            .plants
+            .iter()
+            .flat_map(|p| p.vertices.iter().copied())
+            .collect();
+        for _ in 0..self.cfg.noise_per_round {
+            let u = NodeId(self.rng.gen_range(0..self.cfg.n as u32));
+            let w = NodeId(self.rng.gen_range(0..self.cfg.n as u32));
+            if u == w || busy.contains(&u) || busy.contains(&w) {
+                continue;
+            }
+            let e = Edge::new(u, w);
+            if self.ledger.has(e) {
+                self.ledger.delete(&mut batch, e);
+            } else {
+                self.ledger.insert(&mut batch, e);
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::record;
+
+    #[test]
+    fn plants_cliques_and_dissolves_them() {
+        let cfg = PlantedConfig {
+            shape: Shape::Clique(4),
+            ..PlantedConfig::default()
+        };
+        let mut w = Planted::new(cfg);
+        let mut trace = dds_net::Trace::new(w.n());
+        while let Some(b) = w.next_batch() {
+            trace.push(b);
+        }
+        assert!(trace.validate().is_ok());
+        assert!(
+            w.history().len() >= 10,
+            "expected many completed plantings, got {}",
+            w.history().len()
+        );
+    }
+
+    #[test]
+    fn cycle_shape_edges() {
+        let vs: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let es = Shape::Cycle(5).edges(&vs);
+        assert_eq!(es.len(), 5);
+        let es3 = Shape::Clique(4).edges(&vs[..4]);
+        assert_eq!(es3.len(), 6);
+    }
+
+    #[test]
+    fn valid_and_reproducible() {
+        let cfg = PlantedConfig {
+            shape: Shape::Cycle(5),
+            ..PlantedConfig::default()
+        };
+        let a = record(Planted::new(cfg), 300);
+        assert!(a.validate().is_ok());
+        assert_eq!(a, record(Planted::new(cfg), 300));
+    }
+}

@@ -1,0 +1,179 @@
+//! Preferential-attachment churn: a scale-free evolving overlay.
+//!
+//! New links attach proportionally to current degree (Barabási–Albert
+//! style), producing the heavy-tailed degree distributions measured in
+//! real P2P systems; meanwhile random edges expire. This stresses the
+//! structures' hub nodes: a hub's queue sees far more traffic than the
+//! average node, which is exactly where amortized (rather than
+//! worst-case) guarantees earn their keep.
+
+use crate::schedule::{EdgeLedger, Workload};
+use dds_net::{Edge, EventBatch, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`Preferential`].
+#[derive(Clone, Copy, Debug)]
+pub struct PreferentialConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// New edges attached per round.
+    pub attachments_per_round: usize,
+    /// Expected number of random present edges expiring per round
+    /// (fractional part realized by a Bernoulli draw).
+    pub expiry_per_round: f64,
+    /// Number of rounds to generate.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PreferentialConfig {
+    fn default() -> Self {
+        PreferentialConfig {
+            n: 128,
+            attachments_per_round: 2,
+            expiry_per_round: 1.4,
+            rounds: 400,
+            seed: 0xBA,
+        }
+    }
+}
+
+/// Preferential-attachment workload.
+pub struct Preferential {
+    cfg: PreferentialConfig,
+    ledger: EdgeLedger,
+    degree: Vec<u32>,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl Preferential {
+    /// New workload from configuration.
+    pub fn new(cfg: PreferentialConfig) -> Self {
+        assert!(cfg.n >= 2);
+        Preferential {
+            ledger: EdgeLedger::new(),
+            degree: vec![0; cfg.n],
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            round: 0,
+            cfg,
+        }
+    }
+
+    /// Sample a node with probability proportional to degree + 1
+    /// (the +1 smooths the cold start).
+    fn sample_preferential(&mut self) -> NodeId {
+        let total: u64 = self.degree.iter().map(|&d| d as u64 + 1).sum();
+        let mut x = self.rng.gen_range(0..total);
+        for (i, &d) in self.degree.iter().enumerate() {
+            let w = d as u64 + 1;
+            if x < w {
+                return NodeId(i as u32);
+            }
+            x -= w;
+        }
+        unreachable!("weights cover the range");
+    }
+
+    /// Current degree vector (test/inspection helper).
+    pub fn degrees(&self) -> &[u32] {
+        &self.degree
+    }
+}
+
+impl Workload for Preferential {
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    fn next_batch(&mut self) -> Option<EventBatch> {
+        if self.round >= self.cfg.rounds as u64 {
+            return None;
+        }
+        self.round += 1;
+        let mut batch = EventBatch::new();
+        for _ in 0..self.cfg.attachments_per_round {
+            let u = NodeId(self.rng.gen_range(0..self.cfg.n as u32));
+            let w = self.sample_preferential();
+            if u == w {
+                continue;
+            }
+            let e = Edge::new(u, w);
+            if self.ledger.insert(&mut batch, e) {
+                self.degree[u.index()] += 1;
+                self.degree[w.index()] += 1;
+            }
+        }
+        let rate = self.cfg.expiry_per_round.max(0.0);
+        let mut expiries = rate.floor() as usize;
+        if self.rng.gen_bool(rate.fract().clamp(0.0, 1.0)) {
+            expiries += 1;
+        }
+        for _ in 0..expiries {
+            if self.ledger.is_empty() {
+                break;
+            }
+            let m = self.ledger.len();
+            let idx = self.rng.gen_range(0..m);
+            let picked = self.ledger.iter().nth(idx);
+            if let Some(e) = picked {
+                if self.ledger.delete(&mut batch, e) {
+                    self.degree[e.lo().index()] -= 1;
+                    self.degree[e.hi().index()] -= 1;
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::record;
+
+    #[test]
+    fn produces_valid_scale_free_traces() {
+        let cfg = PreferentialConfig::default();
+        let mut w = Preferential::new(cfg);
+        let mut trace = dds_net::Trace::new(w.n());
+        while let Some(b) = w.next_batch() {
+            trace.push(b);
+        }
+        assert!(trace.validate().is_ok());
+        // Scale-free signature: the max degree dwarfs the mean.
+        let degs = w.degrees();
+        let mean = degs.iter().map(|&d| d as f64).sum::<f64>() / degs.len() as f64;
+        let max = *degs.iter().max().unwrap() as f64;
+        assert!(
+            max > 3.0 * mean,
+            "expected a hub: max {max} vs mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn degrees_match_ledger() {
+        let mut w = Preferential::new(PreferentialConfig {
+            rounds: 200,
+            ..PreferentialConfig::default()
+        });
+        while w.next_batch().is_some() {}
+        let mut expect = vec![0u32; w.n()];
+        for e in w.ledger.iter() {
+            expect[e.lo().index()] += 1;
+            expect[e.hi().index()] += 1;
+        }
+        assert_eq!(w.degrees(), expect.as_slice());
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = PreferentialConfig::default();
+        assert_eq!(
+            record(Preferential::new(cfg), 150),
+            record(Preferential::new(cfg), 150)
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The complexity landscape in one run: what is and is not possible.
+//!
+//! 1. Theorem 2 adversary (pattern = 3-vertex path): full 2-hop listing
+//!    is forced to pay ~n/log n amortized — we run the optimal Lemma-1
+//!    snapshot algorithm and watch its amortized cost grow with n.
+//! 2. Figure 4 adversary (k = 6): 6-cycle listing is impossible in O(1);
+//!    we show the robust 3-hop structure (which solves 4- and 5-cycles)
+//!    genuinely misses stable 6-cycles on this input.
+//!
+//! Run with: `cargo run --release --example adversary_demo`
+
+use dynamic_subgraphs::baselines::SnapshotNode;
+use dynamic_subgraphs::net::{Response, SimConfig, Simulator};
+use dynamic_subgraphs::robust::{listing_verdict, ThreeHopNode};
+use dynamic_subgraphs::workloads::bounds;
+use dynamic_subgraphs::workloads::{HSpec, Thm2Adversary, Thm4Adversary, Workload};
+
+fn main() {
+    println!("== part 1: Theorem 2 — the Ω(n/log n) wall for 2-hop listing ==\n");
+    println!("{:>6} {:>12} {:>14} {:>16}", "n", "amortized", "bound n/log n", "ratio meas/bound");
+    for n in [32usize, 64, 128, 256] {
+        let mut adv = Thm2Adversary::new(HSpec::path3(), n, 2 * n);
+        let mut sim: Simulator<SnapshotNode> = Simulator::with_config(n, SimConfig::default());
+        while let Some(b) = adv.next_batch() {
+            sim.step(&b);
+        }
+        let measured = sim.meter().amortized();
+        let bound = bounds::thm2_amortized_bound(n as u64);
+        println!(
+            "{:>6} {:>12.2} {:>14.2} {:>16.3}",
+            n,
+            measured,
+            bound,
+            measured / bound
+        );
+    }
+    println!("\nthe measured amortized cost of the (optimal) snapshot algorithm");
+    println!("tracks the n/log n lower-bound curve — O(1) is impossible here.\n");
+
+    println!("== part 2: Figure 4 — 6-cycles escape the robust 3-hop structure ==\n");
+    let mut adv = Thm4Adversary::new(6, 4, 9, 12, 0xF16);
+    let n = adv.n();
+    let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+    // Run phase I (with its stabilization tail) + the first merge, then
+    // stop and settle.
+    let cutoff = adv.phase1_rounds() + 1;
+    let mut rounds = 0;
+    while let Some(b) = adv.next_batch() {
+        sim.step(&b);
+        rounds += 1;
+        if rounds == cutoff {
+            break;
+        }
+    }
+    sim.settle(256).expect("stabilizes");
+
+    let shared: Vec<usize> = adv.subsets()[1]
+        .iter()
+        .copied()
+        .filter(|j| adv.subsets()[0].contains(j))
+        .collect();
+    println!(
+        "rows 0 and 1 merged; {} leaf positions shared => {} six-cycles exist",
+        shared.len(),
+        shared.len()
+    );
+    let mut missed = 0usize;
+    let mut caught = 0usize;
+    for &j in &shared {
+        let cyc = adv.merge_cycle6(1, 0, j);
+        let responses: Vec<Response<bool>> = cyc
+            .iter()
+            .map(|&v| sim.node(v).query_cycle(&cyc))
+            .collect();
+        match listing_verdict(&responses) {
+            Some(true) => caught += 1,
+            _ => missed += 1,
+        }
+    }
+    println!("6-cycles listed by some member: {caught}");
+    println!("6-cycles MISSED by every member: {missed}");
+    println!(
+        "\nper Theorem 4, any correct 6-cycle lister needs Ω(√n/log n) = {:.1} amortized",
+        bounds::thm4_amortized_bound(n as u64)
+    );
+    println!(
+        "rounds here; the O(1) structure ran at {:.2} — and, as shown, it is not a",
+        sim.meter().amortized()
+    );
+    println!("6-cycle lister. The hierarchy stops exactly at 5-cycles.");
+}

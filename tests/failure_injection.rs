@@ -1,0 +1,62 @@
+//! Failure injection (experiment A1): the §1.3 timestamp ablation.
+//!
+//! The same flicker trace is fed to the sound robust 2-hop structure and
+//! to the no-timestamp strawman; the sound one stays exact while the
+//! strawman reports consistency with a corrupted set — reproducing the
+//! paper's motivation for imaginary timestamps.
+
+use dynamic_subgraphs::baselines::NaiveTwoHopNode;
+use dynamic_subgraphs::net::{edge, Node as _, NodeId, Response, Simulator};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::TwoHopNode;
+use dynamic_subgraphs::workloads::staggered_flicker_trace;
+
+#[test]
+fn sound_structure_survives_the_flicker_trace() {
+    let trace = staggered_flicker_trace();
+    let mut sim: Simulator<TwoHopNode> = Simulator::new(trace.n);
+    let mut g = DynamicGraph::new(trace.n);
+    for b in &trace.batches {
+        sim.step(b);
+        g.apply(b);
+    }
+    assert!(sim.all_consistent());
+    let node = sim.node(NodeId(0));
+    assert_eq!(node.query_edge(edge(1, 2)), Response::Answer(false));
+    // Full set equality with the ideal algorithm.
+    let have: std::collections::BTreeSet<_> = node.known_edges().collect();
+    let want: std::collections::BTreeSet<_> = g.robust_two_hop(NodeId(0)).into_iter().collect();
+    assert_eq!(have, want);
+}
+
+#[test]
+fn strawman_is_corrupted_by_the_same_trace() {
+    let trace = staggered_flicker_trace();
+    let mut sim: Simulator<NaiveTwoHopNode> = Simulator::new(trace.n);
+    for b in &trace.batches {
+        sim.step(b);
+    }
+    // It believes it is consistent...
+    assert!(sim.node(NodeId(0)).is_consistent());
+    // ...and it is wrong: the deleted edge survives as a phantom.
+    assert_eq!(
+        sim.node(NodeId(0)).query_edge(edge(1, 2)),
+        Response::Answer(true),
+        "expected the strawman to hold a phantom edge"
+    );
+}
+
+#[test]
+fn divergence_is_exactly_the_phantom_edge() {
+    let trace = staggered_flicker_trace();
+    let mut sound: Simulator<TwoHopNode> = Simulator::new(trace.n);
+    let mut naive: Simulator<NaiveTwoHopNode> = Simulator::new(trace.n);
+    for b in &trace.batches {
+        sound.step(b);
+        naive.step(b);
+    }
+    let s: std::collections::BTreeSet<_> = sound.node(NodeId(0)).known_edges().collect();
+    let nv: std::collections::BTreeSet<_> = naive.node(NodeId(0)).known_edges().collect();
+    let extra: Vec<_> = nv.difference(&s).collect();
+    assert_eq!(extra, vec![&edge(1, 2)], "strawman's excess knowledge");
+}

@@ -1,0 +1,208 @@
+//! Property-based tests: random topology-change sequences against the
+//! centralized definitions.
+//!
+//! For arbitrary valid event traces (random edge toggles, batched into
+//! rounds, with a quiet tail):
+//!
+//! 1. after stabilization the 2-hop structure equals `R^{v,2}` at every
+//!    node, the triangle structure equals `T^{v,2}`, and the snapshot
+//!    baseline knows exactly `E^{v,2}`;
+//! 2. mid-run, every *consistent* node already satisfies its contract;
+//! 3. the amortized inconsistency ratios stay below the paper's constants;
+//! 4. the 3-hop sandwich holds after stabilization:
+//!    `R^{v,3} ⊆ S̃ ⊆ E^{v,3}`.
+
+use dynamic_subgraphs::baselines::SnapshotNode;
+use dynamic_subgraphs::net::{Edge, EventBatch, Node as _, NodeId, Simulator, Trace};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::{ThreeHopNode, TriangleNode, TwoHopNode};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+/// Turn a list of `(u, w)` pair toggles into a valid trace over `n` nodes,
+/// `per_round` toggles per round, followed by `quiet` quiet rounds.
+fn build_trace(n: u32, ops: &[(u32, u32)], per_round: usize, quiet: usize) -> Trace {
+    let mut present: FxHashSet<Edge> = FxHashSet::default();
+    let mut trace = Trace::new(n as usize);
+    for chunk in ops.chunks(per_round.max(1)) {
+        let mut batch = EventBatch::new();
+        for &(a, b) in chunk {
+            let (u, w) = (a % n, b % n);
+            if u == w {
+                continue;
+            }
+            let e = Edge::new(NodeId(u), NodeId(w));
+            if batch.events().iter().any(|ev| ev.edge() == e) {
+                continue;
+            }
+            if present.remove(&e) {
+                batch.push_delete(e);
+            } else {
+                present.insert(e);
+                batch.push_insert(e);
+            }
+        }
+        trace.push(batch);
+    }
+    for _ in 0..quiet {
+        trace.push(EventBatch::new());
+    }
+    debug_assert!(trace.validate().is_ok());
+    trace
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..10, 0u32..10), 1..max_len)
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn two_hop_equals_robust_set_after_settling(
+        ops in ops_strategy(60),
+        n in 4u32..9,
+        per_round in 1usize..4,
+    ) {
+        let trace = build_trace(n, &ops, per_round, 0);
+        let mut sim: Simulator<TwoHopNode> = Simulator::new(n as usize);
+        let mut g = DynamicGraph::new(n as usize);
+        for b in &trace.batches {
+            sim.step(b);
+            g.apply(b);
+            // Mid-run: consistent nodes must already be exact.
+            for v in 0..n {
+                let node = sim.node(NodeId(v));
+                if node.is_consistent() {
+                    let have: FxHashSet<Edge> = node.known_edges().collect();
+                    prop_assert_eq!(&have, &g.robust_two_hop(NodeId(v)));
+                }
+            }
+        }
+        let quiet = sim.settle(200).expect("must stabilize");
+        prop_assert!(quiet <= 200);
+        for v in 0..n {
+            let have: FxHashSet<Edge> = sim.node(NodeId(v)).known_edges().collect();
+            prop_assert_eq!(&have, &g.robust_two_hop(NodeId(v)));
+        }
+        prop_assert!(sim.meter().amortized() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn triangle_equals_pattern_set_after_settling(
+        ops in ops_strategy(60),
+        n in 4u32..9,
+        per_round in 1usize..4,
+    ) {
+        let trace = build_trace(n, &ops, per_round, 0);
+        let mut sim: Simulator<TriangleNode> = Simulator::new(n as usize);
+        let mut g = DynamicGraph::new(n as usize);
+        for b in &trace.batches {
+            sim.step(b);
+            g.apply(b);
+            for v in 0..n {
+                let node = sim.node(NodeId(v));
+                if node.is_consistent() {
+                    let have: FxHashSet<Edge> = node.known_edges().collect();
+                    prop_assert_eq!(&have, &g.triangle_patterns(NodeId(v)));
+                }
+            }
+        }
+        sim.settle(200).expect("must stabilize");
+        for v in 0..n {
+            let v = NodeId(v);
+            let have: FxHashSet<Edge> = sim.node(v).known_edges().collect();
+            prop_assert_eq!(&have, &g.triangle_patterns(v));
+            // Exact triangle membership against enumeration.
+            let mut listed = sim.node(v).list_triangles().expect_answer("settled");
+            listed.sort();
+            let mut truth = g.triangles_containing(v);
+            truth.sort();
+            prop_assert_eq!(listed, truth);
+        }
+        prop_assert!(sim.meter().amortized() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn three_hop_sandwich_after_settling(
+        ops in ops_strategy(50),
+        n in 4u32..9,
+        per_round in 1usize..4,
+    ) {
+        let trace = build_trace(n, &ops, per_round, 0);
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(n as usize);
+        let mut g = DynamicGraph::new(n as usize);
+        for b in &trace.batches {
+            sim.step(b);
+            g.apply(b);
+        }
+        sim.settle(300).expect("must stabilize");
+        for v in 0..n {
+            let v = NodeId(v);
+            let have: FxHashSet<Edge> = sim.node(v).known_edges().collect();
+            // In the quiescent state the sandwich collapses to
+            // R^{v,3} ⊆ S̃ ⊆ E^{v,3}.
+            for e in g.robust_three_hop(v).iter() {
+                prop_assert!(have.contains(e), "missing robust edge {:?} at v{}", e, v.0);
+            }
+            let all = g.r_hop_edges(v, 3);
+            for e in have.iter() {
+                prop_assert!(all.contains(e), "phantom edge {:?} at v{}", e, v.0);
+            }
+        }
+        prop_assert!(sim.meter().amortized() <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn snapshot_baseline_knows_exactly_the_two_hop_edges(
+        ops in ops_strategy(40),
+        n in 4u32..9,
+        per_round in 1usize..3,
+    ) {
+        let trace = build_trace(n, &ops, per_round, 0);
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(n as usize);
+        let mut g = DynamicGraph::new(n as usize);
+        for b in &trace.batches {
+            sim.step(b);
+            g.apply(b);
+        }
+        sim.settle(400).expect("must stabilize");
+        for v in 0..n {
+            let v = NodeId(v);
+            let all = g.r_hop_edges(v, 2);
+            for e in g.edges() {
+                let expected = all.contains(&e);
+                let got = sim.node(v).query_edge(e).expect_answer("settled");
+                prop_assert_eq!(
+                    got, expected,
+                    "snapshot 2-hop query {:?} at v{}", e, v.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_is_never_claimed_with_nonempty_queue(
+        ops in ops_strategy(50),
+        n in 4u32..9,
+    ) {
+        let trace = build_trace(n, &ops, 2, 4);
+        let mut sim: Simulator<TriangleNode> = Simulator::new(n as usize);
+        for b in &trace.batches {
+            sim.step(b);
+            for v in 0..n {
+                let node = sim.node(NodeId(v));
+                if node.is_consistent() {
+                    prop_assert_eq!(node.queue_len(), 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration: the robust 3-hop structure (Theorem 6) against the
+//! centralized definitions.
+//!
+//! The paper's guarantee is a *sandwich* mixing rounds `i` and `i−1`
+//! (3-hop information is inherently one round stale):
+//!
+//! `R^{v,2}_i ∪ (R^{v,3}_{i−1} \ R^{v,2}_{i−1})  ⊆  S̃_v  ⊆
+//!  E^{v,2}_i ∪ (E^{v,3}_{i−1} \ E^{v,2}_{i−1})`
+//!
+//! checked at every consistent node across several workloads.
+
+use dynamic_subgraphs::net::{Edge, Node as _, NodeId, Simulator, Trace};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::ThreeHopNode;
+use dynamic_subgraphs::workloads::{
+    record, ErChurn, ErChurnConfig, Flicker, FlickerConfig, SlidingWindow, SlidingWindowConfig,
+};
+use rustc_hash::FxHashSet;
+
+fn audit_sandwich(trace: &Trace, label: &str) -> u64 {
+    let n = trace.n;
+    let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+    let mut g = DynamicGraph::new(n);
+    let mut prev = g.clone();
+    let mut audits = 0u64;
+    for (i, batch) in trace.batches.iter().enumerate() {
+        prev = g.clone();
+        sim.step(batch);
+        g.apply(batch);
+        for off in 0..2u32 {
+            let v = NodeId(((i as u32).wrapping_mul(5).wrapping_add(off * 19)) % n as u32);
+            let node = sim.node(v);
+            if !node.is_consistent() {
+                continue;
+            }
+            let have: FxHashSet<Edge> = node.known_edges().collect();
+
+            // Lower bound: must contain R^{v,2}_i and R^{v,3}_{i−1} \ R^{v,2}_{i−1}.
+            let r2_now = g.robust_two_hop(v);
+            let r3_prev = prev.robust_three_hop(v);
+            let r2_prev = prev.robust_two_hop(v);
+            for e in r2_now.iter() {
+                assert!(
+                    have.contains(e),
+                    "[{label}] round {}: v{} missing {e:?} ∈ R^{{v,2}}_i",
+                    i + 1,
+                    v.0
+                );
+            }
+            for e in r3_prev.difference(&r2_prev) {
+                assert!(
+                    have.contains(e),
+                    "[{label}] round {}: v{} missing {e:?} ∈ R^{{v,3}}_{{i−1}} \\ R^{{v,2}}_{{i−1}}",
+                    i + 1,
+                    v.0
+                );
+            }
+
+            // Upper bound: everything known must exist in the window.
+            let e2_now = g.r_hop_edges(v, 2);
+            let e3_prev = prev.r_hop_edges(v, 3);
+            let e2_prev = prev.r_hop_edges(v, 2);
+            for e in have.iter() {
+                let in_upper = e2_now.contains(e)
+                    || (e3_prev.contains(e) && !e2_prev.contains(e));
+                assert!(
+                    in_upper,
+                    "[{label}] round {}: v{} knows phantom edge {e:?}",
+                    i + 1,
+                    v.0
+                );
+            }
+            audits += 1;
+        }
+    }
+    let _ = prev;
+    audits
+}
+
+#[test]
+fn sandwich_holds_under_er_churn() {
+    let mut raw = record(
+        ErChurn::new(ErChurnConfig {
+            n: 18,
+            target_edges: 26,
+            changes_per_round: 2,
+            rounds: 80,
+            seed: 404,
+        }),
+        usize::MAX,
+    );
+    // Interleave quiet rounds so consistency windows exist (the 3-hop
+    // structure needs ~3 quiet rounds after activity).
+    let mut trace = Trace::new(raw.n);
+    for b in raw.batches.drain(..) {
+        trace.push(b);
+        for _ in 0..5 {
+            trace.push(dynamic_subgraphs::net::EventBatch::new());
+        }
+    }
+    let audits = audit_sandwich(&trace, "er");
+    assert!(audits > 50, "too few consistent audits: {audits}");
+}
+
+#[test]
+fn sandwich_holds_under_flicker() {
+    let mut raw = record(
+        Flicker::new(FlickerConfig {
+            n: 14,
+            backbone: true,
+            flickering: 4,
+            period: 2,
+            rounds: 60,
+            seed: 77,
+        }),
+        usize::MAX,
+    );
+    let mut trace = Trace::new(raw.n);
+    for b in raw.batches.drain(..) {
+        trace.push(b);
+        for _ in 0..6 {
+            trace.push(dynamic_subgraphs::net::EventBatch::new());
+        }
+    }
+    let audits = audit_sandwich(&trace, "flicker");
+    assert!(audits > 30, "too few consistent audits: {audits}");
+}
+
+#[test]
+fn sandwich_holds_under_sliding_window() {
+    let mut raw = record(
+        SlidingWindow::new(SlidingWindowConfig {
+            n: 16,
+            arrivals_per_round: 2,
+            window: 10,
+            rounds: 60,
+            seed: 8,
+        }),
+        usize::MAX,
+    );
+    let mut trace = Trace::new(raw.n);
+    for b in raw.batches.drain(..) {
+        trace.push(b);
+        for _ in 0..6 {
+            trace.push(dynamic_subgraphs::net::EventBatch::new());
+        }
+    }
+    let audits = audit_sandwich(&trace, "sliding");
+    assert!(audits > 30, "too few consistent audits: {audits}");
+}
+
+#[test]
+fn amortized_complexity_is_constant_across_sizes() {
+    let mut worst: f64 = 0.0;
+    for n in [16usize, 32, 64] {
+        let trace = record(
+            ErChurn::new(ErChurnConfig {
+                n,
+                target_edges: n,
+                changes_per_round: 2,
+                rounds: 250,
+                seed: 1000 + n as u64,
+            }),
+            usize::MAX,
+        );
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+        for b in &trace.batches {
+            sim.step(b);
+        }
+        worst = worst.max(sim.meter().amortized());
+    }
+    // The paper's charge is 3 rounds per change (plus the flag echoes);
+    // the constant must not grow with n.
+    assert!(worst <= 5.0, "3-hop amortized grew to {worst}");
+}

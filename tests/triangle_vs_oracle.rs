@@ -1,0 +1,178 @@
+//! Integration: triangle membership listing (Theorem 1) and k-clique
+//! membership listing (Corollary 1) against the centralized ground truth.
+//!
+//! Invariants:
+//! - when consistent, `S_v` equals the Figure 2 pattern set `T^{v,2}`;
+//! - consequently, triangle membership queries and triangle enumeration
+//!   are *exact* (no false positives, no false negatives);
+//! - k-clique membership queries are exact for all k.
+
+use dynamic_subgraphs::net::{Edge, Node as _, NodeId, Response, Simulator, Trace};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::TriangleNode;
+use dynamic_subgraphs::workloads::{
+    record, ErChurn, ErChurnConfig, Flicker, FlickerConfig, P2pChurn, P2pChurnConfig, Planted,
+    PlantedConfig, Shape,
+};
+use rustc_hash::FxHashSet;
+
+struct Audit {
+    set_matches: u64,
+    triangle_checks: u64,
+}
+
+fn audit_trace(trace: &Trace, label: &str) -> Audit {
+    let n = trace.n;
+    let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+    let mut g = DynamicGraph::new(n);
+    let mut audit = Audit {
+        set_matches: 0,
+        triangle_checks: 0,
+    };
+    for (i, batch) in trace.batches.iter().enumerate() {
+        sim.step(batch);
+        g.apply(batch);
+        for off in 0..3u32 {
+            let v = NodeId(((i as u32).wrapping_mul(11).wrapping_add(off * 17)) % n as u32);
+            let node = sim.node(v);
+            if !node.is_consistent() {
+                continue;
+            }
+            // Set equality with T^{v,2}.
+            let have: FxHashSet<Edge> = node.known_edges().collect();
+            let want = g.triangle_patterns(v);
+            assert_eq!(
+                have, want,
+                "[{label}] round {}: S_v{} != T^{{v,2}}",
+                i + 1,
+                v.0
+            );
+            audit.set_matches += 1;
+
+            // Exact triangle enumeration.
+            let mut listed = node.list_triangles().expect_answer("consistent");
+            listed.sort();
+            let mut truth = g.triangles_containing(v);
+            truth.sort();
+            assert_eq!(listed, truth, "[{label}] round {}: triangles at v{}", i + 1, v.0);
+            audit.triangle_checks += 1;
+        }
+    }
+    audit
+}
+
+#[test]
+fn exact_under_er_churn() {
+    let trace = record(
+        ErChurn::new(ErChurnConfig {
+            n: 20,
+            target_edges: 50, // dense enough for plenty of triangles
+            changes_per_round: 2,
+            rounds: 350,
+            seed: 2024,
+        }),
+        usize::MAX,
+    );
+    let audit = audit_trace(&trace, "er");
+    assert!(audit.set_matches > 100, "audits: {}", audit.set_matches);
+}
+
+#[test]
+fn exact_under_planted_triangles() {
+    let trace = record(
+        Planted::new(PlantedConfig {
+            n: 24,
+            shape: Shape::Clique(3),
+            spacing: 10,
+            lifetime: 25,
+            noise_per_round: 1,
+            rounds: 300,
+            seed: 5,
+        }),
+        usize::MAX,
+    );
+    let audit = audit_trace(&trace, "planted");
+    assert!(audit.triangle_checks > 100);
+}
+
+#[test]
+fn exact_under_flicker() {
+    let trace = record(
+        Flicker::new(FlickerConfig {
+            n: 14,
+            backbone: true,
+            flickering: 4,
+            period: 3,
+            rounds: 250,
+            seed: 31,
+        }),
+        usize::MAX,
+    );
+    audit_trace(&trace, "flicker");
+}
+
+#[test]
+fn exact_under_p2p_churn() {
+    let trace = record(
+        P2pChurn::new(P2pChurnConfig {
+            n: 28,
+            degree: 4,
+            triadic: true,
+            session_min: 20.0,
+            rounds: 250,
+            ..P2pChurnConfig::default()
+        }),
+        usize::MAX,
+    );
+    audit_trace(&trace, "p2p");
+}
+
+#[test]
+fn clique_membership_is_exact() {
+    // Plant 4- and 5-cliques; after each completed planting, settle and
+    // check the k-clique membership query at every member.
+    for k in [4usize, 5] {
+        let cfg = PlantedConfig {
+            n: 20,
+            shape: Shape::Clique(k),
+            spacing: 14,
+            lifetime: 60,
+            noise_per_round: 0,
+            rounds: 200,
+            seed: 900 + k as u64,
+        };
+        let mut w = Planted::new(cfg);
+        let mut sim: Simulator<TriangleNode> = Simulator::new(cfg.n);
+        let mut g = DynamicGraph::new(cfg.n);
+        use dynamic_subgraphs::workloads::Workload;
+        let mut verified = 0u64;
+        while let Some(b) = w.next_batch() {
+            sim.step(&b);
+            g.apply(&b);
+        }
+        sim.settle(128).expect("stabilizes");
+        // Check *all* k-subsets containing each node against the oracle on
+        // the final graph.
+        for v in 0..cfg.n as u32 {
+            let v = NodeId(v);
+            let node = sim.node(v);
+            let truth: FxHashSet<Vec<NodeId>> =
+                g.cliques_containing(v, k).into_iter().collect();
+            let listed: FxHashSet<Vec<NodeId>> = node
+                .list_cliques(k)
+                .expect_answer("settled")
+                .into_iter()
+                .collect();
+            assert_eq!(listed, truth, "k={k} cliques at {v:?}");
+            for clique in &truth {
+                assert_eq!(
+                    node.query_clique(clique),
+                    Response::Answer(true),
+                    "k={k} membership at {v:?}"
+                );
+                verified += 1;
+            }
+        }
+        assert!(verified >= 4, "k={k}: expected some planted cliques to survive");
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration: the distributed robust 2-hop structure (Theorem 7) against
+//! the centralized ideal-algorithm definition, across workloads.
+//!
+//! Invariant (paper): whenever a node reports consistent, its set `S_v`
+//! equals the robust set `R^{v,2}` computed from the true graph and true
+//! timestamps.
+
+use dynamic_subgraphs::net::{Edge, Node as _, NodeId, SimConfig, Simulator};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::TwoHopNode;
+use dynamic_subgraphs::workloads::{
+    record, ErChurn, ErChurnConfig, Flicker, FlickerConfig, P2pChurn, P2pChurnConfig,
+};
+use rustc_hash::FxHashSet;
+
+fn check_against_oracle(trace: dynamic_subgraphs::net::Trace, label: &str) -> (u64, u64) {
+    let n = trace.n;
+    let mut sim: Simulator<TwoHopNode> = Simulator::with_config(n, SimConfig::default());
+    let mut g = DynamicGraph::new(n);
+    let mut checked = 0u64;
+    let mut consistent_nodes = 0u64;
+    for (i, batch) in trace.batches.iter().enumerate() {
+        sim.step(batch);
+        g.apply(batch);
+        // Audit a rotating sample of nodes every round.
+        for off in 0..4u32 {
+            let v = NodeId(((i as u32).wrapping_mul(7).wrapping_add(off * 13)) % n as u32);
+            let node = sim.node(v);
+            if !node.is_consistent() {
+                continue;
+            }
+            consistent_nodes += 1;
+            let have: FxHashSet<Edge> = node.known_edges().collect();
+            let want = g.robust_two_hop(v);
+            assert_eq!(
+                have, want,
+                "[{label}] round {}: S_v{} != R^{{v,2}}",
+                i + 1,
+                v.0
+            );
+            checked += 1;
+        }
+    }
+    (checked, consistent_nodes)
+}
+
+#[test]
+fn matches_oracle_under_er_churn() {
+    let trace = record(
+        ErChurn::new(ErChurnConfig {
+            n: 24,
+            target_edges: 40,
+            changes_per_round: 2,
+            rounds: 300,
+            seed: 101,
+        }),
+        usize::MAX,
+    );
+    let (checked, _) = check_against_oracle(trace, "er-churn");
+    assert!(checked > 50, "too few consistent audits: {checked}");
+}
+
+#[test]
+fn matches_oracle_under_bursty_er_churn() {
+    // Heavier bursts separated by quiet rounds (appended manually).
+    let mut trace = record(
+        ErChurn::new(ErChurnConfig {
+            n: 20,
+            target_edges: 30,
+            changes_per_round: 8,
+            rounds: 40,
+            seed: 77,
+        }),
+        usize::MAX,
+    );
+    // interleave quiet rounds to create consistency windows
+    let mut spread = dynamic_subgraphs::net::Trace::new(trace.n);
+    for b in trace.batches.drain(..) {
+        spread.push(b);
+        for _ in 0..3 {
+            spread.push(dynamic_subgraphs::net::EventBatch::new());
+        }
+    }
+    let (checked, _) = check_against_oracle(spread, "bursty");
+    assert!(checked > 80, "too few consistent audits: {checked}");
+}
+
+#[test]
+fn matches_oracle_under_flicker() {
+    let trace = record(
+        Flicker::new(FlickerConfig {
+            n: 16,
+            backbone: true,
+            flickering: 5,
+            period: 3,
+            rounds: 250,
+            seed: 9,
+        }),
+        usize::MAX,
+    );
+    check_against_oracle(trace, "flicker");
+}
+
+#[test]
+fn matches_oracle_under_p2p_churn() {
+    let trace = record(
+        P2pChurn::new(P2pChurnConfig {
+            n: 32,
+            degree: 3,
+            triadic: true,
+            rounds: 250,
+            ..P2pChurnConfig::default()
+        }),
+        usize::MAX,
+    );
+    check_against_oracle(trace, "p2p");
+}
+
+#[test]
+fn amortized_complexity_is_constant_across_sizes() {
+    // The headline O(1) claim: the prefix-max amortized ratio must not
+    // grow with n.
+    let mut worst: f64 = 0.0;
+    for n in [16usize, 32, 64, 128] {
+        let trace = record(
+            ErChurn::new(ErChurnConfig {
+                n,
+                target_edges: 2 * n,
+                changes_per_round: 3,
+                rounds: 300,
+                seed: n as u64,
+            }),
+            usize::MAX,
+        );
+        let mut sim: Simulator<TwoHopNode> = Simulator::new(n);
+        for b in &trace.batches {
+            sim.step(b);
+        }
+        worst = worst.max(sim.meter().amortized());
+    }
+    assert!(worst <= 3.0, "2-hop amortized grew to {worst}");
+}

@@ -9,9 +9,7 @@
 //!
 //! [`BandwidthPolicy::Observe`]: dds_net::BandwidthPolicy::Observe
 
-use dds_net::{
-    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
-};
+use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// A topology fact: the `seq`-th change observed on `edge` was an

@@ -13,9 +13,7 @@
 //! experiment A1) reproduce this, which is precisely why Theorem 7 needs
 //! the imaginary-timestamp machinery.
 
-use dds_net::{
-    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
-};
+use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
 use rustc_hash::FxHashSet;
 use std::collections::VecDeque;
 

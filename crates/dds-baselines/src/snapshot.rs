@@ -18,9 +18,7 @@
 //!   impossibility threshold — there is provably no asymptotically better
 //!   algorithm.
 
-use dds_net::{
-    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
-};
+use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
@@ -155,7 +153,10 @@ impl SnapshotNode {
             return Response::Answer(false);
         }
         for &(x, y) in pattern_edges {
-            assert!(x < vertices.len() && y < vertices.len() && x != y, "bad pattern edge");
+            assert!(
+                x < vertices.len() && y < vertices.len() && x != y,
+                "bad pattern edge"
+            );
             match self.query_edge(Edge::new(vertices[x], vertices[y])) {
                 Response::Answer(true) => {}
                 Response::Answer(false) => return Response::Answer(false),

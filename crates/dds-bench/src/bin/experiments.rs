@@ -1,106 +1,167 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|all] [--csv] [--rounds N]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|all] [--csv] [--rounds N] [--json FILE]
 //! ```
 //!
 //! With no arguments, runs everything. `--csv` additionally writes each
-//! table as CSV to `target/experiments/<id>.csv`.
+//! table as CSV to `target/experiments/<id>.csv`; `--json FILE` writes
+//! every table plus its wall-clock cost as one JSON report (this is how
+//! `BENCH_baseline.json` is produced, giving later performance work a
+//! recorded trajectory to beat).
 
 use dds_bench::runners;
 use dds_bench::Table;
 use std::time::Instant;
 
+/// One experiment's table plus the wall-clock cost of producing it.
+#[derive(serde::Serialize)]
+struct TimedTable {
+    id: String,
+    seconds: f64,
+    table: Table,
+}
+
+/// Full JSON report written by `--json`.
+#[derive(serde::Serialize)]
+struct Report {
+    version: String,
+    rounds: usize,
+    total_seconds: f64,
+    tables: Vec<TimedTable>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let json_path = match args.iter().position(|a| a == "--json") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v.clone()),
+            _ => {
+                eprintln!("error: --json needs an output FILE");
+                std::process::exit(2);
+            }
+        },
+    };
     let rounds = args
         .iter()
         .position(|a| a == "--rounds")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(300);
+    let skip_values: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--rounds" || *a == "--json")
+        .map(|(i, _)| i + 1)
+        .collect();
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !skip_values.contains(i))
+        .filter(|(_, a)| a.parse::<usize>().is_err())
+        .map(|(_, s)| s.as_str())
         .collect();
     let all = wanted.is_empty() || wanted.contains(&"all");
     let want = |id: &str| all || wanted.contains(&id);
 
-    let mut tables: Vec<(&str, Table)> = Vec::new();
+    let mut tables: Vec<TimedTable> = Vec::new();
     let t0 = Instant::now();
+    let mut run = |id: &str, build: &mut dyn FnMut() -> Table| {
+        let t = Instant::now();
+        let table = build();
+        tables.push(TimedTable {
+            id: id.to_string(),
+            seconds: t.elapsed().as_secs_f64(),
+            table,
+        });
+    };
     if want("e1") {
-        tables.push(("e1", runners::e1_two_hop(rounds)));
-        tables.push((
-            "e1s",
+        run("e1", &mut || runners::e1_two_hop(rounds));
+        run("e1s", &mut || {
             dds_bench::sweep::amortized_sweep_table::<dds_robust::TwoHopNode>(
                 "E1s / Theorem 7 — robust 2-hop amortized across seeds (ER churn)",
                 &[64, 256],
                 10,
                 rounds,
-            ),
-        ));
+            )
+        });
     }
     if want("e2") {
-        tables.push(("e2", runners::e2_triangle(rounds)));
+        run("e2", &mut || runners::e2_triangle(rounds));
     }
     if want("e3") {
-        tables.push(("e3", runners::e3_cliques(rounds)));
+        run("e3", &mut || runners::e3_cliques(rounds));
     }
     if want("e4") {
-        tables.push(("e4", runners::e4_lower_bound_2hop()));
+        run("e4", &mut || runners::e4_lower_bound_2hop());
     }
     if want("e5") {
-        tables.push(("e5", runners::e5_three_hop(rounds)));
-        tables.push((
-            "e5s",
+        run("e5", &mut || runners::e5_three_hop(rounds));
+        run("e5s", &mut || {
             dds_bench::sweep::amortized_sweep_table::<dds_robust::ThreeHopNode>(
                 "E5s / Theorem 6 — robust 3-hop amortized across seeds (ER churn)",
                 &[64, 256],
                 10,
                 rounds,
-            ),
-        ));
+            )
+        });
     }
     if want("e6") {
-        tables.push(("e6", runners::e6_cycles(rounds)));
+        run("e6", &mut || runners::e6_cycles(rounds));
     }
     if want("e7") {
-        tables.push(("e7", runners::e7_six_cycle_wall()));
+        run("e7", &mut || runners::e7_six_cycle_wall());
     }
     if want("e8") {
-        tables.push(("e8", runners::e8_snapshot_scaling()));
+        run("e8", &mut || runners::e8_snapshot_scaling());
     }
     if want("e9") {
-        tables.push(("e9", runners::e9_remark1()));
+        run("e9", &mut || runners::e9_remark1());
     }
     if want("f2") || want("f3") {
-        tables.push(("f2", runners::f23_coverage(rounds)));
+        run("f2", &mut || runners::f23_coverage(rounds));
     }
     if want("a1") {
-        tables.push(("a1", runners::a1_timestamp_ablation()));
+        run("a1", &mut || runners::a1_timestamp_ablation());
     }
     if want("a2") {
-        tables.push(("a2", runners::a2_two_hop_insufficient(rounds)));
+        run("a2", &mut || runners::a2_two_hop_insufficient(rounds));
     }
     if want("a3") {
-        tables.push(("a3", runners::a3_bandwidth(rounds)));
+        run("a3", &mut || runners::a3_bandwidth(rounds));
     }
 
-    for (id, table) in &tables {
-        println!("{}", table.render());
+    for tt in &tables {
+        println!("{}", tt.table.render());
         if csv {
             let dir = std::path::Path::new("target/experiments");
             std::fs::create_dir_all(dir).expect("create output dir");
-            std::fs::write(dir.join(format!("{id}.csv")), table.to_csv())
+            std::fs::write(dir.join(format!("{}.csv", tt.id)), tt.table.to_csv())
                 .expect("write csv");
         }
+    }
+    if let Some(path) = &json_path {
+        let report = Report {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            rounds,
+            total_seconds: t0.elapsed().as_secs_f64(),
+            tables,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, json).expect("write json report");
+        eprintln!("[wrote JSON report to {path}]");
+        return;
     }
     eprintln!(
         "[{} table(s) in {:.1}s{}]",
         tables.len(),
         t0.elapsed().as_secs_f64(),
-        if csv { ", CSV in target/experiments/" } else { "" }
+        if csv {
+            ", CSV in target/experiments/"
+        } else {
+            ""
+        }
     );
 }

@@ -10,8 +10,8 @@ use dds_net::{
 use dds_oracle::DynamicGraph;
 use dds_robust::{listing_verdict, ThreeHopNode, TriangleNode, TwoHopNode};
 use dds_workloads::{
-    bounds, record, staggered_flicker_trace, ErChurn, ErChurnConfig, Flicker, FlickerConfig,
-    HSpec, P2pChurn, P2pChurnConfig, Planted, PlantedConfig, Shape, Thm2Adversary, Thm4Adversary,
+    bounds, record, staggered_flicker_trace, ErChurn, ErChurnConfig, Flicker, FlickerConfig, HSpec,
+    P2pChurn, P2pChurnConfig, Planted, PlantedConfig, Shape, Thm2Adversary, Thm4Adversary,
     Workload,
 };
 use rustc_hash::FxHashSet;
@@ -45,7 +45,14 @@ fn run_on<N: dds_net::Node>(trace: &Trace) -> Simulator<N> {
 pub fn e1_two_hop(rounds: usize) -> Table {
     let mut t = Table::new(
         "E1 / Theorem 7 — robust 2-hop neighborhood: amortized rounds per change",
-        &["n", "workload", "changes", "inc.rounds", "amortized", "bits/link/round"],
+        &[
+            "n",
+            "workload",
+            "changes",
+            "inc.rounds",
+            "amortized",
+            "bits/link/round",
+        ],
     );
     for &n in &SWEEP_NS {
         for (name, trace) in [
@@ -99,7 +106,14 @@ pub fn e1_two_hop(rounds: usize) -> Table {
 pub fn e2_triangle(rounds: usize) -> Table {
     let mut t = Table::new(
         "E2 / Theorem 1 — triangle membership listing",
-        &["n", "changes", "amortized", "audits", "exact", "max tri/node"],
+        &[
+            "n",
+            "changes",
+            "amortized",
+            "audits",
+            "exact",
+            "max tri/node",
+        ],
     );
     for &n in &SWEEP_NS {
         let trace = record(
@@ -215,12 +229,16 @@ pub fn e3_cliques(rounds: usize) -> Table {
 pub fn e4_lower_bound_2hop_sizes(ns: &[usize]) -> Table {
     let mut t = Table::new(
         "E4 / Theorem 2 + Corollary 2 — the Ω(n/log n) wall for non-clique membership listing",
-        &["H", "n", "snapshot amortized", "bound n/log2 n", "meas/bound", "robust-2hop amortized"],
+        &[
+            "H",
+            "n",
+            "snapshot amortized",
+            "bound n/log2 n",
+            "meas/bound",
+            "robust-2hop amortized",
+        ],
     );
-    for (pattern_name, pattern) in [
-        ("P3", HSpec::path3()),
-        ("K4-e", HSpec::k4_minus_edge()),
-    ] {
+    for (pattern_name, pattern) in [("P3", HSpec::path3()), ("K4-e", HSpec::k4_minus_edge())] {
         for &n in ns {
             let trace = record(Thm2Adversary::new(pattern.clone(), n, 2 * n), usize::MAX);
             let snap: Simulator<SnapshotNode> = run_on(&trace);
@@ -236,7 +254,9 @@ pub fn e4_lower_bound_2hop_sizes(ns: &[usize]) -> Table {
             ]);
         }
     }
-    t.note("snapshot (= optimal full 2-hop listing) grows like n/log n; the robust subset stays O(1)");
+    t.note(
+        "snapshot (= optimal full 2-hop listing) grows like n/log n; the robust subset stays O(1)",
+    );
     t.note("the robust structure answers a weaker (but per Thm 1 sufficient) query — that is the paper's point");
     t
 }
@@ -324,10 +344,8 @@ pub fn e6_cycles(rounds: usize) -> Table {
                 continue;
             }
             for cyc in g.all_cycles(k) {
-                let responses: Vec<Response<bool>> = cyc
-                    .iter()
-                    .map(|&v| sim.node(v).query_cycle(&cyc))
-                    .collect();
+                let responses: Vec<Response<bool>> =
+                    cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
                 if responses.iter().any(|r| r.is_inconsistent()) {
                     continue;
                 }
@@ -371,7 +389,15 @@ pub fn e6_cycles(rounds: usize) -> Table {
 pub fn e7_six_cycle_wall_rows(row_counts: &[usize]) -> Table {
     let mut t = Table::new(
         "E7 / Theorem 4 + Figure 4 — 6-cycle listing is not O(1)",
-        &["n", "t(rows)", "D", "bound √n/log2 n", "bits/merge Ω(D)", "6-cycles", "missed by O(1) struct"],
+        &[
+            "n",
+            "t(rows)",
+            "D",
+            "bound √n/log2 n",
+            "bits/merge Ω(D)",
+            "6-cycles",
+            "missed by O(1) struct",
+        ],
     );
     for &rows in row_counts {
         let d = 3 * rows;
@@ -396,10 +422,8 @@ pub fn e7_six_cycle_wall_rows(row_counts: &[usize]) -> Table {
         let mut missed = 0usize;
         for &j in &shared {
             let cyc = adv.merge_cycle6(1, 0, j);
-            let responses: Vec<Response<bool>> = cyc
-                .iter()
-                .map(|&v| sim.node(v).query_cycle(&cyc))
-                .collect();
+            let responses: Vec<Response<bool>> =
+                cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
             if listing_verdict(&responses) != Some(true) {
                 missed += 1;
             }
@@ -553,7 +577,13 @@ pub fn f23_coverage(rounds: usize) -> Table {
 pub fn a1_timestamp_ablation() -> Table {
     let mut t = Table::new(
         "A1 / §1.3 ablation — timestamps removed ⇒ flicker corrupts the structure",
-        &["structure", "consistent?", "believes {u,w} exists?", "ground truth", "verdict"],
+        &[
+            "structure",
+            "consistent?",
+            "believes {u,w} exists?",
+            "ground truth",
+            "verdict",
+        ],
     );
     let trace = staggered_flicker_trace();
     let e = dds_net::edge(1, 2);
@@ -597,7 +627,12 @@ pub fn a1_timestamp_ablation() -> Table {
 pub fn a2_two_hop_insufficient(rounds: usize) -> Table {
     let mut t = Table::new(
         "A2 / ablation — cycle coverage by 2-hop vs 3-hop pattern sets (oracle-evaluated)",
-        &["k", "cycles seen", "covered by T^{v,2}", "covered by R^{v,3}"],
+        &[
+            "k",
+            "cycles seen",
+            "covered by T^{v,2}",
+            "covered by R^{v,3}",
+        ],
     );
     for k in [4usize, 5] {
         let trace = record(
@@ -654,7 +689,13 @@ pub fn a2_two_hop_insufficient(rounds: usize) -> Table {
 pub fn a3_bandwidth(rounds: usize) -> Table {
     let mut t = Table::new(
         "A3 / bandwidth — bits per link-round on the same ER-churn workload (n=128)",
-        &["algorithm", "total bits", "bits/link/round", "budget", "violations"],
+        &[
+            "algorithm",
+            "total bits",
+            "bits/link/round",
+            "budget",
+            "violations",
+        ],
     );
     let trace = er_trace(128, rounds, 777);
     let budget = BandwidthConfig::default().budget_bits(128);
@@ -683,10 +724,34 @@ pub fn a3_bandwidth(rounds: usize) -> Table {
             sim.bandwidth().violations().to_string(),
         ]);
     }
-    row_for::<TwoHopNode>(&mut t, "robust 2-hop", &trace, budget, BandwidthPolicy::Enforce);
-    row_for::<TriangleNode>(&mut t, "triangle membership", &trace, budget, BandwidthPolicy::Enforce);
-    row_for::<ThreeHopNode>(&mut t, "robust 3-hop", &trace, budget, BandwidthPolicy::Enforce);
-    row_for::<SnapshotNode>(&mut t, "snapshot 2-hop (Lemma 1)", &trace, budget, BandwidthPolicy::Enforce);
+    row_for::<TwoHopNode>(
+        &mut t,
+        "robust 2-hop",
+        &trace,
+        budget,
+        BandwidthPolicy::Enforce,
+    );
+    row_for::<TriangleNode>(
+        &mut t,
+        "triangle membership",
+        &trace,
+        budget,
+        BandwidthPolicy::Enforce,
+    );
+    row_for::<ThreeHopNode>(
+        &mut t,
+        "robust 3-hop",
+        &trace,
+        budget,
+        BandwidthPolicy::Enforce,
+    );
+    row_for::<SnapshotNode>(
+        &mut t,
+        "snapshot 2-hop (Lemma 1)",
+        &trace,
+        budget,
+        BandwidthPolicy::Enforce,
+    );
     row_for::<dds_baselines::FloodNode>(
         &mut t,
         "flooding (calibrator)",
@@ -708,7 +773,10 @@ mod tests {
         assert_eq!(t.rows.len(), SWEEP_NS.len() * 3);
         for row in &t.rows {
             let amortized: f64 = row[4].parse().unwrap();
-            assert!(amortized <= 3.0, "E1 amortized {amortized} too high: {row:?}");
+            assert!(
+                amortized <= 3.0,
+                "E1 amortized {amortized} too high: {row:?}"
+            );
         }
     }
 

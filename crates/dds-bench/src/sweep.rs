@@ -78,7 +78,14 @@ pub fn amortized_sweep_table<N: dds_net::Node>(
     use dds_workloads::{record, ErChurn, ErChurnConfig};
     let mut t = crate::table::Table::new(
         title,
-        &["n", "runs", "amortized mean±sd", "min", "max", "footnote mean±sd"],
+        &[
+            "n",
+            "runs",
+            "amortized mean±sd",
+            "min",
+            "max",
+            "footnote mean±sd",
+        ],
     );
     for &n in ns {
         let run = |seed: u64, footnote: bool| -> f64 {
@@ -156,12 +163,7 @@ mod tests {
 
     #[test]
     fn amortized_sweep_stays_constant() {
-        let t = amortized_sweep_table::<dds_robust::TriangleNode>(
-            "test sweep",
-            &[16, 48],
-            6,
-            150,
-        );
+        let t = amortized_sweep_table::<dds_robust::TriangleNode>("test sweep", &[16, 48], 6, 150);
         for row in &t.rows {
             let max: f64 = row[4].parse().unwrap();
             assert!(max <= 3.0, "amortized max {max} exceeded the constant");

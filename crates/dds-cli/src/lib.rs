@@ -1,0 +1,158 @@
+//! `dds` — the dynamic-subgraphs command-line runner.
+//!
+//! ```text
+//! dds simulate --protocol triangle --workload er --n 128 --rounds 500 [--parallel] [--json]
+//! dds trace generate --workload p2p --n 64 --rounds 300 --out trace.json
+//! dds trace info trace.json
+//! dds bounds --n 1024
+//! dds list
+//! ```
+//!
+//! The library target exposes [`real_main`] so the whole command surface
+//! is testable without spawning a process.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod run;
+
+use args::Args;
+use dds_oracle::DynamicGraph;
+use dds_workloads::bounds;
+
+/// Crate (and workspace) version, for `dds --version` and tooling.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Usage text printed on argument errors and for `--help`.
+pub const USAGE: &str = "\
+usage:
+  dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S] [--parallel] [--json]
+  dds trace generate --workload <name> [--n N] [--rounds R] [--seed S] --out FILE
+  dds trace info FILE
+  dds trace validate FILE
+  dds bounds [--n N]
+  dds list";
+
+/// Dispatch a full command line (without argv[0]).
+///
+/// Everything `main` does apart from process exit, so tests can drive the
+/// CLI in-process.
+pub fn real_main(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    if args.flag("help") {
+        println!("dds {VERSION}");
+        println!("{USAGE}");
+        return Ok(());
+    }
+    if args.flag("version") {
+        println!("dds {VERSION}");
+        return Ok(());
+    }
+    match args.positional.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("bounds") => cmd_bounds(&args),
+        Some("list") => {
+            println!("protocols: {}", run::PROTOCOLS.join(", "));
+            println!("workloads: {}", run::WORKLOADS.join(", "));
+            Ok(())
+        }
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let trace = run::build_workload(args)?;
+    let protocol = args.get_or("protocol", "triangle").to_string();
+    let summary = run::simulate(&protocol, &trace, args.flag("parallel"))?;
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("protocol:             {}", summary.protocol);
+        println!("n:                    {}", summary.n);
+        println!("rounds:               {}", summary.rounds);
+        println!("topology changes:     {}", summary.changes);
+        println!("inconsistent rounds:  {}", summary.inconsistent_rounds);
+        println!("amortized:            {:.3}", summary.amortized);
+        println!("footnote amortized:   {:.3}", summary.footnote_amortized);
+        println!(
+            "messages / bits:      {} / {}",
+            summary.messages, summary.bits
+        );
+        println!(
+            "budget (bits/link/rd): {}   violations: {}",
+            summary.budget_bits, summary.violations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    match args.positional.get(1).map(String::as_str) {
+        Some("generate") => {
+            let trace = run::build_workload(args)?;
+            let out = args
+                .options
+                .get("out")
+                .ok_or("trace generate needs --out FILE")?;
+            trace.save(out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} rounds / {} changes to {out}",
+                trace.rounds(),
+                trace.total_changes()
+            );
+            Ok(())
+        }
+        Some("validate") => {
+            let path = args.positional.get(2).ok_or("trace validate FILE")?;
+            dds_net::Trace::load(path)?;
+            println!("{path}: valid");
+            Ok(())
+        }
+        Some("info") => {
+            let path = args.positional.get(2).ok_or("trace info FILE")?;
+            let trace = dds_net::Trace::load(path)?;
+            let mut g = DynamicGraph::new(trace.n);
+            for b in &trace.batches {
+                g.apply(b);
+            }
+            let s = g.stats();
+            println!("file:        {path}");
+            println!("n:           {}", trace.n);
+            println!("rounds:      {}", trace.rounds());
+            println!("changes:     {}", trace.total_changes());
+            println!("final edges: {}", s.edges);
+            println!(
+                "degree:      min {} / mean {:.2} / max {}",
+                s.min_degree, s.mean_degree, s.max_degree
+            );
+            println!("clustering:  {:.3}", s.clustering);
+            println!("components:  {}", s.components);
+            println!("triangles:   {}", s.triangles);
+            Ok(())
+        }
+        _ => Err("trace subcommand: generate | validate | info".into()),
+    }
+}
+
+fn cmd_bounds(args: &Args) -> Result<(), String> {
+    let n: u64 = args.num_or("n", 1024)?;
+    println!("lower-bound curves at n = {n}:");
+    println!(
+        "  Theorem 2   (non-clique membership):  n/log2 n        = {:.2}",
+        bounds::thm2_amortized_bound(n)
+    );
+    println!(
+        "  Theorem 4   (k-cycle listing, k ≥ 6): sqrt(n)/log2 n  = {:.2}",
+        bounds::thm4_amortized_bound(n)
+    );
+    println!(
+        "  Thm 2 total communication estimate:   {:.0} bits",
+        bounds::thm2_total_bits(n, 3)
+    );
+    Ok(())
+}

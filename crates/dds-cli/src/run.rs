@@ -2,9 +2,7 @@
 
 use crate::args::Args;
 use dds_baselines::{FloodNode, NaiveTwoHopNode, SnapshotNode};
-use dds_net::{
-    BandwidthConfig, BandwidthPolicy, Node, SimConfig, Simulator, Trace,
-};
+use dds_net::{BandwidthConfig, BandwidthPolicy, Node, SimConfig, Simulator, Trace};
 use dds_robust::{ThreeHopNode, TriangleNode, TwoHopNode};
 use dds_workloads::{
     record, ErChurn, ErChurnConfig, Flicker, FlickerConfig, HSpec, P2pChurn, P2pChurnConfig,

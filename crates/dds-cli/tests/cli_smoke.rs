@@ -1,0 +1,137 @@
+//! Smoke tests for the `dds` command surface: the in-process `real_main`
+//! entry point, the compiled binary itself, and version coherence across
+//! the workspace.
+
+use std::process::Command;
+
+fn run_bin(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dds"))
+        .args(args)
+        .output()
+        .expect("spawn dds binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn argv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn version_matches_workspace_version() {
+    // Every workspace crate inherits [workspace.package] version, so the
+    // CLI, the facade crate, and the manifest must agree.
+    assert_eq!(dds_cli::VERSION, env!("CARGO_PKG_VERSION"));
+    assert_eq!(dds_cli::VERSION, dynamic_subgraphs::VERSION);
+}
+
+#[test]
+fn real_main_handles_help_and_list() {
+    assert!(dds_cli::real_main(argv(&["--help"])).is_ok());
+    assert!(dds_cli::real_main(argv(&["list"])).is_ok());
+    assert!(dds_cli::real_main(argv(&["--version"])).is_ok());
+}
+
+#[test]
+fn real_main_rejects_bad_input() {
+    assert!(dds_cli::real_main(argv(&[])).is_err());
+    assert!(dds_cli::real_main(argv(&["frobnicate"])).is_err());
+    assert!(dds_cli::real_main(argv(&["simulate", "--workload", "nope"])).is_err());
+    assert!(dds_cli::real_main(argv(&["simulate", "--protocol", "nope"])).is_err());
+}
+
+#[test]
+fn binary_help_prints_usage_and_version() {
+    let (ok, stdout, _) = run_bin(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"), "help output: {stdout}");
+    assert!(stdout.contains("dds simulate"), "help output: {stdout}");
+    assert!(
+        stdout.contains(dds_cli::VERSION),
+        "help must print the version: {stdout}"
+    );
+}
+
+#[test]
+fn binary_list_names_every_protocol_and_workload() {
+    let (ok, stdout, _) = run_bin(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("protocols:"), "list output: {stdout}");
+    assert!(stdout.contains("workloads:"), "list output: {stdout}");
+    for p in dds_cli::run::PROTOCOLS {
+        assert!(stdout.contains(p), "missing protocol {p}: {stdout}");
+    }
+    for w in dds_cli::run::WORKLOADS {
+        assert!(stdout.contains(w), "missing workload {w}: {stdout}");
+    }
+}
+
+#[test]
+fn binary_bad_subcommand_exits_nonzero_with_usage() {
+    let (ok, _, stderr) = run_bin(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn binary_simulate_json_reports_a_run() {
+    let (ok, stdout, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "triangle",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "40",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("\"protocol\""), "json output: {stdout}");
+    assert!(stdout.contains("\"amortized\""), "json output: {stdout}");
+}
+
+#[test]
+fn trace_generate_validate_info_round_trip() {
+    let dir = std::env::temp_dir().join(format!("dds-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let path_s = path.to_str().unwrap();
+
+    assert!(dds_cli::real_main(argv(&[
+        "trace",
+        "generate",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "30",
+        "--seed",
+        "7",
+        "--out",
+        path_s,
+    ]))
+    .is_ok());
+    assert!(dds_cli::real_main(argv(&["trace", "validate", path_s])).is_ok());
+    assert!(dds_cli::real_main(argv(&["trace", "info", path_s])).is_ok());
+
+    let trace = dds_net::Trace::load(path_s).expect("saved trace loads");
+    assert_eq!(trace.n, 24);
+    assert_eq!(trace.rounds(), 30);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bounds_prints_lower_bound_curves() {
+    assert!(dds_cli::real_main(argv(&["bounds", "--n", "512"])).is_ok());
+    let (ok, stdout, _) = run_bin(&["bounds", "--n", "512"]);
+    assert!(ok);
+    assert!(stdout.contains("Theorem 2"), "bounds output: {stdout}");
+    assert!(stdout.contains("Theorem 4"), "bounds output: {stdout}");
+}

@@ -21,8 +21,7 @@ use crate::topology::Topology;
 use rayon::prelude::*;
 
 /// Simulator configuration.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimConfig {
     /// Per-link bandwidth budget configuration.
     pub bandwidth: BandwidthConfig,
@@ -32,7 +31,6 @@ pub struct SimConfig {
     /// Keep a per-round [`RoundStats`] log (costs memory on long runs).
     pub record_stats: bool,
 }
-
 
 /// The simulator: topology + nodes + meters.
 pub struct Simulator<N: Node> {
@@ -245,7 +243,8 @@ impl<N: Node> Simulator<N> {
                 // link per round is not allowed by any algorithm here.
                 for w in pl.windows(2) {
                     assert_ne!(
-                        w[0].0, w[1].0,
+                        w[0].0,
+                        w[1].0,
                         "node {:?} received two payloads from {:?} in round {round}",
                         NodeId(i as u32),
                         w[0].0
@@ -288,7 +287,10 @@ impl<N: Node> Simulator<N> {
 
         // Phase 4: end-of-round accounting; queries now go to `node()`.
         let inconsistent_flags: Vec<bool> = if self.cfg.parallel {
-            self.nodes.par_iter().map(|nd| !nd.is_consistent()).collect()
+            self.nodes
+                .par_iter()
+                .map(|nd| !nd.is_consistent())
+                .collect()
         } else {
             self.nodes.iter().map(|nd| !nd.is_consistent()).collect()
         };

@@ -57,9 +57,10 @@ impl DynamicGraph {
                 let te = self.t(e).expect("present");
                 // Pattern (b): {v,w} also exists and e is older than both
                 // incident edges.
-                if let Some(t_vw) = self.adjacent(v, w).then(|| {
-                    self.t(Edge::new(v, w)).expect("present")
-                }) {
+                if let Some(t_vw) = self
+                    .adjacent(v, w)
+                    .then(|| self.t(Edge::new(v, w)).expect("present"))
+                {
                     if te < t_vu && te < t_vw {
                         out.insert(e);
                     }
@@ -110,7 +111,10 @@ impl DynamicGraph {
     /// cardinalities.
     pub fn coverage(&self, v: NodeId, robust: &FxHashSet<Edge>, r: usize) -> (usize, usize) {
         let all = self.r_hop_edges(v, r);
-        debug_assert!(robust.is_subset(&all), "robust set must be within E^{{v,{r}}}");
+        debug_assert!(
+            robust.is_subset(&all),
+            "robust set must be within E^{{v,{r}}}"
+        );
         (robust.len(), all.len())
     }
 }

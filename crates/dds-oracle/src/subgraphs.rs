@@ -312,10 +312,7 @@ mod tests {
             assert_eq!(canonical_cycle(&reversed), expect);
         }
         expect.sort_unstable();
-        assert_eq!(
-            expect,
-            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
-        );
+        assert_eq!(expect, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
     }
 
     #[test]
@@ -326,12 +323,10 @@ mod tests {
         b.push_insert(edge(1, 2));
         b.push_insert(edge(2, 3));
         g.apply(&b);
-        assert_eq!(g.paths_from(NodeId(0), 3), vec![vec![
-            NodeId(0),
-            NodeId(1),
-            NodeId(2),
-            NodeId(3)
-        ]]);
+        assert_eq!(
+            g.paths_from(NodeId(0), 3),
+            vec![vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]]
+        );
         // One undirected 3-edge path.
         assert_eq!(g.all_paths(3).len(), 1);
         // Two undirected 2-edge paths: 0-1-2 and 1-2-3.

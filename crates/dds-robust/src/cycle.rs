@@ -254,10 +254,7 @@ mod tests {
             .list_cycles(4)
             .expect_answer("consistent");
         assert_eq!(cycles.len(), 1);
-        assert_eq!(
-            cycles[0],
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(cycles[0], vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
     }
 
     #[test]

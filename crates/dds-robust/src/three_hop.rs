@@ -29,9 +29,7 @@
 //! and 5-cycle listing (Theorem 5; see [`crate::cycle`]).
 
 use crate::paths::Path;
-use dds_net::{
-    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
-};
+use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
@@ -71,9 +69,7 @@ impl BitSized for ThreeHopMsg {
             // tag + mark.
             ThreeHopMsg::InsertPath(p) => p.num_nodes() as u64 * l + 3,
             // Edge + optional via id + level bit + mark.
-            ThreeHopMsg::Delete { via, .. } => {
-                (2 + u64::from(via.is_some())) * l + 3
-            }
+            ThreeHopMsg::Delete { via, .. } => (2 + u64::from(via.is_some())) * l + 3,
         }
     }
 }
@@ -250,7 +246,10 @@ impl ThreeHopNode {
         if e.touches(self.id) {
             return;
         }
-        debug_assert!(level > 0 || e.touches(from), "level-0 notices are first-hand");
+        debug_assert!(
+            level > 0 || e.touches(from),
+            "level-0 notices are first-hand"
+        );
         self.purge_edge_via(e, from, via);
         if level < MAX_DELETE_HOPS {
             self.enqueue_delete(e, level + 1, Some(from));
@@ -318,12 +317,7 @@ impl Node for ThreeHopNode {
         out
     }
 
-    fn receive(
-        &mut self,
-        _round: Round,
-        inbox: &[Received<ThreeHopMsg>],
-        _neighbors: &[NodeId],
-    ) {
+    fn receive(&mut self, _round: Round, inbox: &[Received<ThreeHopMsg>], _neighbors: &[NodeId]) {
         let mut heard_busy = false;
         let mut all_neighbors_empty = true;
         for rec in inbox {
@@ -472,7 +466,10 @@ mod tests {
         let after_three = sim.node(NodeId(0)).consistent();
         assert!(!after_one, "one quiet round must not be enough");
         assert!(!after_two, "the second-order flag echo dirties round 3");
-        assert!(after_three, "three quiet rounds suffice for a single change");
+        assert!(
+            after_three,
+            "three quiet rounds suffice for a single change"
+        );
         assert_eq!(sim.meter().inconsistent_rounds(), 3);
     }
 

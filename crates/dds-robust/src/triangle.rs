@@ -22,9 +22,7 @@
 //! `S_v` — giving exact membership listing, and by Corollary 1 exact
 //! k-clique membership listing for every `k ≥ 3`.
 
-use dds_net::{
-    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
-};
+use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
@@ -457,9 +455,7 @@ impl Node for TriangleNode {
                     // our connecting edges exist (pattern (b) requires it).
                     debug_assert!(edge.touches(rec.from));
                     let third = edge.other(rec.from);
-                    if self.incident.contains_key(&rec.from)
-                        && self.incident.contains_key(&third)
-                    {
+                    if self.incident.contains_key(&rec.from) && self.incident.contains_key(&third) {
                         self.s.entry(edge).or_default().relay_b();
                     }
                 }
@@ -547,8 +543,7 @@ mod tests {
         for order in orders {
             let sim = staged(order);
             for v in 0..3u32 {
-                let others: Vec<NodeId> =
-                    (0..3u32).filter(|&x| x != v).map(NodeId).collect();
+                let others: Vec<NodeId> = (0..3u32).filter(|&x| x != v).map(NodeId).collect();
                 assert_eq!(
                     sim.node(NodeId(v)).query_triangle(others[0], others[1]),
                     Response::Answer(true),
@@ -601,7 +596,10 @@ mod tests {
             sim.node(NodeId(0)).query_triangle(NodeId(1), NodeId(2)),
             Response::Answer(false)
         );
-        assert_eq!(sim.node(NodeId(0)).list_triangles(), Response::Answer(vec![]));
+        assert_eq!(
+            sim.node(NodeId(0)).list_triangles(),
+            Response::Answer(vec![])
+        );
     }
 
     #[test]
@@ -611,16 +609,15 @@ mod tests {
             sim.step(&EventBatch::insert(edge(u, w)));
         }
         settle(&mut sim);
-        let ts = sim.node(NodeId(0)).list_triangles().expect_answer("consistent");
+        let ts = sim
+            .node(NodeId(0))
+            .list_triangles()
+            .expect_answer("consistent");
         assert_eq!(ts.len(), 3);
         // And the 4-clique query (Corollary 1).
         assert_eq!(
-            sim.node(NodeId(0)).query_clique(&[
-                NodeId(0),
-                NodeId(1),
-                NodeId(2),
-                NodeId(3)
-            ]),
+            sim.node(NodeId(0))
+                .query_clique(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
             Response::Answer(true)
         );
     }

@@ -29,9 +29,7 @@
 //!   the start of the send phase; a node is consistent iff its queue is
 //!   empty and no neighbor signalled `IsEmpty = false` this round.
 
-use dds_net::{
-    BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round,
-};
+use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 

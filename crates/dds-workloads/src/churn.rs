@@ -169,8 +169,7 @@ impl Workload for P2pChurn {
                 }
                 PeerState::Online { until } if self.round >= until => {
                     // Leave: drop all links at once.
-                    let incident: Vec<Edge> =
-                        self.ledger.iter().filter(|e| e.touches(v)).collect();
+                    let incident: Vec<Edge> = self.ledger.iter().filter(|e| e.touches(v)).collect();
                     for e in incident {
                         self.ledger.delete(&mut batch, e);
                     }

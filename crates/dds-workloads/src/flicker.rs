@@ -200,6 +200,9 @@ mod tests {
     #[test]
     fn reproducible() {
         let cfg = FlickerConfig::default();
-        assert_eq!(record(Flicker::new(cfg), 100), record(Flicker::new(cfg), 100));
+        assert_eq!(
+            record(Flicker::new(cfg), 100),
+            record(Flicker::new(cfg), 100)
+        );
     }
 }

@@ -132,7 +132,10 @@ mod tests {
         let mut b = EventBatch::new();
         assert!(ledger.insert(&mut b, edge(0, 1)));
         assert!(!ledger.insert(&mut b, edge(0, 1)), "double insert refused");
-        assert!(!ledger.delete(&mut b, edge(0, 1)), "same-batch delete refused");
+        assert!(
+            !ledger.delete(&mut b, edge(0, 1)),
+            "same-batch delete refused"
+        );
         let mut b2 = EventBatch::new();
         assert!(ledger.delete(&mut b2, edge(0, 1)));
         assert!(!ledger.delete(&mut b2, edge(0, 1)));

@@ -17,7 +17,10 @@ use dynamic_subgraphs::workloads::{HSpec, Thm2Adversary, Thm4Adversary, Workload
 
 fn main() {
     println!("== part 1: Theorem 2 — the Ω(n/log n) wall for 2-hop listing ==\n");
-    println!("{:>6} {:>12} {:>14} {:>16}", "n", "amortized", "bound n/log n", "ratio meas/bound");
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "n", "amortized", "bound n/log n", "ratio meas/bound"
+    );
     for n in [32usize, 64, 128, 256] {
         let mut adv = Thm2Adversary::new(HSpec::path3(), n, 2 * n);
         let mut sim: Simulator<SnapshotNode> = Simulator::with_config(n, SimConfig::default());
@@ -68,10 +71,8 @@ fn main() {
     let mut caught = 0usize;
     for &j in &shared {
         let cyc = adv.merge_cycle6(1, 0, j);
-        let responses: Vec<Response<bool>> = cyc
-            .iter()
-            .map(|&v| sim.node(v).query_cycle(&cyc))
-            .collect();
+        let responses: Vec<Response<bool>> =
+            cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
         match listing_verdict(&responses) {
             Some(true) => caught += 1,
             _ => missed += 1,

@@ -55,10 +55,8 @@ fn main() {
         // by at least one of its members (when all are consistent).
         for k in [4usize, 5] {
             for cyc in oracle.all_cycles(k) {
-                let responses: Vec<_> = cyc
-                    .iter()
-                    .map(|&v| sim.node(v).query_cycle(&cyc))
-                    .collect();
+                let responses: Vec<_> =
+                    cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
                 if responses.iter().any(|r| r.is_inconsistent()) {
                     busy += 1;
                     continue;

@@ -67,7 +67,10 @@ fn main() {
     let m = sim.meter();
     println!("rounds:                 {}", m.rounds());
     println!("topology changes:       {} (joins + leaves)", m.changes());
-    println!("amortized complexity:   {:.3} (constant, despite the churn)", m.amortized());
+    println!(
+        "amortized complexity:   {:.3} (constant, despite the churn)",
+        m.amortized()
+    );
     println!("audited node views:     {verified} exact matches vs ground truth");
     println!("audits skipped (busy):  {skipped_inconsistent}");
     println!("max triangles at a peer: {peak_triangles}");

@@ -48,10 +48,8 @@ fn audit_cycles(k: usize, seed: u64) -> (u64, u64) {
         // Positive audits: every true k-cycle must be listed when all its
         // members answer.
         for cyc in g.all_cycles(k) {
-            let responses: Vec<Response<bool>> = cyc
-                .iter()
-                .map(|&v| sim.node(v).query_cycle(&cyc))
-                .collect();
+            let responses: Vec<Response<bool>> =
+                cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
             if responses.iter().any(|r| r.is_inconsistent()) {
                 continue;
             }
@@ -136,10 +134,8 @@ fn six_cycles_escape_the_structure() {
     let mut all_missed = true;
     for &j in &shared {
         let cyc = adv.merge_cycle6(1, 0, j);
-        let responses: Vec<Response<bool>> = cyc
-            .iter()
-            .map(|&v| sim.node(v).query_cycle(&cyc))
-            .collect();
+        let responses: Vec<Response<bool>> =
+            cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
         assert!(
             responses.iter().all(|r| !r.is_inconsistent()),
             "nodes must be consistent after settling"

@@ -3,9 +3,7 @@
 //! simulator determinism across all protocols.
 
 use dynamic_subgraphs::baselines::SnapshotNode;
-use dynamic_subgraphs::net::{
-    Edge, Node, NodeId, Response, SimConfig, Simulator, Trace,
-};
+use dynamic_subgraphs::net::{Edge, Node, NodeId, Response, SimConfig, Simulator, Trace};
 use dynamic_subgraphs::oracle::DynamicGraph;
 use dynamic_subgraphs::robust::{ThreeHopNode, TriangleNode, TwoHopNode};
 use dynamic_subgraphs::workloads::{
@@ -93,9 +91,7 @@ fn remark2_two_diameter_membership_listing() {
                 if got.is_inconsistent() {
                     continue;
                 }
-                let expected = pattern
-                    .iter()
-                    .all(|&(a, b)| g.adjacent(vs[a], vs[b]));
+                let expected = pattern.iter().all(|&(a, b)| g.adjacent(vs[a], vs[b]));
                 assert_eq!(
                     got,
                     Response::Answer(expected),
@@ -139,7 +135,11 @@ fn scale_free_hub_stress() {
                 continue;
             }
             let have: FxHashSet<Edge> = node.known_edges().collect();
-            assert_eq!(have, g.triangle_patterns(v), "hub-stress divergence at {v:?}");
+            assert_eq!(
+                have,
+                g.triangle_patterns(v),
+                "hub-stress divergence at {v:?}"
+            );
             audits += 1;
         }
     }

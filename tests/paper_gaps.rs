@@ -68,11 +68,52 @@ fn assert_two_hop_exact(sim: &Simulator<TwoHopNode>, g: &DynamicGraph, label: &s
 #[test]
 fn gap3_stale_deletion_does_not_clobber_fresh_insertion() {
     let ops = [
-        (0, 0), (4, 0), (0, 0), (1, 5), (2, 0), (2, 0), (5, 5), (2, 3), (1, 5), (6, 3),
-        (0, 2), (2, 0), (1, 1), (1, 1), (1, 7), (3, 9), (8, 3), (3, 7), (9, 3), (4, 6),
-        (7, 0), (9, 7), (5, 6), (4, 7), (2, 1), (6, 7), (1, 6), (8, 8), (6, 8), (3, 3),
-        (8, 2), (6, 9), (3, 4), (8, 8), (4, 7), (5, 0), (9, 0), (1, 1), (2, 1), (7, 6),
-        (9, 2), (7, 9), (2, 7), (9, 2), (1, 1), (2, 5),
+        (0, 0),
+        (4, 0),
+        (0, 0),
+        (1, 5),
+        (2, 0),
+        (2, 0),
+        (5, 5),
+        (2, 3),
+        (1, 5),
+        (6, 3),
+        (0, 2),
+        (2, 0),
+        (1, 1),
+        (1, 1),
+        (1, 7),
+        (3, 9),
+        (8, 3),
+        (3, 7),
+        (9, 3),
+        (4, 6),
+        (7, 0),
+        (9, 7),
+        (5, 6),
+        (4, 7),
+        (2, 1),
+        (6, 7),
+        (1, 6),
+        (8, 8),
+        (6, 8),
+        (3, 3),
+        (8, 2),
+        (6, 9),
+        (3, 4),
+        (8, 8),
+        (4, 7),
+        (5, 0),
+        (9, 0),
+        (1, 1),
+        (2, 1),
+        (7, 6),
+        (9, 2),
+        (7, 9),
+        (2, 7),
+        (9, 2),
+        (1, 1),
+        (2, 5),
     ];
     let trace = build_trace(4, &ops, 3);
     let (sim, g) = replay_two_hop(&trace);
@@ -86,10 +127,40 @@ fn gap3_stale_deletion_does_not_clobber_fresh_insertion() {
 #[test]
 fn gap4_per_witness_marks_defeat_phantom_support() {
     let ops = [
-        (3, 0), (2, 7), (0, 0), (0, 0), (0, 0), (0, 0), (3, 0), (8, 7), (0, 0), (0, 0),
-        (0, 0), (0, 0), (0, 0), (5, 1), (0, 0), (2, 2), (0, 0), (0, 0), (0, 8), (5, 8),
-        (0, 7), (9, 2), (6, 2), (3, 3), (1, 1), (7, 8), (4, 4), (2, 1), (7, 4), (0, 3),
-        (6, 9), (2, 0), (7, 0), (5, 2),
+        (3, 0),
+        (2, 7),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (3, 0),
+        (8, 7),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (5, 1),
+        (0, 0),
+        (2, 2),
+        (0, 0),
+        (0, 0),
+        (0, 8),
+        (5, 8),
+        (0, 7),
+        (9, 2),
+        (6, 2),
+        (3, 3),
+        (1, 1),
+        (7, 8),
+        (4, 4),
+        (2, 1),
+        (7, 4),
+        (0, 3),
+        (6, 9),
+        (2, 0),
+        (7, 0),
+        (5, 2),
     ];
     let trace = build_trace(6, &ops, 3);
     let (sim, g) = replay_two_hop(&trace);
@@ -104,9 +175,28 @@ fn gap4_per_witness_marks_defeat_phantom_support() {
 #[test]
 fn gap2_sender_stays_dirty_through_the_relay_handoff() {
     let ops = [
-        (4, 5), (4, 1), (3, 4), (5, 6), (4, 5), (3, 1), (1, 0), (8, 4), (4, 5), (5, 4),
-        (3, 0), (5, 4), (8, 1), (4, 1), (8, 0), (3, 4), (6, 8), (8, 4), (4, 6), (0, 1),
-        (3, 4), (2, 2),
+        (4, 5),
+        (4, 1),
+        (3, 4),
+        (5, 6),
+        (4, 5),
+        (3, 1),
+        (1, 0),
+        (8, 4),
+        (4, 5),
+        (5, 4),
+        (3, 0),
+        (5, 4),
+        (8, 1),
+        (4, 1),
+        (8, 0),
+        (3, 4),
+        (6, 8),
+        (8, 4),
+        (4, 6),
+        (0, 1),
+        (3, 4),
+        (2, 2),
     ];
     let trace = build_trace(5, &ops, 1);
     let n = trace.n;
@@ -135,8 +225,20 @@ fn gap2_sender_stays_dirty_through_the_relay_handoff() {
 #[test]
 fn gap6a_deletion_chain_cannot_outrun_reinsertion_in_own_fifo() {
     let ops = [
-        (2, 7), (2, 1), (1, 2), (5, 0), (0, 0), (3, 7), (0, 0), (0, 0), (8, 9), (0, 0),
-        (2, 7), (0, 0), (2, 2), (1, 2),
+        (2, 7),
+        (2, 1),
+        (1, 2),
+        (5, 0),
+        (0, 0),
+        (3, 7),
+        (0, 0),
+        (0, 0),
+        (8, 9),
+        (0, 0),
+        (2, 7),
+        (0, 0),
+        (2, 2),
+        (1, 2),
     ];
     let trace = build_trace(6, &ops, 1);
     assert_three_hop_sandwich(&trace, "gap6a");
@@ -149,10 +251,45 @@ fn gap6a_deletion_chain_cannot_outrun_reinsertion_in_own_fifo() {
 #[test]
 fn gap6b_stale_notice_cannot_purge_other_routes() {
     let ops = [
-        (3, 9), (7, 8), (2, 2), (4, 3), (1, 7), (9, 8), (4, 0), (2, 1), (7, 8), (0, 2),
-        (3, 4), (2, 0), (7, 0), (1, 1), (0, 2), (5, 2), (7, 2), (2, 1), (0, 9), (0, 5),
-        (6, 6), (6, 5), (6, 5), (8, 4), (3, 7), (4, 8), (9, 0), (2, 5), (3, 0), (3, 6),
-        (8, 3), (4, 7), (9, 0), (6, 3), (9, 2), (4, 1), (1, 2), (1, 8), (3, 0),
+        (3, 9),
+        (7, 8),
+        (2, 2),
+        (4, 3),
+        (1, 7),
+        (9, 8),
+        (4, 0),
+        (2, 1),
+        (7, 8),
+        (0, 2),
+        (3, 4),
+        (2, 0),
+        (7, 0),
+        (1, 1),
+        (0, 2),
+        (5, 2),
+        (7, 2),
+        (2, 1),
+        (0, 9),
+        (0, 5),
+        (6, 6),
+        (6, 5),
+        (6, 5),
+        (8, 4),
+        (3, 7),
+        (4, 8),
+        (9, 0),
+        (2, 5),
+        (3, 0),
+        (3, 6),
+        (8, 3),
+        (4, 7),
+        (9, 0),
+        (6, 3),
+        (9, 2),
+        (4, 1),
+        (1, 2),
+        (1, 8),
+        (3, 0),
     ];
     let trace = build_trace(8, &ops, 3);
     assert_three_hop_sandwich(&trace, "gap6b");
@@ -165,8 +302,22 @@ fn gap6b_stale_notice_cannot_purge_other_routes() {
 #[test]
 fn gap6b2_second_endpoint_copy_is_route_confined() {
     let ops = [
-        (2, 7), (0, 0), (8, 1), (3, 0), (1, 2), (0, 0), (2, 2), (0, 0), (0, 0), (0, 0),
-        (0, 0), (0, 0), (0, 0), (0, 1), (2, 7), (1, 2),
+        (2, 7),
+        (0, 0),
+        (8, 1),
+        (3, 0),
+        (1, 2),
+        (0, 0),
+        (2, 2),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 1),
+        (2, 7),
+        (1, 2),
     ];
     let trace = build_trace(6, &ops, 1);
     assert_three_hop_sandwich(&trace, "gap6b2");
@@ -219,10 +370,7 @@ fn gap7_phase_one_stabilization_preserves_the_bottleneck() {
                 continue;
             }
             let cyc = adv.merge_cycle6(1, 0, j);
-            let responses: Vec<_> = cyc
-                .iter()
-                .map(|&v| sim.node(v).query_cycle(&cyc))
-                .collect();
+            let responses: Vec<_> = cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
             assert_ne!(
                 listing_verdict(&responses),
                 Some(true),

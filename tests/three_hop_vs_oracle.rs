@@ -61,8 +61,7 @@ fn audit_sandwich(trace: &Trace, label: &str) -> u64 {
             let e3_prev = prev.r_hop_edges(v, 3);
             let e2_prev = prev.r_hop_edges(v, 2);
             for e in have.iter() {
-                let in_upper = e2_now.contains(e)
-                    || (e3_prev.contains(e) && !e2_prev.contains(e));
+                let in_upper = e2_now.contains(e) || (e3_prev.contains(e) && !e2_prev.contains(e));
                 assert!(
                     in_upper,
                     "[{label}] round {}: v{} knows phantom edge {e:?}",

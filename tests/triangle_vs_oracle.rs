@@ -42,7 +42,8 @@ fn audit_trace(trace: &Trace, label: &str) -> Audit {
             let have: FxHashSet<Edge> = node.known_edges().collect();
             let want = g.triangle_patterns(v);
             assert_eq!(
-                have, want,
+                have,
+                want,
                 "[{label}] round {}: S_v{} != T^{{v,2}}",
                 i + 1,
                 v.0
@@ -54,7 +55,13 @@ fn audit_trace(trace: &Trace, label: &str) -> Audit {
             listed.sort();
             let mut truth = g.triangles_containing(v);
             truth.sort();
-            assert_eq!(listed, truth, "[{label}] round {}: triangles at v{}", i + 1, v.0);
+            assert_eq!(
+                listed,
+                truth,
+                "[{label}] round {}: triangles at v{}",
+                i + 1,
+                v.0
+            );
             audit.triangle_checks += 1;
         }
     }
@@ -156,8 +163,7 @@ fn clique_membership_is_exact() {
         for v in 0..cfg.n as u32 {
             let v = NodeId(v);
             let node = sim.node(v);
-            let truth: FxHashSet<Vec<NodeId>> =
-                g.cliques_containing(v, k).into_iter().collect();
+            let truth: FxHashSet<Vec<NodeId>> = g.cliques_containing(v, k).into_iter().collect();
             let listed: FxHashSet<Vec<NodeId>> = node
                 .list_cliques(k)
                 .expect_answer("settled")
@@ -173,6 +179,9 @@ fn clique_membership_is_exact() {
                 verified += 1;
             }
         }
-        assert!(verified >= 4, "k={k}: expected some planted cliques to survive");
+        assert!(
+            verified >= 4,
+            "k={k}: expected some planted cliques to survive"
+        );
     }
 }

@@ -33,7 +33,8 @@ fn check_against_oracle(trace: dynamic_subgraphs::net::Trace, label: &str) -> (u
             let have: FxHashSet<Edge> = node.known_edges().collect();
             let want = g.robust_two_hop(v);
             assert_eq!(
-                have, want,
+                have,
+                want,
                 "[{label}] round {}: S_v{} != R^{{v,2}}",
                 i + 1,
                 v.0

@@ -1,0 +1,205 @@
+//! Offline shim for `criterion`: wall-clock micro-benchmarking with the
+//! `criterion_group!` / `criterion_main!` surface. Reports mean / min /
+//! max per benchmark to stdout; no statistical modeling or HTML output.
+//!
+//! `CRITERION_SAMPLE_OVERRIDE=<n>` caps the per-benchmark sample count —
+//! useful to smoke-run every bench quickly in CI.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmark a closure with no per-size input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(100, &mut f);
+        print_stats(id, &stats);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(self.sample_size, &mut |b| f(b, input));
+        print_stats(&format!("{}/{}", self.name, id.0), &stats);
+        self
+    }
+
+    /// Benchmark a closure with no input parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, &mut f);
+        print_stats(&format!("{}/{}", self.name, id), &stats);
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; times the inner routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Time one sample of `routine` (called `rounds` times by the driver).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.rounds {
+            let t0 = Instant::now();
+            let out = routine();
+            self.samples.push(t0.elapsed());
+            black_box(out);
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the result.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+fn run_bench<F>(sample_size: usize, f: &mut F) -> Stats
+where
+    F: FnMut(&mut Bencher),
+{
+    let rounds = std::env::var("CRITERION_SAMPLE_OVERRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(sample_size)
+        .max(1);
+    let mut b = Bencher {
+        samples: Vec::with_capacity(rounds),
+        rounds,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        // The closure never called iter(); record a zero sample.
+        b.samples.push(Duration::ZERO);
+    }
+    let total: Duration = b.samples.iter().sum();
+    Stats {
+        mean: total / b.samples.len() as u32,
+        min: b.samples.iter().min().copied().unwrap_or_default(),
+        max: b.samples.iter().max().copied().unwrap_or_default(),
+        samples: b.samples.len(),
+    }
+}
+
+fn print_stats(id: &str, s: &Stats) {
+    println!(
+        "{id:<48} mean {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+        s.mean, s.min, s.max, s.samples
+    );
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

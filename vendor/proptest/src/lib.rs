@@ -1,0 +1,298 @@
+//! Offline shim for `proptest`: random-generation property testing with
+//! the `proptest!` / `prop_assert!` surface this workspace uses.
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the
+//! failure message reports the case index and generated inputs' Debug
+//! rendering instead, and generation is deterministic per (test, case).
+
+use std::ops::Range;
+
+/// Runner configuration (subset).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a property case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator state handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded for one (test, case) pair.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element from `element`, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Minimal runner plumbing used by the `proptest!` expansion.
+
+    pub use super::{ProptestConfig as Config, TestCaseError, TestRng};
+
+    /// Drives the per-case loop of one property.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        config: super::ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// New runner for one property function.
+        pub fn new(config: super::ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Deterministic RNG for one case, seeded from the test name so
+        /// different properties see different streams.
+        pub fn rng_for(&self, test_name: &str, case: u32) -> TestRng {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(seed.wrapping_add(case as u64))
+        }
+    }
+}
+
+/// Run properties over random cases (no shrinking — see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            #[test]
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(config);
+                for __case in 0..runner.cases() {
+                    let mut __rng = runner.rng_for(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg),*
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1,
+                            runner.cases(),
+                            e,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( #[test] fn $name ( $( $arg in $strat ),* ) $body )*
+        }
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Everything the test files import.
+    pub use super::collection as prop_collection;
+    pub use super::{Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..500 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let pair = ((0u32..4), (10usize..12)).generate(&mut rng);
+            assert!(pair.0 < 4 && (10..12).contains(&pair.1));
+            let v = prop::collection::vec((0u32..5, 0u32..5), 1..7).generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expansion_runs(
+            xs in prop::collection::vec((0u32..10, 0u32..10), 1..20),
+            n in 2u32..6,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((2..6).contains(&n), "n = {} out of range", n);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline shim for `rayon`: data-parallel iteration over slices, `Vec`s
+//! and integer ranges, executed on `std::thread::scope` with one chunk per
+//! available core. Only the adapters this workspace uses are provided:
+//! `enumerate`, `map`, `for_each`, `collect`.
+//!
+//! Order is preserved: `collect` returns results in input order, exactly
+//! like rayon's indexed parallel iterators.
+
+use std::ops::Range;
+
+fn threads_for(len: usize) -> usize {
+    if len <= 1 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len)
+}
+
+/// Run `f` over `items` on scoped threads, preserving order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = threads_for(items.len());
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(n);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator": the items are materialized up front and
+/// the closure pipeline runs at the terminal operation.
+pub struct ParItems<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParItems<T> {
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParItems<(usize, T)> {
+        ParItems {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily map; runs in parallel at the terminal op.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Consume every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &|t| f(t));
+    }
+
+    /// Collect the (identity-mapped) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Lazy map stage; terminal ops execute on scoped threads.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Collect mapped results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Run the mapped pipeline for its side effects.
+    pub fn for_each<R>(self)
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map_vec(self.items, &self.f);
+    }
+}
+
+/// Owned conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Build the eager parallel iterator.
+    fn into_par_iter(self) -> ParItems<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParItems<T> {
+        ParItems { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParItems<$t> {
+                ParItems { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u32, u64, usize);
+
+/// `.par_iter()` on collections borrowed immutably.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParItems<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParItems<&'data T> {
+        ParItems {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParItems<&'data T> {
+        ParItems {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter_mut()` on collections borrowed mutably.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// Parallel iterator over `&mut self`.
+    fn par_iter_mut(&'data mut self) -> ParItems<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParItems<&'data mut T> {
+        ParItems {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParItems<&'data mut T> {
+        ParItems {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The traits that make `par_iter` & co. resolve.
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_all() {
+        let mut v: Vec<u32> = vec![1; 257];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as u32);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 1 + i as u32);
+        }
+    }
+
+    #[test]
+    fn par_iter_maps_borrowed() {
+        let v = vec![3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = v.par_iter().map(|x| *x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Offline shim for `serde_derive`, written directly against
+//! `proc_macro` (no syn/quote in this environment).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! - non-generic structs with named fields  → object
+//! - non-generic 1-field tuple structs      → transparent (newtype)
+//! - non-generic enums with unit variants   → string
+//!   and/or 1-field tuple variants          → `{ "Variant": value }`
+//!
+//! Anything else fails the build with a descriptive panic, which is the
+//! desired behavior: silent mis-serialization would be worse.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named struct with field names.
+    Struct(Vec<String>),
+    /// Tuple struct with a field count (only 1 is supported).
+    Tuple(usize),
+    /// Enum variants: (name, has_payload).
+    Enum(Vec<(String, bool)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive the serde shim's `Serialize` for a supported type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => panic!(
+            "serde_derive shim: {}-field tuple struct `{}` unsupported (only newtypes)",
+            n, p.name
+        ),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{n}::{v}(inner) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(inner))]),",
+                            n = p.name
+                        )
+                    } else {
+                        format!(
+                            "{n}::{v} => ::serde::Value::Str(\"{v}\".to_string()),",
+                            n = p.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = p.name,
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derive the serde shim's `Deserialize` for a supported type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         v.get(\"{f}\").ok_or_else(|| format!(\"{name}: missing field `{f}`\"))?\
+                         ).map_err(|e| format!(\"{name}.{f}: {{e}}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Obj(_) => Ok({name} {{ {inits} }}),\n\
+                 other => Err(format!(\"{name}: expected object, got {{other:?}}\")),\n\
+                 }}",
+                inits = inits.join(", "),
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_value(v).map_err(|e| format!(\"{name}: {{e}}\"))?))"
+        ),
+        Shape::Tuple(n) => panic!(
+            "serde_derive shim: {n}-field tuple struct `{name}` unsupported (only newtypes)"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)\
+                         .map_err(|e| format!(\"{name}::{v}: {{e}}\"))?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(format!(\"{name}: unknown variant {{other:?}}\")),\n\
+                 }},\n\
+                 ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\n\
+                 other => Err(format!(\"{name}: unknown variant {{other:?}}\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(format!(\"{name}: expected variant string or 1-key object, got {{other:?}}\")),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
+
+// ---- input parsing ---------------------------------------------------
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut trees = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                trees.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                trees.next();
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = trees.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` unsupported");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_top_level_commas(g.stream()))
+            }
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive shim: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+
+    Parsed { name, shape }
+}
+
+/// Parse `vis ident : Type, ...` returning the field names. Commas inside
+/// generic arguments are skipped by tracking `<`/`>` depth.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut trees = stream.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes & visibility before the field name.
+        loop {
+            match trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                    trees.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    trees.next();
+                    if let Some(TokenTree::Group(g)) = trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            trees.next();
+                        }
+                    }
+                }
+                None => break 'fields,
+                _ => break,
+            }
+        }
+        let field = match trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match trees.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple struct body (trailing comma tolerated).
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tree in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+/// Parse enum variants as (name, has_payload).
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, bool)> {
+    let mut variants = Vec::new();
+    let mut trees = stream.into_iter().peekable();
+    'variants: loop {
+        loop {
+            match trees.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                    trees.next();
+                }
+                None => break 'variants,
+                _ => break,
+            }
+        }
+        let variant = match trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant of `{enum_name}`, got {other:?}"),
+        };
+        let mut has_payload = false;
+        match trees.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_top_level_commas(g.stream());
+                if fields != 1 {
+                    panic!(
+                        "serde_derive shim: variant `{enum_name}::{variant}` has {fields} fields; only unit and 1-field tuple variants are supported"
+                    );
+                }
+                has_payload = true;
+                trees.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct variant `{enum_name}::{variant}` unsupported");
+            }
+            _ => {}
+        }
+        variants.push((variant.clone(), has_payload));
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!(
+                "serde_derive shim: expected `,` after `{enum_name}::{variant}`, got {other:?}"
+            ),
+        }
+    }
+    variants
+}

@@ -1,14 +1,19 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|all] [--csv] [--rounds N] [--json FILE]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|all]
+//!             [--csv] [--rounds N] [--max-n N] [--json FILE]
+//!             [--check-schema BASELINE.json]
 //! ```
 //!
 //! With no arguments, runs everything. `--csv` additionally writes each
 //! table as CSV to `target/experiments/<id>.csv`; `--json FILE` writes
 //! every table plus its wall-clock cost as one JSON report (this is how
 //! `BENCH_baseline.json` is produced, giving later performance work a
-//! recorded trajectory to beat).
+//! recorded trajectory to beat). `--max-n` caps the size sweeps (reduced
+//! configs for CI smoke runs) and `--check-schema` verifies that every
+//! produced table id + header row matches the named baseline report,
+//! exiting non-zero on drift.
 
 use dds_bench::runners;
 use dds_bench::Table;
@@ -31,29 +36,47 @@ struct Report {
     tables: Vec<TimedTable>,
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let json_path = match args.iter().position(|a| a == "--json") {
+/// Value of a `--flag FILE` option, exiting when the value is missing.
+fn file_option(args: &[String], flag: &str) -> Option<String> {
+    match args.iter().position(|a| a == flag) {
         None => None,
         Some(i) => match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => Some(v.clone()),
             _ => {
-                eprintln!("error: --json needs an output FILE");
+                eprintln!("error: {flag} needs a FILE");
                 std::process::exit(2);
             }
         },
-    };
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = file_option(&args, "--json");
+    let schema_baseline = file_option(&args, "--check-schema");
     let rounds = args
         .iter()
         .position(|a| a == "--rounds")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(300);
+    let max_n = match args.iter().position(|a| a == "--max-n") {
+        None => usize::MAX,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("error: --max-n needs a numeric size");
+                std::process::exit(2);
+            }
+        },
+    };
     let skip_values: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--rounds" || *a == "--json")
+        .filter(|(_, a)| {
+            *a == "--rounds" || *a == "--json" || *a == "--max-n" || *a == "--check-schema"
+        })
         .map(|(i, _)| i + 1)
         .collect();
     let wanted: Vec<&str> = args
@@ -77,12 +100,26 @@ fn main() {
             table,
         });
     };
+    let sweep_ns: Vec<usize> = runners::SWEEP_NS
+        .iter()
+        .copied()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let seed_sweep_ns: Vec<usize> = [64usize, 256]
+        .iter()
+        .copied()
+        .filter(|&n| n <= max_n)
+        .collect();
+    if sweep_ns.is_empty() || seed_sweep_ns.is_empty() {
+        eprintln!("error: --max-n {max_n} leaves no sweep sizes");
+        std::process::exit(2);
+    }
     if want("e1") {
-        run("e1", &mut || runners::e1_two_hop(rounds));
+        run("e1", &mut || runners::e1_two_hop_sizes(&sweep_ns, rounds));
         run("e1s", &mut || {
             dds_bench::sweep::amortized_sweep_table::<dds_robust::TwoHopNode>(
                 "E1s / Theorem 7 — robust 2-hop amortized across seeds (ER churn)",
-                &[64, 256],
+                &seed_sweep_ns,
                 10,
                 rounds,
             )
@@ -98,11 +135,11 @@ fn main() {
         run("e4", &mut || runners::e4_lower_bound_2hop());
     }
     if want("e5") {
-        run("e5", &mut || runners::e5_three_hop(rounds));
+        run("e5", &mut || runners::e5_three_hop_sizes(&sweep_ns, rounds));
         run("e5s", &mut || {
             dds_bench::sweep::amortized_sweep_table::<dds_robust::ThreeHopNode>(
                 "E5s / Theorem 6 — robust 3-hop amortized across seeds (ER churn)",
-                &[64, 256],
+                &seed_sweep_ns,
                 10,
                 rounds,
             )
@@ -131,6 +168,10 @@ fn main() {
     }
     if want("a3") {
         run("a3", &mut || runners::a3_bandwidth(rounds));
+    }
+
+    if let Some(baseline) = &schema_baseline {
+        check_schema(&tables, baseline);
     }
 
     for tt in &tables {
@@ -163,5 +204,62 @@ fn main() {
         } else {
             ""
         }
+    );
+}
+
+/// Validate every produced table against a baseline report: each table id
+/// must exist in the baseline with an identical header row. Exits non-zero
+/// on drift so CI catches accidental schema changes.
+fn check_schema(tables: &[TimedTable], baseline_path: &str) {
+    let raw = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline: serde_json::Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("error: baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let empty = Vec::new();
+    let baseline_tables = baseline
+        .get("tables")
+        .and_then(|t| t.as_array())
+        .unwrap_or(&empty);
+    let mut failures = 0usize;
+    for tt in tables {
+        let Some(base) = baseline_tables
+            .iter()
+            .find(|b| b.get("id").and_then(|i| i.as_str()) == Some(&tt.id))
+        else {
+            eprintln!(
+                "schema check: table {:?} missing from {baseline_path}",
+                tt.id
+            );
+            failures += 1;
+            continue;
+        };
+        let got: Vec<&str> = tt.table.headers.iter().map(String::as_str).collect();
+        let want: Vec<&str> = base
+            .get("table")
+            .and_then(|t| t.get("headers"))
+            .and_then(|h| h.as_array())
+            .unwrap_or(&empty)
+            .iter()
+            .filter_map(|h| h.as_str())
+            .collect();
+        if got != want {
+            eprintln!(
+                "schema check: table {:?} headers drifted\n  baseline: {want:?}\n  produced: {got:?}",
+                tt.id
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("schema check FAILED: {failures} table(s) drifted from {baseline_path}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[schema check OK: {} table(s) match {baseline_path}]",
+        tables.len()
     );
 }

@@ -8,9 +8,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod driver;
 pub mod runners;
 pub mod sweep;
 pub mod table;
 
+pub use driver::protocols;
 pub use sweep::{sweep, Stats};
 pub use table::Table;

@@ -4,45 +4,44 @@
 
 use crate::table::{f2, f3, Table};
 use dds_baselines::{NaiveTwoHopNode, SnapshotNode};
-use dds_net::{
-    BandwidthConfig, BandwidthPolicy, Node as _, NodeId, Response, SimConfig, Simulator, Trace,
-};
+use dds_net::engine::drive;
+use dds_net::{Node as _, NodeId, Response, SimConfig, Simulator, Trace};
 use dds_oracle::DynamicGraph;
 use dds_robust::{listing_verdict, ThreeHopNode, TriangleNode, TwoHopNode};
-use dds_workloads::{
-    bounds, record, staggered_flicker_trace, ErChurn, ErChurnConfig, Flicker, FlickerConfig, HSpec,
-    P2pChurn, P2pChurnConfig, Planted, PlantedConfig, Shape, Thm2Adversary, Thm4Adversary,
-    Workload,
-};
+use dds_workloads::{bounds, registry, staggered_flicker_trace, Params, Thm4Adversary, Workload};
 use rustc_hash::FxHashSet;
 
 /// Standard problem sizes for the O(1)-amortized sweeps.
 pub const SWEEP_NS: [usize; 4] = [64, 128, 256, 512];
 
+/// Build a registered workload's trace, panicking on schema errors (the
+/// experiment definitions are static, so a failure here is a bug).
+fn trace_for(workload: &str, params: Params) -> Trace {
+    registry::build_trace(workload, &params).unwrap_or_else(|e| panic!("workload {workload}: {e}"))
+}
+
 fn er_trace(n: usize, rounds: usize, seed: u64) -> Trace {
-    record(
-        ErChurn::new(ErChurnConfig {
-            n,
-            target_edges: 2 * n,
-            changes_per_round: 4,
-            rounds,
-            seed,
-        }),
-        usize::MAX,
+    trace_for(
+        "er",
+        Params::new()
+            .with("n", n)
+            .with("rounds", rounds)
+            .with("seed", seed),
     )
 }
 
 fn run_on<N: dds_net::Node>(trace: &Trace) -> Simulator<N> {
-    let mut sim: Simulator<N> = Simulator::with_config(trace.n, SimConfig::default());
-    for b in &trace.batches {
-        sim.step(b);
-    }
-    sim
+    drive(trace, SimConfig::default())
 }
 
 /// E1 — Theorem 7: robust 2-hop maintenance has O(1) amortized complexity,
 /// independent of n, across workloads.
 pub fn e1_two_hop(rounds: usize) -> Table {
+    e1_two_hop_sizes(&SWEEP_NS, rounds)
+}
+
+/// E1 over explicit sizes (reduced configs for CI smoke runs).
+pub fn e1_two_hop_sizes(ns: &[usize], rounds: usize) -> Table {
     let mut t = Table::new(
         "E1 / Theorem 7 — robust 2-hop neighborhood: amortized rounds per change",
         &[
@@ -54,33 +53,21 @@ pub fn e1_two_hop(rounds: usize) -> Table {
             "bits/link/round",
         ],
     );
-    for &n in &SWEEP_NS {
+    for &n in ns {
+        let base = Params::new().with("n", n).with("rounds", rounds);
         for (name, trace) in [
             ("er-churn", er_trace(n, rounds, 17 + n as u64)),
             (
                 "flicker",
-                record(
-                    Flicker::new(FlickerConfig {
-                        n,
-                        flickering: n / 4,
-                        rounds,
-                        seed: 23 + n as u64,
-                        ..FlickerConfig::default()
-                    }),
-                    usize::MAX,
-                ),
+                trace_for("flicker", base.clone().with("seed", 23 + n as u64)),
             ),
             (
                 "p2p",
-                record(
-                    P2pChurn::new(P2pChurnConfig {
-                        n,
-                        triadic: true,
-                        rounds,
-                        seed: 31 + n as u64,
-                        ..P2pChurnConfig::default()
-                    }),
-                    usize::MAX,
+                trace_for(
+                    "p2p",
+                    base.clone()
+                        .with("seed", 31 + n as u64)
+                        .with("triadic", true),
                 ),
             ),
         ] {
@@ -116,17 +103,16 @@ pub fn e2_triangle(rounds: usize) -> Table {
         ],
     );
     for &n in &SWEEP_NS {
-        let trace = record(
-            Planted::new(PlantedConfig {
-                n,
-                shape: Shape::Clique(3),
-                spacing: 6,
-                lifetime: 40,
-                noise_per_round: 2,
-                rounds,
-                seed: 71 + n as u64,
-            }),
-            usize::MAX,
+        let trace = trace_for(
+            "planted-clique",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 71 + n as u64)
+                .with("k", 3)
+                .with("spacing", 6)
+                .with("lifetime", 40)
+                .with("noise", 2),
         );
         let mut sim: Simulator<TriangleNode> = Simulator::new(n);
         let mut g = DynamicGraph::new(n);
@@ -176,17 +162,16 @@ pub fn e3_cliques(rounds: usize) -> Table {
     );
     for k in [3usize, 4, 5, 6] {
         let n = 96;
-        let trace = record(
-            Planted::new(PlantedConfig {
-                n,
-                shape: Shape::Clique(k),
-                spacing: (k * k) as u64,
-                lifetime: 60,
-                noise_per_round: 1,
-                rounds,
-                seed: 100 + k as u64,
-            }),
-            usize::MAX,
+        let trace = trace_for(
+            "planted-clique",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 100 + k as u64)
+                .with("k", k)
+                .with("spacing", k * k)
+                .with("lifetime", 60)
+                .with("noise", 1),
         );
         let mut sim: Simulator<TriangleNode> = Simulator::new(n);
         let mut g = DynamicGraph::new(n);
@@ -238,9 +223,9 @@ pub fn e4_lower_bound_2hop_sizes(ns: &[usize]) -> Table {
             "robust-2hop amortized",
         ],
     );
-    for (pattern_name, pattern) in [("P3", HSpec::path3()), ("K4-e", HSpec::k4_minus_edge())] {
+    for (pattern_name, pattern) in [("P3", "p3"), ("K4-e", "k4-e")] {
         for &n in ns {
-            let trace = record(Thm2Adversary::new(pattern.clone(), n, 2 * n), usize::MAX);
+            let trace = trace_for("thm2", Params::new().with("n", n).with("pattern", pattern));
             let snap: Simulator<SnapshotNode> = run_on(&trace);
             let robust: Simulator<TwoHopNode> = run_on(&trace);
             let bound = bounds::thm2_amortized_bound(n as u64);
@@ -269,25 +254,22 @@ pub fn e4_lower_bound_2hop() -> Table {
 /// E5 — Theorem 6: robust 3-hop maintenance, O(1) amortized across sizes
 /// and workloads.
 pub fn e5_three_hop(rounds: usize) -> Table {
+    e5_three_hop_sizes(&SWEEP_NS, rounds)
+}
+
+/// E5 over explicit sizes (reduced configs for CI smoke runs).
+pub fn e5_three_hop_sizes(ns: &[usize], rounds: usize) -> Table {
     let mut t = Table::new(
         "E5 / Theorem 6 — robust 3-hop neighborhood: amortized rounds per change",
         &["n", "workload", "changes", "amortized", "bits/link/round"],
     );
-    for &n in &SWEEP_NS {
+    for &n in ns {
+        let base = Params::new().with("n", n).with("rounds", rounds);
         for (name, trace) in [
             ("er-churn", er_trace(n, rounds, 41 + n as u64)),
             (
                 "flicker",
-                record(
-                    Flicker::new(FlickerConfig {
-                        n,
-                        flickering: n / 4,
-                        rounds,
-                        seed: 43 + n as u64,
-                        ..FlickerConfig::default()
-                    }),
-                    usize::MAX,
-                ),
+                trace_for("flicker", base.clone().with("seed", 43 + n as u64)),
             ),
         ] {
             let sim: Simulator<ThreeHopNode> = run_on(&trace);
@@ -314,17 +296,16 @@ pub fn e6_cycles(rounds: usize) -> Table {
     );
     for k in [4usize, 5] {
         let n = 40;
-        let raw = record(
-            Planted::new(PlantedConfig {
-                n,
-                shape: Shape::Cycle(k),
-                spacing: 8,
-                lifetime: 50,
-                noise_per_round: 1,
-                rounds,
-                seed: 200 + k as u64,
-            }),
-            usize::MAX,
+        let raw = trace_for(
+            "planted-cycle",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 200 + k as u64)
+                .with("k", k)
+                .with("spacing", 8)
+                .with("lifetime", 50)
+                .with("noise", 1),
         );
         // Give the 3-hop structure air between bursts.
         let mut trace = Trace::new(n);
@@ -490,13 +471,15 @@ pub fn e9_remark1() -> Table {
     );
     for rows in [4usize, 6, 8] {
         let d = 3 * rows;
-        let stabilize = 4 * d;
-        let adv = dds_workloads::Remark1Adversary::new(rows, d, stabilize, 0xE9 + rows as u64);
-        let n = adv.n();
-        let trace = record(
-            dds_workloads::Remark1Adversary::new(rows, d, stabilize, 0xE9 + rows as u64),
-            usize::MAX,
+        let trace = trace_for(
+            "remark1",
+            Params::new()
+                .with("rows", rows)
+                .with("d", d)
+                .with("stabilize", 4 * d)
+                .with("seed", 0xE9 + rows as u64),
         );
+        let n = trace.n;
         let sim: Simulator<SnapshotNode> = run_on(&trace);
         t.row(vec![
             n.to_string(),
@@ -517,32 +500,16 @@ pub fn f23_coverage(rounds: usize) -> Table {
         "F2+F3 / Figures 2+3 — robust-set coverage of the full neighborhoods",
         &["workload", "|R2|/|E2|", "|T2|/|E2|", "|R3|/|E3|"],
     );
+    let base = Params::new().with("n", 64).with("rounds", rounds);
     for (name, trace) in [
         ("er-churn", er_trace(64, rounds, 301)),
         (
             "p2p",
-            record(
-                P2pChurn::new(P2pChurnConfig {
-                    n: 64,
-                    triadic: true,
-                    rounds,
-                    seed: 303,
-                    ..P2pChurnConfig::default()
-                }),
-                usize::MAX,
-            ),
+            trace_for("p2p", base.clone().with("seed", 303).with("triadic", true)),
         ),
         (
             "sliding",
-            record(
-                dds_workloads::SlidingWindow::new(dds_workloads::SlidingWindowConfig {
-                    n: 64,
-                    rounds,
-                    seed: 305,
-                    ..dds_workloads::SlidingWindowConfig::default()
-                }),
-                usize::MAX,
-            ),
+            trace_for("sliding", base.clone().with("seed", 305)),
         ),
     ] {
         let mut g = DynamicGraph::new(trace.n);
@@ -635,17 +602,16 @@ pub fn a2_two_hop_insufficient(rounds: usize) -> Table {
         ],
     );
     for k in [4usize, 5] {
-        let trace = record(
-            Planted::new(PlantedConfig {
-                n: 32,
-                shape: Shape::Cycle(k),
-                spacing: 9,
-                lifetime: 40,
-                noise_per_round: 1,
-                rounds,
-                seed: 500 + k as u64,
-            }),
-            usize::MAX,
+        let trace = trace_for(
+            "planted-cycle",
+            Params::new()
+                .with("n", 32)
+                .with("rounds", rounds)
+                .with("seed", 500 + k as u64)
+                .with("k", k)
+                .with("spacing", 9)
+                .with("lifetime", 40)
+                .with("noise", 1),
         );
         let mut g = DynamicGraph::new(trace.n);
         let (mut seen, mut cov2, mut cov3) = (0u64, 0u64, 0u64);
@@ -698,67 +664,28 @@ pub fn a3_bandwidth(rounds: usize) -> Table {
         ],
     );
     let trace = er_trace(128, rounds, 777);
-    let budget = BandwidthConfig::default().budget_bits(128);
 
-    fn row_for<N: dds_net::Node>(
-        t: &mut Table,
-        name: &str,
-        trace: &Trace,
-        budget: u64,
-        policy: BandwidthPolicy,
-    ) {
-        let cfg = SimConfig {
-            bandwidth: BandwidthConfig { factor: 8, policy },
-            ..SimConfig::default()
-        };
-        let mut sim: Simulator<N> = Simulator::with_config(trace.n, cfg);
-        for b in &trace.batches {
-            sim.step(b);
-        }
-        let links = sim.topology().edge_count().max(1) as f64;
+    // One registry dispatch per algorithm: the flood entry switches its own
+    // bandwidth policy to `Observe`, everything else enforces.
+    for (label, protocol) in [
+        ("robust 2-hop", "two-hop"),
+        ("triangle membership", "triangle"),
+        ("robust 3-hop", "three-hop"),
+        ("snapshot 2-hop (Lemma 1)", "snapshot"),
+        ("flooding (calibrator)", "flood"),
+    ] {
+        let s = crate::driver::protocols()
+            .run(protocol, &trace, SimConfig::default())
+            .expect("registered protocol");
+        let links = s.final_edges.max(1) as f64;
         t.row(vec![
-            name.into(),
-            sim.bandwidth().total_bits().to_string(),
-            f2(sim.bandwidth().total_bits() as f64 / sim.meter().rounds() as f64 / links),
-            budget.to_string(),
-            sim.bandwidth().violations().to_string(),
+            label.into(),
+            s.bits.to_string(),
+            f2(s.bits as f64 / s.rounds as f64 / links),
+            s.budget_bits.to_string(),
+            s.violations.to_string(),
         ]);
     }
-    row_for::<TwoHopNode>(
-        &mut t,
-        "robust 2-hop",
-        &trace,
-        budget,
-        BandwidthPolicy::Enforce,
-    );
-    row_for::<TriangleNode>(
-        &mut t,
-        "triangle membership",
-        &trace,
-        budget,
-        BandwidthPolicy::Enforce,
-    );
-    row_for::<ThreeHopNode>(
-        &mut t,
-        "robust 3-hop",
-        &trace,
-        budget,
-        BandwidthPolicy::Enforce,
-    );
-    row_for::<SnapshotNode>(
-        &mut t,
-        "snapshot 2-hop (Lemma 1)",
-        &trace,
-        budget,
-        BandwidthPolicy::Enforce,
-    );
-    row_for::<dds_baselines::FloodNode>(
-        &mut t,
-        "flooding (calibrator)",
-        &trace,
-        budget,
-        BandwidthPolicy::Observe,
-    );
     t.note("all CONGEST algorithms stay within budget (0 violations); flooding shows the cost of ignoring it");
     t
 }

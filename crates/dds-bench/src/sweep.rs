@@ -75,7 +75,6 @@ pub fn amortized_sweep_table<N: dds_net::Node>(
     seeds: usize,
     rounds: usize,
 ) -> crate::table::Table {
-    use dds_workloads::{record, ErChurn, ErChurnConfig};
     let mut t = crate::table::Table::new(
         title,
         &[
@@ -89,20 +88,16 @@ pub fn amortized_sweep_table<N: dds_net::Node>(
     );
     for &n in ns {
         let run = |seed: u64, footnote: bool| -> f64 {
-            let trace = record(
-                ErChurn::new(ErChurnConfig {
-                    n,
-                    target_edges: 2 * n,
-                    changes_per_round: 4,
-                    rounds,
-                    seed,
-                }),
-                usize::MAX,
-            );
-            let mut sim: dds_net::Simulator<N> = dds_net::Simulator::new(n);
-            for b in &trace.batches {
-                sim.step(b);
-            }
+            let trace = dds_workloads::registry::build_trace(
+                "er",
+                &dds_workloads::Params::new()
+                    .with("n", n)
+                    .with("rounds", rounds)
+                    .with("seed", seed),
+            )
+            .expect("er workload is registered");
+            let sim: dds_net::Simulator<N> =
+                dds_net::engine::drive(&trace, dds_net::SimConfig::default());
             if footnote {
                 sim.per_node_meter().footnote_amortized()
             } else {

@@ -27,7 +27,8 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 /// Usage text printed on argument errors and for `--help`.
 pub const USAGE: &str = "\
 usage:
-  dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S] [--parallel] [--json]
+  dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
+               [--parallel] [--record-stats] [--json]
   dds trace generate --workload <name> [--n N] [--rounds R] [--seed S] --out FILE
   dds trace info FILE
   dds trace validate FILE
@@ -54,8 +55,17 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
         Some("trace") => cmd_trace(&args),
         Some("bounds") => cmd_bounds(&args),
         Some("list") => {
-            println!("protocols: {}", run::PROTOCOLS.join(", "));
-            println!("workloads: {}", run::WORKLOADS.join(", "));
+            println!("protocols:");
+            for spec in dds_bench::protocols().specs() {
+                println!("  {:<14} {}", spec.name, spec.summary);
+            }
+            println!("workloads:");
+            for spec in dds_workloads::registry::workloads() {
+                println!("  {:<14} {}", spec.name, spec.summary);
+                for p in spec.params {
+                    println!("      --{:<18} {} (default {})", p.key, p.help, p.default);
+                }
+            }
             Ok(())
         }
         _ => Err("missing or unknown subcommand".into()),
@@ -65,7 +75,12 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let trace = run::build_workload(args)?;
     let protocol = args.get_or("protocol", "triangle").to_string();
-    let summary = run::simulate(&protocol, &trace, args.flag("parallel"))?;
+    let cfg = dds_net::SimConfig {
+        parallel: args.flag("parallel"),
+        record_stats: args.flag("record-stats"),
+        ..dds_net::SimConfig::default()
+    };
+    let summary = run::simulate(&protocol, &trace, cfg)?;
     if args.flag("json") {
         println!(
             "{}",
@@ -87,6 +102,18 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             "budget (bits/link/rd): {}   violations: {}",
             summary.budget_bits, summary.violations
         );
+        println!(
+            "wall clock:           {:.3}s  ({:.0} rounds/sec{})",
+            summary.seconds,
+            summary.rounds_per_sec,
+            if cfg.parallel { ", parallel" } else { "" }
+        );
+        if cfg.record_stats {
+            println!(
+                "busiest round:        {} messages / {} bits",
+                summary.peak_round_messages, summary.peak_round_bits
+            );
+        }
     }
     Ok(())
 }

@@ -1,204 +1,43 @@
-//! Workload construction and protocol dispatch for the CLI.
+//! Workload construction and protocol dispatch for the CLI — thin adapters
+//! over the engine layer's registries.
+//!
+//! Workloads are built by `dds-workloads::registry` (name → parameter
+//! schema → trace) and protocols run through the shared
+//! [`dds_bench::driver::protocols`] registry, so the name lists printed by
+//! `dds list` are derived, never hand-maintained here.
 
 use crate::args::Args;
-use dds_baselines::{FloodNode, NaiveTwoHopNode, SnapshotNode};
-use dds_net::{BandwidthConfig, BandwidthPolicy, Node, SimConfig, Simulator, Trace};
-use dds_robust::{ThreeHopNode, TriangleNode, TwoHopNode};
-use dds_workloads::{
-    record, ErChurn, ErChurnConfig, Flicker, FlickerConfig, HSpec, P2pChurn, P2pChurnConfig,
-    Planted, PlantedConfig, Preferential, PreferentialConfig, Shape, SlidingWindow,
-    SlidingWindowConfig, Thm2Adversary, Thm4Adversary,
-};
+use dds_net::{RunSummary, SimConfig, Trace};
+use dds_workloads::registry;
+use dds_workloads::Params;
 
-/// Known protocol names.
-pub const PROTOCOLS: &[&str] = &[
-    "two-hop",
-    "triangle",
-    "three-hop",
-    "snapshot",
-    "naive",
-    "flood",
-];
+/// Known protocol names, in registry order.
+pub fn protocol_names() -> Vec<&'static str> {
+    dds_bench::protocols().names()
+}
 
-/// Known workload names.
-pub const WORKLOADS: &[&str] = &[
-    "er",
-    "p2p",
-    "flicker",
-    "planted-clique",
-    "planted-cycle",
-    "sliding",
-    "preferential",
-    "thm2",
-    "thm4",
-];
+/// Known workload names, in registry order.
+pub fn workload_names() -> Vec<&'static str> {
+    registry::names()
+}
+
+/// Convert parsed CLI options into registry parameters (the registry
+/// ignores keys it does not declare, e.g. `--protocol` or `--json`).
+fn params_from(args: &Args) -> Params {
+    args.options
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
 
 /// Build a recorded trace for the named workload from CLI options.
 pub fn build_workload(args: &Args) -> Result<Trace, String> {
-    let name = args.get_or("workload", "er").to_string();
-    let n: usize = args.num_or("n", 64)?;
-    let rounds: usize = args.num_or("rounds", 300)?;
-    let seed: u64 = args.num_or("seed", 42)?;
-    let k: usize = args.num_or("k", 3)?;
-    let trace = match name.as_str() {
-        "er" => record(
-            ErChurn::new(ErChurnConfig {
-                n,
-                target_edges: args.num_or("target-edges", 2 * n)?,
-                changes_per_round: args.num_or("changes-per-round", 4)?,
-                rounds,
-                seed,
-            }),
-            usize::MAX,
-        ),
-        "p2p" => record(
-            P2pChurn::new(P2pChurnConfig {
-                n,
-                degree: args.num_or("degree", 3)?,
-                triadic: args.flag("triadic"),
-                rounds,
-                seed,
-                ..P2pChurnConfig::default()
-            }),
-            usize::MAX,
-        ),
-        "flicker" => record(
-            Flicker::new(FlickerConfig {
-                n,
-                flickering: args.num_or("flickering", n / 4)?,
-                period: args.num_or("period", 2)?,
-                rounds,
-                seed,
-                ..FlickerConfig::default()
-            }),
-            usize::MAX,
-        ),
-        "planted-clique" | "planted-cycle" => record(
-            Planted::new(PlantedConfig {
-                n,
-                shape: if name == "planted-clique" {
-                    Shape::Clique(k)
-                } else {
-                    Shape::Cycle(k)
-                },
-                rounds,
-                seed,
-                ..PlantedConfig::default()
-            }),
-            usize::MAX,
-        ),
-        "sliding" => record(
-            SlidingWindow::new(SlidingWindowConfig {
-                n,
-                window: args.num_or("window", 20)?,
-                arrivals_per_round: args.num_or("arrivals", 3)?,
-                rounds,
-                seed,
-            }),
-            usize::MAX,
-        ),
-        "preferential" => record(
-            Preferential::new(PreferentialConfig {
-                n,
-                rounds,
-                seed,
-                ..PreferentialConfig::default()
-            }),
-            usize::MAX,
-        ),
-        "thm2" => record(
-            Thm2Adversary::new(HSpec::path3(), n, args.num_or("stabilize", 2 * n)?),
-            usize::MAX,
-        ),
-        "thm4" => record(
-            Thm4Adversary::with_n(
-                args.num_or("k", 6)?.max(6),
-                n,
-                args.num_or("stabilize", 8)?,
-                seed,
-            ),
-            usize::MAX,
-        ),
-        other => {
-            return Err(format!(
-                "unknown workload {other:?}; expected one of {WORKLOADS:?}"
-            ))
-        }
-    };
-    Ok(trace)
-}
-
-/// End-of-run summary for one simulation.
-#[derive(Clone, Debug, serde::Serialize)]
-pub struct Summary {
-    /// Protocol name.
-    pub protocol: String,
-    /// Nodes.
-    pub n: usize,
-    /// Rounds executed.
-    pub rounds: u64,
-    /// Total topology changes.
-    pub changes: u64,
-    /// Rounds with at least one inconsistent node.
-    pub inconsistent_rounds: u64,
-    /// Paper amortized measure (prefix-max, global changes).
-    pub amortized: f64,
-    /// Footnote amortized measure (max changes at a node as divisor).
-    pub footnote_amortized: f64,
-    /// Total payload messages.
-    pub messages: u64,
-    /// Total bits transmitted.
-    pub bits: u64,
-    /// Per-link per-round budget in bits.
-    pub budget_bits: u64,
-    /// Budget violations (0 for all CONGEST protocols).
-    pub violations: u64,
-}
-
-fn simulate_as<N: Node>(name: &str, trace: &Trace, cfg: SimConfig) -> Summary {
-    let mut sim: Simulator<N> = Simulator::with_config(trace.n, cfg);
-    for b in &trace.batches {
-        sim.step(b);
-    }
-    Summary {
-        protocol: name.to_string(),
-        n: trace.n,
-        rounds: sim.meter().rounds(),
-        changes: sim.meter().changes(),
-        inconsistent_rounds: sim.meter().inconsistent_rounds(),
-        amortized: sim.meter().amortized(),
-        footnote_amortized: sim.per_node_meter().footnote_amortized(),
-        messages: sim.bandwidth().total_messages(),
-        bits: sim.bandwidth().total_bits(),
-        budget_bits: sim.bandwidth().budget_bits(),
-        violations: sim.bandwidth().violations(),
-    }
+    registry::build_trace(args.get_or("workload", "er"), &params_from(args))
 }
 
 /// Run the named protocol over a recorded trace.
-pub fn simulate(protocol: &str, trace: &Trace, parallel: bool) -> Result<Summary, String> {
-    let mut cfg = SimConfig {
-        parallel,
-        ..SimConfig::default()
-    };
-    match protocol {
-        "two-hop" => Ok(simulate_as::<TwoHopNode>(protocol, trace, cfg)),
-        "triangle" => Ok(simulate_as::<TriangleNode>(protocol, trace, cfg)),
-        "three-hop" => Ok(simulate_as::<ThreeHopNode>(protocol, trace, cfg)),
-        "snapshot" => Ok(simulate_as::<SnapshotNode>(protocol, trace, cfg)),
-        "naive" => Ok(simulate_as::<NaiveTwoHopNode>(protocol, trace, cfg)),
-        "flood" => {
-            // Flooding deliberately ignores the budget.
-            cfg.bandwidth = BandwidthConfig {
-                factor: 8,
-                policy: BandwidthPolicy::Observe,
-            };
-            Ok(simulate_as::<FloodNode>(protocol, trace, cfg))
-        }
-        other => Err(format!(
-            "unknown protocol {other:?}; expected one of {PROTOCOLS:?}"
-        )),
-    }
+pub fn simulate(protocol: &str, trace: &Trace, cfg: SimConfig) -> Result<RunSummary, String> {
+    dds_bench::protocols().run(protocol, trace, cfg)
 }
 
 #[cfg(test)]
@@ -211,7 +50,7 @@ mod tests {
 
     #[test]
     fn builds_every_workload() {
-        for w in WORKLOADS {
+        for w in workload_names() {
             let a = args(&format!("x --workload {w} --n 24 --rounds 40 --seed 7"));
             let t = build_workload(&a).unwrap_or_else(|e| panic!("{w}: {e}"));
             assert!(t.validate().is_ok(), "{w} trace invalid");
@@ -222,10 +61,10 @@ mod tests {
     fn runs_every_protocol() {
         let a = args("x --workload er --n 16 --rounds 60 --seed 3");
         let t = build_workload(&a).unwrap();
-        for p in PROTOCOLS {
-            let s = simulate(p, &t, false).unwrap_or_else(|e| panic!("{p}: {e}"));
+        for p in protocol_names() {
+            let s = simulate(p, &t, SimConfig::default()).unwrap_or_else(|e| panic!("{p}: {e}"));
             assert_eq!(s.rounds, 60, "{p}");
-            if *p != "flood" {
+            if p != "flood" {
                 assert_eq!(s.violations, 0, "{p} broke the budget");
             }
         }
@@ -236,6 +75,14 @@ mod tests {
         let a = args("x --workload nope");
         assert!(build_workload(&a).is_err());
         let t = build_workload(&args("x --workload er --n 8 --rounds 5")).unwrap();
-        assert!(simulate("nope", &t, false).is_err());
+        assert!(simulate("nope", &t, SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn registry_params_reach_the_builders() {
+        // CLI options flow through params_from into the registry builders.
+        let t = build_workload(&args("x --workload er --n 19 --rounds 12")).unwrap();
+        assert_eq!(t.n, 19);
+        assert_eq!(t.rounds(), 12);
     }
 }

@@ -61,10 +61,10 @@ fn binary_list_names_every_protocol_and_workload() {
     assert!(ok);
     assert!(stdout.contains("protocols:"), "list output: {stdout}");
     assert!(stdout.contains("workloads:"), "list output: {stdout}");
-    for p in dds_cli::run::PROTOCOLS {
+    for p in dds_cli::run::protocol_names() {
         assert!(stdout.contains(p), "missing protocol {p}: {stdout}");
     }
-    for w in dds_cli::run::WORKLOADS {
+    for w in dds_cli::run::workload_names() {
         assert!(stdout.contains(w), "missing workload {w}: {stdout}");
     }
 }

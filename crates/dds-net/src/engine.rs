@@ -1,0 +1,265 @@
+//! The engine layer: one driver for every frontend.
+//!
+//! Running "protocol X over trace Y under config Z and summarizing the
+//! meters" used to be copy-pasted between the CLI, the experiment runners
+//! and the seed sweeps. This module is the single implementation:
+//!
+//! - [`drive`] replays a recorded [`Trace`] through a fresh simulator;
+//! - [`run_trace_as`] does the same and condenses the meters into a
+//!   [`RunSummary`] (with wall-clock rounds/sec);
+//! - [`ProtocolRegistry`] maps protocol *names* to boxed runners so
+//!   frontends can dispatch dynamically without a hand-maintained `match`
+//!   per call site. The registry entries for the concrete protocols live in
+//!   `dds-bench::driver` (the one crate that depends on every protocol
+//!   implementation); this module only provides the machinery.
+
+use crate::protocol::Node;
+use crate::sim::{SimConfig, Simulator};
+use crate::trace::Trace;
+use serde::Serialize;
+use std::time::Instant;
+
+/// End-of-run summary of one simulation: the meters every experiment and
+/// CLI invocation reports, plus wall-clock throughput.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunSummary {
+    /// Protocol name.
+    pub protocol: String,
+    /// Nodes.
+    pub n: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total topology changes.
+    pub changes: u64,
+    /// Rounds with at least one inconsistent node.
+    pub inconsistent_rounds: u64,
+    /// Paper amortized measure (prefix-max, global changes).
+    pub amortized: f64,
+    /// Footnote amortized measure (max changes at a node as divisor).
+    pub footnote_amortized: f64,
+    /// Total payload messages.
+    pub messages: u64,
+    /// Total bits transmitted.
+    pub bits: u64,
+    /// Per-link per-round budget in bits.
+    pub budget_bits: u64,
+    /// Budget violations (0 for all CONGEST protocols).
+    pub violations: u64,
+    /// Edges present after the final round.
+    pub final_edges: usize,
+    /// Wall-clock seconds spent replaying the trace.
+    pub seconds: f64,
+    /// Simulated rounds per wall-clock second.
+    pub rounds_per_sec: f64,
+    /// Busiest round by payload messages (0 unless `record_stats`).
+    pub peak_round_messages: u64,
+    /// Busiest round by transmitted bits (0 unless `record_stats`).
+    pub peak_round_bits: u64,
+}
+
+/// Replay a recorded trace through a fresh simulator and return it for
+/// inspection (queries, meters, topology).
+pub fn drive<N: Node>(trace: &Trace, cfg: SimConfig) -> Simulator<N> {
+    let mut sim: Simulator<N> = Simulator::with_config(trace.n, cfg);
+    for batch in &trace.batches {
+        sim.step(batch);
+    }
+    sim
+}
+
+/// Replay a trace as protocol `N` and summarize the meters.
+pub fn run_trace_as<N: Node>(name: &str, trace: &Trace, cfg: SimConfig) -> RunSummary {
+    let start = Instant::now();
+    let sim: Simulator<N> = drive(trace, cfg);
+    summarize(name, &sim, start.elapsed().as_secs_f64())
+}
+
+/// Condense a finished simulator's meters into a [`RunSummary`].
+pub fn summarize<N: Node>(name: &str, sim: &Simulator<N>, seconds: f64) -> RunSummary {
+    let rounds = sim.meter().rounds();
+    RunSummary {
+        protocol: name.to_string(),
+        n: sim.n(),
+        rounds,
+        changes: sim.meter().changes(),
+        inconsistent_rounds: sim.meter().inconsistent_rounds(),
+        amortized: sim.meter().amortized(),
+        footnote_amortized: sim.per_node_meter().footnote_amortized(),
+        messages: sim.bandwidth().total_messages(),
+        bits: sim.bandwidth().total_bits(),
+        budget_bits: sim.bandwidth().budget_bits(),
+        violations: sim.bandwidth().violations(),
+        final_edges: sim.topology().edge_count(),
+        seconds,
+        rounds_per_sec: if seconds > 0.0 {
+            rounds as f64 / seconds
+        } else {
+            0.0
+        },
+        peak_round_messages: sim.stats().iter().map(|s| s.messages).max().unwrap_or(0),
+        peak_round_bits: sim.stats().iter().map(|s| s.bits).max().unwrap_or(0),
+    }
+}
+
+/// A boxed protocol runner: trace + config in, summary out.
+pub type Runner = Box<dyn Fn(&Trace, SimConfig) -> RunSummary + Send + Sync>;
+
+/// A named, runnable protocol: the registry entry.
+pub struct ProtocolSpec {
+    /// Registry name (what `--protocol` matches).
+    pub name: &'static str,
+    /// One-line description for `dds list`.
+    pub summary: &'static str,
+    runner: Runner,
+}
+
+impl ProtocolSpec {
+    /// Run this protocol over a recorded trace.
+    pub fn run(&self, trace: &Trace, cfg: SimConfig) -> RunSummary {
+        (self.runner)(trace, cfg)
+    }
+}
+
+impl std::fmt::Debug for ProtocolSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolSpec")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Name → runner dispatch for every registered protocol.
+#[derive(Debug, Default)]
+pub struct ProtocolRegistry {
+    specs: Vec<ProtocolSpec>,
+}
+
+impl ProtocolRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register protocol `N` under `name` with the caller's config passed
+    /// through unchanged.
+    pub fn register<N: Node + 'static>(&mut self, name: &'static str, summary: &'static str) {
+        self.register_with::<N>(name, summary, |cfg| cfg);
+    }
+
+    /// Register protocol `N` under `name`, with `prep` adjusting the
+    /// caller's config first (e.g. the flooding calibrator switching the
+    /// bandwidth policy to `Observe`).
+    pub fn register_with<N: Node + 'static>(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+        prep: fn(SimConfig) -> SimConfig,
+    ) {
+        assert!(
+            self.get(name).is_none(),
+            "protocol {name:?} registered twice"
+        );
+        self.specs.push(ProtocolSpec {
+            name,
+            summary,
+            runner: Box::new(move |trace, cfg| run_trace_as::<N>(name, trace, prep(cfg))),
+        });
+    }
+
+    /// All registered specs, in registration order.
+    pub fn specs(&self) -> &[ProtocolSpec] {
+        &self.specs
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// Look up one protocol by name.
+    pub fn get(&self, name: &str) -> Option<&ProtocolSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Run the named protocol over a trace, or report the known names.
+    pub fn run(&self, name: &str, trace: &Trace, cfg: SimConfig) -> Result<RunSummary, String> {
+        match self.get(name) {
+            Some(spec) => Ok(spec.run(trace, cfg)),
+            None => Err(format!(
+                "unknown protocol {name:?}; expected one of {:?}",
+                self.names()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LocalEvent;
+    use crate::ids::{edge, NodeId, Round};
+    use crate::message::{Outbox, Received};
+
+    /// Trivial always-consistent protocol for registry tests.
+    struct Idle;
+    impl Node for Idle {
+        type Msg = ();
+        fn new(_id: NodeId, _n: usize) -> Self {
+            Idle
+        }
+        fn on_topology(&mut self, _round: Round, _events: &[LocalEvent]) {}
+        fn send(&mut self, _round: Round, _neighbors: &[NodeId]) -> Outbox<()> {
+            Outbox::quiet()
+        }
+        fn receive(&mut self, _round: Round, _inbox: &[Received<()>], _ns: &[NodeId]) {}
+        fn is_consistent(&self) -> bool {
+            true
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(4);
+        t.push(crate::event::EventBatch::insert(edge(0, 1)));
+        t.push(crate::event::EventBatch::new());
+        t
+    }
+
+    #[test]
+    fn registry_dispatches_and_lists() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register::<Idle>("idle", "does nothing");
+        assert_eq!(reg.names(), vec!["idle"]);
+        let s = reg
+            .run("idle", &sample_trace(), SimConfig::default())
+            .unwrap();
+        assert_eq!(s.protocol, "idle");
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.changes, 1);
+        assert!(reg
+            .run("nope", &sample_trace(), SimConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register::<Idle>("idle", "a");
+        reg.register::<Idle>("idle", "b");
+    }
+
+    #[test]
+    fn summary_reports_throughput_and_peaks() {
+        let cfg = SimConfig {
+            record_stats: true,
+            ..SimConfig::default()
+        };
+        let s = run_trace_as::<Idle>("idle", &sample_trace(), cfg);
+        assert!(s.seconds >= 0.0);
+        assert!(s.rounds_per_sec > 0.0);
+        // Idle sends nothing, so the peaks are zero but present.
+        assert_eq!(s.peak_round_messages, 0);
+        assert_eq!(s.peak_round_bits, 0);
+    }
+}

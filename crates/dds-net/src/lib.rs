@@ -23,16 +23,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bandwidth;
+pub mod engine;
 pub mod event;
 pub mod ids;
 pub mod message;
 pub mod metrics;
 pub mod protocol;
+mod round;
 pub mod sim;
 pub mod topology;
 pub mod trace;
 
 pub use bandwidth::{BandwidthConfig, BandwidthMeter, BandwidthPolicy};
+pub use engine::{drive, run_trace_as, ProtocolRegistry, ProtocolSpec, RunSummary};
 pub use event::{EventBatch, LocalEvent, TopologyEvent};
 pub use ids::{edge, Edge, NodeId, Round, NEVER};
 pub use message::{node_bits, Addressed, BitSized, Flags, Outbox, Received};

@@ -1,0 +1,197 @@
+//! Persistent per-round scratch storage for the simulator's hot loop.
+//!
+//! [`RoundBuffers`] replaces the per-round `Vec<Vec<_>>` structures the
+//! simulator used to allocate (neighbor lists, per-receiver payload and
+//! flag vectors, inboxes) with flat arrays in CSR layout (one data array
+//! plus an `n + 1` offset array) that live for the whole execution and are
+//! only `clear()`ed between rounds. On a quiet round (empty event batch,
+//! quiet protocol) `Simulator::step` performs no heap allocation at all on
+//! the sequential path.
+//!
+//! # Invariants
+//!
+//! After the corresponding build phase of round `i` (and until the next
+//! round overwrites them):
+//!
+//! 1. `local[local_off[v] .. local_off[v + 1]]` are node `v`'s incident
+//!    topology events, in batch order (the order `EventBatch` lists them).
+//! 2. `neighbors[nbr_off[v] .. nbr_off[v + 1]]` is node `v`'s neighbor set
+//!    in `G_i`, sorted ascending — the delivery order contract of
+//!    [`crate::protocol::Node::receive`].
+//! 3. `outboxes[v]` holds node `v`'s flags for round `i`; its payload list
+//!    is drained into `staged` during routing.
+//! 4. `staged` is sorted by `(receiver, sender)` after routing; each
+//!    `(receiver, sender)` pair appears at most once (two payloads on one
+//!    ordered link in one round is a protocol bug and panics).
+//! 5. `inbox[inbox_off[v] .. inbox_off[v + 1]]` is node `v`'s inbox: one
+//!    [`Received`] entry per current neighbor, sorted by sender, with the
+//!    sender's flags copied straight out of `outboxes` (never cloned per
+//!    receiver) and the payload spliced in from `staged`.
+//! 6. `incident_changes[v]` / `inconsistent[v]` are the round's accounting
+//!    rows, reused by the meters.
+
+use crate::event::{EventBatch, LocalEvent};
+use crate::ids::{Edge, NodeId};
+use crate::message::{Outbox, Received};
+use crate::topology::Topology;
+
+/// Flat, reusable per-round scratch space; one per [`crate::Simulator`].
+#[derive(Debug)]
+pub(crate) struct RoundBuffers<M> {
+    /// Incident topology events, CSR data (invariant 1).
+    local: Vec<LocalEvent>,
+    /// Incident-event offsets, length `n + 1`.
+    local_off: Vec<usize>,
+    /// Sorted neighbor lists in `G_i`, CSR data (invariant 2).
+    pub(crate) neighbors: Vec<NodeId>,
+    /// Neighbor offsets, length `n + 1`.
+    pub(crate) nbr_off: Vec<usize>,
+    /// This round's outboxes, one per node (invariant 3).
+    pub(crate) outboxes: Vec<Outbox<M>>,
+    /// Routed payloads as `(receiver, sender, message)` (invariant 4).
+    pub(crate) staged: Vec<(NodeId, NodeId, M)>,
+    /// Assembled inboxes, CSR data (invariant 5).
+    inbox: Vec<Received<M>>,
+    /// Inbox offsets, length `n + 1`.
+    inbox_off: Vec<usize>,
+    /// Per-node incident-change counts for the per-node meter.
+    pub(crate) incident_changes: Vec<u64>,
+    /// Per-node end-of-round inconsistency flags.
+    pub(crate) inconsistent: Vec<bool>,
+    /// Cursor scratch for counting sorts, length `n`.
+    cursor: Vec<usize>,
+}
+
+impl<M> RoundBuffers<M> {
+    /// Buffers for a network on `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        RoundBuffers {
+            local: Vec::new(),
+            local_off: vec![0; n + 1],
+            neighbors: Vec::new(),
+            nbr_off: vec![0; n + 1],
+            outboxes: (0..n).map(|_| Outbox::default()).collect(),
+            staged: Vec::new(),
+            inbox: Vec::new(),
+            inbox_off: vec![0; n + 1],
+            incident_changes: vec![0; n],
+            inconsistent: vec![false; n],
+            cursor: vec![0; n],
+        }
+    }
+
+    /// Rebuild the incident-event CSR (invariant 1) for this round's batch
+    /// via a counting sort; also refreshes `incident_changes`.
+    pub(crate) fn build_local(&mut self, n: usize, batch: &EventBatch) {
+        self.local.clear();
+        self.cursor.iter_mut().for_each(|c| *c = 0);
+        for ev in batch.iter() {
+            let e = ev.edge();
+            self.cursor[e.lo().index()] += 1;
+            self.cursor[e.hi().index()] += 1;
+        }
+        let mut total = 0usize;
+        for v in 0..n {
+            self.local_off[v] = total;
+            self.incident_changes[v] = self.cursor[v] as u64;
+            total += self.cursor[v];
+            // Turn the count into this node's write cursor.
+            self.cursor[v] = self.local_off[v];
+        }
+        self.local_off[n] = total;
+        if total > 0 {
+            let dummy = LocalEvent {
+                edge: Edge::new(NodeId(0), NodeId(1)),
+                peer: NodeId(0),
+                inserted: false,
+            };
+            self.local.resize(total, dummy);
+            for ev in batch.iter() {
+                let e = ev.edge();
+                let inserted = ev.is_insert();
+                for (at, peer) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
+                    self.local[self.cursor[at.index()]] = LocalEvent {
+                        edge: e,
+                        peer,
+                        inserted,
+                    };
+                    self.cursor[at.index()] += 1;
+                }
+            }
+        }
+    }
+
+    /// Node `v`'s incident events this round.
+    #[inline]
+    pub(crate) fn local_of(&self, v: usize) -> &[LocalEvent] {
+        &self.local[self.local_off[v]..self.local_off[v + 1]]
+    }
+
+    /// Rebuild the sorted-neighbor CSR (invariant 2) from the current graph.
+    pub(crate) fn build_neighbors(&mut self, topo: &Topology) {
+        let n = topo.n();
+        self.neighbors.clear();
+        for v in 0..n {
+            self.nbr_off[v] = self.neighbors.len();
+            let start = self.neighbors.len();
+            self.neighbors.extend(topo.neighbors(NodeId(v as u32)));
+            self.neighbors[start..].sort_unstable();
+        }
+        self.nbr_off[n] = self.neighbors.len();
+    }
+
+    /// Node `v`'s sorted neighbors in `G_i`.
+    #[inline]
+    pub(crate) fn neighbors_of(&self, v: usize) -> &[NodeId] {
+        &self.neighbors[self.nbr_off[v]..self.nbr_off[v + 1]]
+    }
+
+    /// Node `v`'s assembled inbox.
+    #[inline]
+    pub(crate) fn inbox_of(&self, v: usize) -> &[Received<M>] {
+        &self.inbox[self.inbox_off[v]..self.inbox_off[v + 1]]
+    }
+
+    /// Assemble every node's inbox (invariant 5) from the sorted `staged`
+    /// payloads and the flags already sitting in `outboxes`.
+    ///
+    /// Both the neighbor slice and the staged payloads for one receiver are
+    /// sorted by sender, so this is a linear merge: no per-receiver sort,
+    /// no per-receiver clone of the flag list.
+    pub(crate) fn assemble_inboxes(&mut self, n: usize, round: u64) {
+        self.staged
+            .sort_unstable_by_key(|&(to, from, _)| (to, from));
+        for w in self.staged.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "node {:?} received two payloads from {:?} in round {round}",
+                w[0].0,
+                w[0].1
+            );
+        }
+        self.inbox.clear();
+        let mut staged = self.staged.drain(..).peekable();
+        for v in 0..n {
+            self.inbox_off[v] = self.inbox.len();
+            let to = NodeId(v as u32);
+            for &from in &self.neighbors[self.nbr_off[v]..self.nbr_off[v + 1]] {
+                let payload = match staged.peek() {
+                    Some(&(t, f, _)) if t == to && f == from => {
+                        Some(staged.next().expect("peeked").2)
+                    }
+                    _ => None,
+                };
+                self.inbox.push(Received {
+                    from,
+                    payload,
+                    flags: self.outboxes[from.index()].flags,
+                });
+            }
+        }
+        self.inbox_off[n] = self.inbox.len();
+        debug_assert!(
+            staged.peek().is_none(),
+            "routed payload addressed outside the current graph"
+        );
+    }
+}

@@ -12,11 +12,12 @@
 //! phase and produces bit-identical results to the sequential path.
 
 use crate::bandwidth::{BandwidthConfig, BandwidthMeter};
-use crate::event::{EventBatch, LocalEvent};
-use crate::ids::{NodeId, Round};
-use crate::message::{Addressed, BitSized, Flags, Received};
+use crate::event::EventBatch;
+use crate::ids::{Edge, NodeId, Round};
+use crate::message::{Addressed, BitSized, Outbox};
 use crate::metrics::{AmortizedMeter, PerNodeMeter, RoundStats};
 use crate::protocol::Node;
+use crate::round::RoundBuffers;
 use crate::topology::Topology;
 use rayon::prelude::*;
 
@@ -32,7 +33,7 @@ pub struct SimConfig {
     pub record_stats: bool,
 }
 
-/// The simulator: topology + nodes + meters.
+/// The simulator: topology + nodes + meters + reusable round scratch.
 pub struct Simulator<N: Node> {
     topo: Topology,
     nodes: Vec<N>,
@@ -43,6 +44,7 @@ pub struct Simulator<N: Node> {
     cfg: SimConfig,
     stats: Vec<RoundStats>,
     inconsistent_now: usize,
+    buffers: RoundBuffers<N::Msg>,
 }
 
 impl<N: Node> Simulator<N> {
@@ -65,6 +67,7 @@ impl<N: Node> Simulator<N> {
             cfg,
             stats: Vec::new(),
             inconsistent_now: 0,
+            buffers: RoundBuffers::new(n),
         }
     }
 
@@ -151,6 +154,7 @@ impl<N: Node> Simulator<N> {
     pub fn step(&mut self, batch: &EventBatch) {
         self.round += 1;
         let round = self.round;
+        let n = self.topo.n();
 
         if let Err(e) = self.topo.validate(batch) {
             panic!("invalid event batch at round {round}: {e}");
@@ -158,149 +162,143 @@ impl<N: Node> Simulator<N> {
         self.topo.apply(batch, round);
 
         // Phase 1: local topology notifications.
-        let local = self.local_events(batch);
+        self.buffers.build_local(n, batch);
         if self.cfg.parallel {
             self.nodes
                 .par_iter_mut()
                 .enumerate()
-                .for_each(|(i, node)| node.on_topology(round, &local[i]));
+                .for_each(|(i, node)| node.on_topology(round, self.buffers.local_of(i)));
         } else {
             for (i, node) in self.nodes.iter_mut().enumerate() {
-                node.on_topology(round, &local[i]);
+                node.on_topology(round, self.buffers.local_of(i));
             }
         }
 
         // Phase 2: react & send.
-        let neighbor_lists: Vec<Vec<NodeId>> = if self.cfg.parallel {
-            (0..self.n())
-                .into_par_iter()
-                .map(|i| self.topo.neighbors_sorted(NodeId(i as u32)))
-                .collect()
-        } else {
-            (0..self.n())
-                .map(|i| self.topo.neighbors_sorted(NodeId(i as u32)))
-                .collect()
-        };
-        let outboxes: Vec<_> = if self.cfg.parallel {
-            self.nodes
+        self.buffers.build_neighbors(&self.topo);
+        if self.cfg.parallel {
+            let collected: Vec<Outbox<N::Msg>> = self
+                .nodes
                 .par_iter_mut()
                 .enumerate()
-                .map(|(i, node)| node.send(round, &neighbor_lists[i]))
-                .collect()
+                .map(|(i, node)| node.send(round, self.buffers.neighbors_of(i)))
+                .collect();
+            self.buffers.outboxes = collected;
         } else {
-            self.nodes
-                .iter_mut()
-                .enumerate()
-                .map(|(i, node)| node.send(round, &neighbor_lists[i]))
-                .collect()
-        };
-
-        // Routing: expand addressing, charge bandwidth, build inboxes.
-        self.bandwidth.begin_round();
-        let n = self.n();
-        let mut payloads: Vec<Vec<(NodeId, N::Msg)>> = vec![Vec::new(); n];
-        let mut flag_from: Vec<Vec<(NodeId, Flags)>> = vec![Vec::new(); n];
-        for (i, outbox) in outboxes.into_iter().enumerate() {
-            let from = NodeId(i as u32);
-            let neighbors = &neighbor_lists[i];
-            // Flags go to every current neighbor.
-            let flag_bits = outbox.flags.bit_size(n);
-            for &peer in neighbors {
-                if flag_bits > 0 {
-                    let link = crate::ids::Edge::new(from, peer);
-                    self.bandwidth.charge(from, peer, link, flag_bits);
-                }
-                flag_from[peer.index()].push((from, outbox.flags));
-            }
-            for addressed in outbox.payloads {
-                match addressed {
-                    Addressed::To(peer, msg) => {
-                        self.route(from, peer, neighbors, msg, &mut payloads);
-                    }
-                    Addressed::Broadcast(msg) => {
-                        for &peer in neighbors {
-                            self.route(from, peer, neighbors, msg.clone(), &mut payloads);
-                        }
-                    }
-                    Addressed::Multicast(peers, msg) => {
-                        for peer in peers {
-                            self.route(from, peer, neighbors, msg.clone(), &mut payloads);
-                        }
-                    }
-                }
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                self.buffers.outboxes[i] = node.send(round, self.buffers.neighbors_of(i));
             }
         }
 
-        // Phase 3: receive & update. Build each node's inbox sorted by
-        // sender, one entry per current neighbor.
-        let inboxes: Vec<Vec<Received<N::Msg>>> = payloads
-            .into_iter()
-            .zip(flag_from.iter())
-            .enumerate()
-            .map(|(i, (mut pl, flags))| {
-                pl.sort_by_key(|(from, _)| *from);
-                // Detect protocol bugs: more than one payload per ordered
-                // link per round is not allowed by any algorithm here.
-                for w in pl.windows(2) {
-                    assert_ne!(
-                        w[0].0,
-                        w[1].0,
-                        "node {:?} received two payloads from {:?} in round {round}",
+        // Routing: expand addressing, charge bandwidth, stage payloads.
+        // Expansion is node-local and runs in parallel when configured;
+        // bandwidth charging always replays in (sender, payload) order so
+        // both paths are bit-identical.
+        self.bandwidth.begin_round();
+        self.buffers.staged.clear();
+        if self.cfg.parallel {
+            let taken: Vec<(usize, Vec<Addressed<N::Msg>>)> = self
+                .buffers
+                .outboxes
+                .iter_mut()
+                .map(|ob| std::mem::take(&mut ob.payloads))
+                .enumerate()
+                .collect();
+            let expanded: Vec<Vec<(NodeId, N::Msg, u64)>> = taken
+                .into_par_iter()
+                .map(|(i, payloads)| {
+                    let mut routes = Vec::new();
+                    expand_outbox(
                         NodeId(i as u32),
-                        w[0].0
+                        payloads,
+                        self.buffers.neighbors_of(i),
+                        n,
+                        round,
+                        |to, msg, bits| routes.push((to, msg, bits)),
                     );
+                    routes
+                })
+                .collect();
+            for (i, routes) in expanded.into_iter().enumerate() {
+                let from = NodeId(i as u32);
+                charge_flags(
+                    &mut self.bandwidth,
+                    from,
+                    &self.buffers.outboxes[i],
+                    self.buffers.neighbors_of(i),
+                    n,
+                );
+                for (to, msg, bits) in routes {
+                    self.bandwidth.charge(from, to, Edge::new(from, to), bits);
+                    self.buffers.staged.push((to, from, msg));
                 }
-                let mut flags_sorted = flags.clone();
-                flags_sorted.sort_by_key(|(from, _)| *from);
-                let mut pl_iter = pl.into_iter().peekable();
-                flags_sorted
-                    .into_iter()
-                    .map(|(from, fl)| {
-                        let payload = if pl_iter.peek().map(|(f, _)| *f) == Some(from) {
-                            Some(pl_iter.next().unwrap().1)
-                        } else {
-                            None
-                        };
-                        Received {
-                            from,
-                            payload,
-                            flags: fl,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+            }
+        } else {
+            for i in 0..n {
+                let from = NodeId(i as u32);
+                let nbrs =
+                    &self.buffers.neighbors[self.buffers.nbr_off[i]..self.buffers.nbr_off[i + 1]];
+                charge_flags(
+                    &mut self.bandwidth,
+                    from,
+                    &self.buffers.outboxes[i],
+                    nbrs,
+                    n,
+                );
+                let payloads = std::mem::take(&mut self.buffers.outboxes[i].payloads);
+                let bandwidth = &mut self.bandwidth;
+                let staged = &mut self.buffers.staged;
+                expand_outbox(from, payloads, nbrs, n, round, |to, msg, bits| {
+                    bandwidth.charge(from, to, Edge::new(from, to), bits);
+                    staged.push((to, from, msg));
+                });
+            }
+        }
+
+        // Phase 3: receive & update. Inboxes are merged in flat storage:
+        // one entry per current neighbor, sorted by sender.
+        self.buffers.assemble_inboxes(n, round);
 
         let messages_this_round = self.bandwidth.round_messages();
         let bits_this_round = self.bandwidth.round_bits();
 
         if self.cfg.parallel {
-            self.nodes
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(i, node)| node.receive(round, &inboxes[i], &neighbor_lists[i]));
+            self.nodes.par_iter_mut().enumerate().for_each(|(i, node)| {
+                node.receive(
+                    round,
+                    self.buffers.inbox_of(i),
+                    self.buffers.neighbors_of(i),
+                )
+            });
         } else {
             for (i, node) in self.nodes.iter_mut().enumerate() {
-                node.receive(round, &inboxes[i], &neighbor_lists[i]);
+                node.receive(
+                    round,
+                    self.buffers.inbox_of(i),
+                    self.buffers.neighbors_of(i),
+                );
             }
         }
 
         // Phase 4: end-of-round accounting; queries now go to `node()`.
-        let inconsistent_flags: Vec<bool> = if self.cfg.parallel {
-            self.nodes
+        if self.cfg.parallel {
+            self.buffers.inconsistent = self
+                .nodes
                 .par_iter()
                 .map(|nd| !nd.is_consistent())
-                .collect()
+                .collect();
         } else {
-            self.nodes.iter().map(|nd| !nd.is_consistent()).collect()
-        };
-        let inconsistent = inconsistent_flags.iter().filter(|&&b| b).count();
+            self.buffers.inconsistent.clear();
+            self.buffers
+                .inconsistent
+                .extend(self.nodes.iter().map(|nd| !nd.is_consistent()));
+        }
+        let inconsistent = self.buffers.inconsistent.iter().filter(|&&b| b).count();
         self.inconsistent_now = inconsistent;
         self.meter
             .record_round(batch.len() as u64, inconsistent > 0);
-        let incident_changes: Vec<u64> = local.iter().map(|evs| evs.len() as u64).collect();
         self.per_node
-            .record_round(&incident_changes, &inconsistent_flags);
+            .record_round(&self.buffers.incident_changes, &self.buffers.inconsistent);
         if self.cfg.record_stats {
             self.stats.push(RoundStats {
                 round,
@@ -312,51 +310,66 @@ impl<N: Node> Simulator<N> {
             });
         }
     }
+}
 
-    fn route(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        neighbors: &[NodeId],
-        msg: N::Msg,
-        payloads: &mut [Vec<(NodeId, N::Msg)>],
-    ) {
+/// Charge the per-neighbor flag broadcast for one sender (a quiet sender's
+/// flags cost zero bits and are not transmitted).
+fn charge_flags<M>(
+    bandwidth: &mut BandwidthMeter,
+    from: NodeId,
+    outbox: &Outbox<M>,
+    neighbors: &[NodeId],
+    n: usize,
+) {
+    let flag_bits = outbox.flags.bit_size(n);
+    if flag_bits > 0 {
+        for &peer in neighbors {
+            bandwidth.charge(from, peer, Edge::new(from, peer), flag_bits);
+        }
+    }
+}
+
+/// Expand one sender's addressed payloads into `(receiver, message, bits)`
+/// routes, in payload order. Panics when a payload addresses a non-neighbor.
+fn expand_outbox<M: BitSized + Clone>(
+    from: NodeId,
+    payloads: Vec<Addressed<M>>,
+    neighbors: &[NodeId],
+    n: usize,
+    round: Round,
+    mut sink: impl FnMut(NodeId, M, u64),
+) {
+    let route = |to: NodeId, msg: M, sink: &mut dyn FnMut(NodeId, M, u64)| {
         assert!(
             neighbors.binary_search(&to).is_ok(),
-            "node {from:?} attempted to send to non-neighbor {to:?} at round {}",
-            self.round
+            "node {from:?} attempted to send to non-neighbor {to:?} at round {round}"
         );
-        let link = crate::ids::Edge::new(from, to);
-        let bits = msg.bit_size(self.n());
-        self.bandwidth.charge(from, to, link, bits);
-        payloads[to.index()].push((from, msg));
-    }
-
-    fn local_events(&self, batch: &EventBatch) -> Vec<Vec<LocalEvent>> {
-        let mut local: Vec<Vec<LocalEvent>> = vec![Vec::new(); self.n()];
-        for ev in batch.iter() {
-            let e = ev.edge();
-            let inserted = ev.is_insert();
-            local[e.lo().index()].push(LocalEvent {
-                edge: e,
-                peer: e.hi(),
-                inserted,
-            });
-            local[e.hi().index()].push(LocalEvent {
-                edge: e,
-                peer: e.lo(),
-                inserted,
-            });
+        let bits = msg.bit_size(n);
+        sink(to, msg, bits);
+    };
+    for addressed in payloads {
+        match addressed {
+            Addressed::To(peer, msg) => route(peer, msg, &mut sink),
+            Addressed::Broadcast(msg) => {
+                for &peer in neighbors {
+                    route(peer, msg.clone(), &mut sink);
+                }
+            }
+            Addressed::Multicast(peers, msg) => {
+                for peer in peers {
+                    route(peer, msg.clone(), &mut sink);
+                }
+            }
         }
-        local
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{edge, Edge};
-    use crate::message::Outbox;
+    use crate::event::LocalEvent;
+    use crate::ids::edge;
+    use crate::message::{Outbox, Received};
 
     /// A toy protocol: every node keeps its current neighbor set as its
     /// "data structure" and broadcasts nothing. Always consistent.

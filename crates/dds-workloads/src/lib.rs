@@ -15,7 +15,9 @@
 //! - [`sliding`]: sliding-window temporal graphs;
 //! - [`adversary`]: the lower-bound constructions of Theorem 2,
 //!   Theorem 4 (Figure 4) and Remark 1;
-//! - [`bounds`]: numeric evaluation of the lower-bound curves.
+//! - [`bounds`]: numeric evaluation of the lower-bound curves;
+//! - [`registry`]: the workload registry (name → parameter schema →
+//!   recorded trace) every frontend builds traces through.
 //!
 //! Everything is seeded and reproducible, and every generated trace is
 //! valid by construction (guarded by [`schedule::EdgeLedger`]).
@@ -30,6 +32,7 @@ pub mod erdos;
 pub mod flicker;
 pub mod planted;
 pub mod preferential;
+pub mod registry;
 pub mod schedule;
 pub mod sliding;
 
@@ -39,5 +42,6 @@ pub use erdos::{ErChurn, ErChurnConfig};
 pub use flicker::{staggered_flicker_trace, Flicker, FlickerConfig};
 pub use planted::{Planted, PlantedConfig, Shape};
 pub use preferential::{Preferential, PreferentialConfig};
+pub use registry::{build_trace, ParamSpec, Params, WorkloadSpec};
 pub use schedule::{record, run_trace, EdgeLedger, Workload};
 pub use sliding::{SlidingWindow, SlidingWindowConfig};

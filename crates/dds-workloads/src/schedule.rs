@@ -31,13 +31,9 @@ pub fn record(mut w: impl Workload, max_rounds: usize) -> Trace {
 }
 
 /// Drive a fresh simulator through an entire recorded trace; returns the
-/// simulator for inspection.
+/// simulator for inspection. Alias for [`dds_net::engine::drive`].
 pub fn run_trace<N: Node>(trace: &Trace, cfg: SimConfig) -> Simulator<N> {
-    let mut sim: Simulator<N> = Simulator::with_config(trace.n, cfg);
-    for batch in &trace.batches {
-        sim.step(batch);
-    }
-    sim
+    dds_net::engine::drive(trace, cfg)
 }
 
 /// Book-keeping helper shared by generators: tracks the current edge set

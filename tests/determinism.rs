@@ -1,0 +1,143 @@
+//! Parallel/sequential determinism: the engine's contract is that
+//! `SimConfig::parallel` changes wall-clock only, never results.
+//!
+//! For random (workload, n, rounds, seed) tuples drawn across the er,
+//! flicker and p2p generators, a parallel and a sequential run of the same
+//! protocol must produce bit-identical meters, bandwidth totals, per-round
+//! stats, and query responses at every node.
+
+use dynamic_subgraphs::net::{engine, NodeId, SimConfig, Simulator, Trace};
+use dynamic_subgraphs::robust::{ThreeHopNode, TriangleNode, TwoHopNode};
+use dynamic_subgraphs::workloads::{registry, Params};
+use proptest::prelude::*;
+
+const WORKLOADS: [&str; 3] = ["er", "flicker", "p2p"];
+
+fn build(workload: &str, n: usize, rounds: usize, seed: u64) -> Trace {
+    registry::build_trace(
+        workload,
+        &Params::new()
+            .with("n", n)
+            .with("rounds", rounds)
+            .with("seed", seed),
+    )
+    .expect("registered workload")
+}
+
+fn cfg(parallel: bool) -> SimConfig {
+    SimConfig {
+        parallel,
+        record_stats: true,
+        ..SimConfig::default()
+    }
+}
+
+/// Everything observable about one finished run, in comparable form.
+fn fingerprint<N, Q>(sim: &Simulator<N>, query: Q) -> (Vec<u64>, Vec<String>, Vec<String>)
+where
+    N: dynamic_subgraphs::net::Node,
+    Q: Fn(&N) -> String,
+{
+    let meters = vec![
+        sim.meter().rounds(),
+        sim.meter().changes(),
+        sim.meter().inconsistent_rounds(),
+        sim.meter().longest_inconsistent_streak(),
+        sim.bandwidth().total_messages(),
+        sim.bandwidth().total_bits(),
+        sim.bandwidth().violations(),
+        sim.bandwidth().max_message_bits(),
+        sim.inconsistent_nodes() as u64,
+        sim.meter().amortized().to_bits(),
+        sim.per_node_meter().footnote_amortized().to_bits(),
+    ];
+    let stats = sim.stats().iter().map(|s| format!("{s:?}")).collect();
+    let queries = (0..sim.n())
+        .map(|v| query(sim.node(NodeId(v as u32))))
+        .collect();
+    (meters, stats, queries)
+}
+
+fn assert_identical<N, Q>(trace: &Trace, query: Q, label: &str)
+where
+    N: dynamic_subgraphs::net::Node,
+    Q: Fn(&N) -> String + Copy,
+{
+    let seq: Simulator<N> = engine::drive(trace, cfg(false));
+    let par: Simulator<N> = engine::drive(trace, cfg(true));
+    let a = fingerprint(&seq, query);
+    let b = fingerprint(&par, query);
+    assert_eq!(a.0, b.0, "{label}: meters diverged");
+    assert_eq!(a.1, b.1, "{label}: per-round stats diverged");
+    assert_eq!(a.2, b.2, "{label}: query responses diverged");
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn two_hop_parallel_matches_sequential(
+        w in 0usize..3,
+        n in 6usize..24,
+        rounds in 20usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let trace = build(WORKLOADS[w], n, rounds, seed);
+        assert_identical::<TwoHopNode, _>(
+            &trace,
+            |node| {
+                // Probe a deterministic sample of pair queries per node.
+                (0..n as u32)
+                    .step_by(3)
+                    .filter(|&u| u != 0)
+                    .map(|u| format!("{:?}", node.query_edge(dynamic_subgraphs::net::edge(0, u))))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            },
+            WORKLOADS[w],
+        );
+    }
+
+    #[test]
+    fn triangle_parallel_matches_sequential(
+        w in 0usize..3,
+        n in 6usize..20,
+        rounds in 20usize..50,
+        seed in 0u64..1_000,
+    ) {
+        let trace = build(WORKLOADS[w], n, rounds, seed);
+        assert_identical::<TriangleNode, _>(
+            &trace,
+            |node| format!("{:?}", node.list_triangles()),
+            WORKLOADS[w],
+        );
+    }
+
+    #[test]
+    fn three_hop_parallel_matches_sequential(
+        w in 0usize..3,
+        n in 6usize..16,
+        rounds in 20usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let trace = build(WORKLOADS[w], n, rounds, seed);
+        assert_identical::<ThreeHopNode, _>(
+            &trace,
+            |node| {
+                (1..n as u32)
+                    .step_by(4)
+                    .map(|u| format!("{:?}", node.query_edge(dynamic_subgraphs::net::edge(0, u))))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            },
+            WORKLOADS[w],
+        );
+    }
+}

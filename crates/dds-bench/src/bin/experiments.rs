@@ -1,8 +1,8 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|all]
-//!             [--csv] [--rounds N] [--max-n N] [--json FILE]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|all]
+//!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--json FILE]
 //!             [--check-schema BASELINE.json]
 //! ```
 //!
@@ -11,9 +11,14 @@
 //! every table plus its wall-clock cost as one JSON report (this is how
 //! `BENCH_baseline.json` is produced, giving later performance work a
 //! recorded trajectory to beat). `--max-n` caps the size sweeps (reduced
-//! configs for CI smoke runs) and `--check-schema` verifies that every
-//! produced table id + header row matches the named baseline report,
-//! exiting non-zero on drift.
+//! configs for CI smoke runs), `--jobs N` fans the independent tables out
+//! over N scheduler workers (results are bit-identical for any N — the
+//! batch scheduler aggregates in input order), and `--check-schema`
+//! verifies that every produced table id + header row matches the named
+//! baseline report, exiting non-zero on drift. `s1` is the streamed
+//! scenario tier (n = 100 000 by default, capped by `--max-n`): runs
+//! driven from lazy trace sources that the materialized path could not
+//! hold in memory.
 
 use dds_bench::runners;
 use dds_bench::Table;
@@ -71,11 +76,25 @@ fn main() {
             }
         },
     };
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --jobs needs a worker count >= 1");
+                std::process::exit(2);
+            }
+        },
+    };
     let skip_values: Vec<usize> = args
         .iter()
         .enumerate()
         .filter(|(_, a)| {
-            *a == "--rounds" || *a == "--json" || *a == "--max-n" || *a == "--check-schema"
+            *a == "--rounds"
+                || *a == "--json"
+                || *a == "--max-n"
+                || *a == "--jobs"
+                || *a == "--check-schema"
         })
         .map(|(i, _)| i + 1)
         .collect();
@@ -89,16 +108,11 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     let want = |id: &str| all || wanted.contains(&id);
 
-    let mut tables: Vec<TimedTable> = Vec::new();
+    type Job = (&'static str, Box<dyn Fn() -> Table + Send + Sync>);
+    let mut planned: Vec<Job> = Vec::new();
     let t0 = Instant::now();
-    let mut run = |id: &str, build: &mut dyn FnMut() -> Table| {
-        let t = Instant::now();
-        let table = build();
-        tables.push(TimedTable {
-            id: id.to_string(),
-            seconds: t.elapsed().as_secs_f64(),
-            table,
-        });
+    let mut run = |id: &'static str, build: Box<dyn Fn() -> Table + Send + Sync>| {
+        planned.push((id, build));
     };
     let sweep_ns: Vec<usize> = runners::SWEEP_NS
         .iter()
@@ -115,60 +129,107 @@ fn main() {
         std::process::exit(2);
     }
     if want("e1") {
-        run("e1", &mut || runners::e1_two_hop_sizes(&sweep_ns, rounds));
-        run("e1s", &mut || {
-            dds_bench::sweep::amortized_sweep_table::<dds_robust::TwoHopNode>(
-                "E1s / Theorem 7 — robust 2-hop amortized across seeds (ER churn)",
-                &seed_sweep_ns,
-                10,
-                rounds,
-            )
-        });
+        let ns = sweep_ns.clone();
+        run(
+            "e1",
+            Box::new(move || runners::e1_two_hop_sizes(&ns, rounds)),
+        );
+        let ns = seed_sweep_ns.clone();
+        run(
+            "e1s",
+            Box::new(move || {
+                dds_bench::sweep::amortized_sweep_table::<dds_robust::TwoHopNode>(
+                    "E1s / Theorem 7 — robust 2-hop amortized across seeds (ER churn)",
+                    &ns,
+                    10,
+                    rounds,
+                )
+            }),
+        );
     }
     if want("e2") {
-        run("e2", &mut || runners::e2_triangle(rounds));
+        run("e2", Box::new(move || runners::e2_triangle(rounds)));
     }
     if want("e3") {
-        run("e3", &mut || runners::e3_cliques(rounds));
+        run("e3", Box::new(move || runners::e3_cliques(rounds)));
     }
     if want("e4") {
-        run("e4", &mut || runners::e4_lower_bound_2hop());
+        run("e4", Box::new(runners::e4_lower_bound_2hop));
     }
     if want("e5") {
-        run("e5", &mut || runners::e5_three_hop_sizes(&sweep_ns, rounds));
-        run("e5s", &mut || {
-            dds_bench::sweep::amortized_sweep_table::<dds_robust::ThreeHopNode>(
-                "E5s / Theorem 6 — robust 3-hop amortized across seeds (ER churn)",
-                &seed_sweep_ns,
-                10,
-                rounds,
-            )
-        });
+        let ns = sweep_ns.clone();
+        run(
+            "e5",
+            Box::new(move || runners::e5_three_hop_sizes(&ns, rounds)),
+        );
+        let ns = seed_sweep_ns.clone();
+        run(
+            "e5s",
+            Box::new(move || {
+                dds_bench::sweep::amortized_sweep_table::<dds_robust::ThreeHopNode>(
+                    "E5s / Theorem 6 — robust 3-hop amortized across seeds (ER churn)",
+                    &ns,
+                    10,
+                    rounds,
+                )
+            }),
+        );
     }
     if want("e6") {
-        run("e6", &mut || runners::e6_cycles(rounds));
+        run("e6", Box::new(move || runners::e6_cycles(rounds)));
     }
     if want("e7") {
-        run("e7", &mut || runners::e7_six_cycle_wall());
+        run("e7", Box::new(runners::e7_six_cycle_wall));
     }
     if want("e8") {
-        run("e8", &mut || runners::e8_snapshot_scaling());
+        run("e8", Box::new(runners::e8_snapshot_scaling));
     }
     if want("e9") {
-        run("e9", &mut || runners::e9_remark1());
+        run("e9", Box::new(runners::e9_remark1));
     }
     if want("f2") || want("f3") {
-        run("f2", &mut || runners::f23_coverage(rounds));
+        run("f2", Box::new(move || runners::f23_coverage(rounds)));
     }
     if want("a1") {
-        run("a1", &mut || runners::a1_timestamp_ablation());
+        run("a1", Box::new(runners::a1_timestamp_ablation));
     }
     if want("a2") {
-        run("a2", &mut || runners::a2_two_hop_insufficient(rounds));
+        run(
+            "a2",
+            Box::new(move || runners::a2_two_hop_insufficient(rounds)),
+        );
     }
     if want("a3") {
-        run("a3", &mut || runners::a3_bandwidth(rounds));
+        run("a3", Box::new(move || runners::a3_bandwidth(rounds)));
     }
+    if want("s1") {
+        let s1_n = 100_000.min(max_n.max(2));
+        // Inner stage stays sequential whenever the outer table fan-out is
+        // parallel — nested pools would oversubscribe the machine and
+        // pollute the recorded per-table seconds.
+        let s1_jobs = if jobs > 1 { 1 } else { jobs.max(1) };
+        run(
+            "s1",
+            Box::new(move || runners::s1_streamed_tier(s1_n, rounds, s1_jobs)),
+        );
+    }
+
+    // Execute the plan: every table is an independent job; the scheduler
+    // returns them in plan order, so the report is identical for any
+    // --jobs value.
+    let tables: Vec<TimedTable> = dds_bench::scheduler::map_ordered(
+        jobs,
+        planned,
+        |_, (id, build): (&'static str, Box<dyn Fn() -> Table + Send + Sync>)| {
+            let t = Instant::now();
+            let table = build();
+            TimedTable {
+                id: id.to_string(),
+                seconds: t.elapsed().as_secs_f64(),
+                table,
+            }
+        },
+    );
 
     if let Some(baseline) = &schema_baseline {
         check_schema(&tables, baseline);
@@ -225,18 +286,22 @@ fn check_schema(tables: &[TimedTable], baseline_path: &str) {
         .and_then(|t| t.as_array())
         .unwrap_or(&empty);
     let mut failures = 0usize;
+    let mut checked = 0usize;
     for tt in tables {
         let Some(base) = baseline_tables
             .iter()
             .find(|b| b.get("id").and_then(|i| i.as_str()) == Some(&tt.id))
         else {
+            // A table the baseline predates (e.g. `s1` against
+            // BENCH_baseline.json) is growth, not drift: warn and move on
+            // so `all --check-schema` keeps working against old baselines.
             eprintln!(
-                "schema check: table {:?} missing from {baseline_path}",
+                "schema check: table {:?} not in {baseline_path} (newer than the baseline; skipped)",
                 tt.id
             );
-            failures += 1;
             continue;
         };
+        checked += 1;
         let got: Vec<&str> = tt.table.headers.iter().map(String::as_str).collect();
         let want: Vec<&str> = base
             .get("table")
@@ -258,8 +323,12 @@ fn check_schema(tables: &[TimedTable], baseline_path: &str) {
         eprintln!("schema check FAILED: {failures} table(s) drifted from {baseline_path}");
         std::process::exit(1);
     }
-    eprintln!(
-        "[schema check OK: {} table(s) match {baseline_path}]",
-        tables.len()
-    );
+    if checked == 0 {
+        eprintln!(
+            "schema check FAILED: no produced table id exists in {baseline_path} — \
+             renamed or dropped tables would slip through"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[schema check OK: {checked} table(s) match {baseline_path}]");
 }

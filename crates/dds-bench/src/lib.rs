@@ -10,9 +10,11 @@
 
 pub mod driver;
 pub mod runners;
+pub mod scheduler;
 pub mod sweep;
 pub mod table;
 
 pub use driver::protocols;
-pub use sweep::{sweep, Stats};
+pub use scheduler::{available_jobs, map_ordered, SweepPoint};
+pub use sweep::{sweep, sweep_jobs, Stats};
 pub use table::Table;

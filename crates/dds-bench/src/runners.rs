@@ -2,10 +2,11 @@
 //! per-experiment index). Each returns a [`Table`] that the `experiments`
 //! binary prints; the Criterion benches reuse the same workload setups.
 
+use crate::scheduler;
 use crate::table::{f2, f3, Table};
 use dds_baselines::{NaiveTwoHopNode, SnapshotNode};
-use dds_net::engine::drive;
-use dds_net::{Node as _, NodeId, Response, SimConfig, Simulator, Trace};
+use dds_net::engine::{drive, drive_source};
+use dds_net::{BoxedSource, Node as _, NodeId, Response, SimConfig, Simulator, Trace};
 use dds_oracle::DynamicGraph;
 use dds_robust::{listing_verdict, ThreeHopNode, TriangleNode, TwoHopNode};
 use dds_workloads::{bounds, registry, staggered_flicker_trace, Params, Thm4Adversary, Workload};
@@ -18,6 +19,12 @@ pub const SWEEP_NS: [usize; 4] = [64, 128, 256, 512];
 /// experiment definitions are static, so a failure here is a bug).
 fn trace_for(workload: &str, params: Params) -> Trace {
     registry::build_trace(workload, &params).unwrap_or_else(|e| panic!("workload {workload}: {e}"))
+}
+
+/// Build a registered workload's streaming source, panicking on schema
+/// errors (static experiment definitions again).
+fn source_for(workload: &str, params: Params) -> BoxedSource {
+    registry::build_source(workload, &params).unwrap_or_else(|e| panic!("workload {workload}: {e}"))
 }
 
 fn er_trace(n: usize, rounds: usize, seed: u64) -> Trace {
@@ -53,36 +60,51 @@ pub fn e1_two_hop_sizes(ns: &[usize], rounds: usize) -> Table {
             "bits/link/round",
         ],
     );
+    // One scheduler job per (size, workload) cell; every cell streams its
+    // workload (nothing materialized) and rows aggregate in input order.
+    // Cells run sequentially (jobs = 1): table-level parallelism belongs
+    // to the experiments binary's --jobs fan-out, and sequential cells
+    // keep per-table seconds comparable with the recorded BENCH_* runs.
+    let mut cells: Vec<(usize, &'static str, String, Params)> = Vec::new();
     for &n in ns {
         let base = Params::new().with("n", n).with("rounds", rounds);
-        for (name, trace) in [
-            ("er-churn", er_trace(n, rounds, 17 + n as u64)),
-            (
-                "flicker",
-                trace_for("flicker", base.clone().with("seed", 23 + n as u64)),
-            ),
-            (
-                "p2p",
-                trace_for(
-                    "p2p",
-                    base.clone()
-                        .with("seed", 31 + n as u64)
-                        .with("triadic", true),
-                ),
-            ),
-        ] {
-            let sim: Simulator<TwoHopNode> = run_on(&trace);
-            let m = sim.meter();
-            let links = sim.topology().edge_count().max(1) as f64;
-            t.row(vec![
-                n.to_string(),
-                name.into(),
-                m.changes().to_string(),
-                m.inconsistent_rounds().to_string(),
-                f3(m.amortized()),
-                f2(sim.bandwidth().total_bits() as f64 / m.rounds() as f64 / links),
-            ]);
-        }
+        cells.push((
+            n,
+            "er-churn",
+            "er".into(),
+            base.clone().with("seed", 17 + n as u64),
+        ));
+        cells.push((
+            n,
+            "flicker",
+            "flicker".into(),
+            base.clone().with("seed", 23 + n as u64),
+        ));
+        cells.push((
+            n,
+            "p2p",
+            "p2p".into(),
+            base.clone()
+                .with("seed", 31 + n as u64)
+                .with("triadic", true),
+        ));
+    }
+    let rows = scheduler::map_ordered(1, cells, |_, (n, name, workload, params)| {
+        let mut src = source_for(&workload, params);
+        let sim: Simulator<TwoHopNode> = drive_source(&mut src, SimConfig::default());
+        let m = sim.meter();
+        let links = sim.topology().edge_count().max(1) as f64;
+        vec![
+            n.to_string(),
+            name.into(),
+            m.changes().to_string(),
+            m.inconsistent_rounds().to_string(),
+            f3(m.amortized()),
+            f2(sim.bandwidth().total_bits() as f64 / m.rounds() as f64 / links),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("paper: O(1) amortized (flat in n); budget = 8·ceil(log2 n) bits/link/round");
     t
@@ -263,26 +285,37 @@ pub fn e5_three_hop_sizes(ns: &[usize], rounds: usize) -> Table {
         "E5 / Theorem 6 — robust 3-hop neighborhood: amortized rounds per change",
         &["n", "workload", "changes", "amortized", "bits/link/round"],
     );
+    let mut cells: Vec<(usize, &'static str, String, Params)> = Vec::new();
     for &n in ns {
         let base = Params::new().with("n", n).with("rounds", rounds);
-        for (name, trace) in [
-            ("er-churn", er_trace(n, rounds, 41 + n as u64)),
-            (
-                "flicker",
-                trace_for("flicker", base.clone().with("seed", 43 + n as u64)),
-            ),
-        ] {
-            let sim: Simulator<ThreeHopNode> = run_on(&trace);
-            let m = sim.meter();
-            let links = sim.topology().edge_count().max(1) as f64;
-            t.row(vec![
-                n.to_string(),
-                name.into(),
-                m.changes().to_string(),
-                f3(m.amortized()),
-                f2(sim.bandwidth().total_bits() as f64 / m.rounds() as f64 / links),
-            ]);
-        }
+        cells.push((
+            n,
+            "er-churn",
+            "er".into(),
+            base.clone().with("seed", 41 + n as u64),
+        ));
+        cells.push((
+            n,
+            "flicker",
+            "flicker".into(),
+            base.clone().with("seed", 43 + n as u64),
+        ));
+    }
+    let rows = scheduler::map_ordered(1, cells, |_, (n, name, workload, params)| {
+        let mut src = source_for(&workload, params);
+        let sim: Simulator<ThreeHopNode> = drive_source(&mut src, SimConfig::default());
+        let m = sim.meter();
+        let links = sim.topology().edge_count().max(1) as f64;
+        vec![
+            n.to_string(),
+            name.into(),
+            m.changes().to_string(),
+            f3(m.amortized()),
+            f2(sim.bandwidth().total_bits() as f64 / m.rounds() as f64 / links),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("paper: O(1) amortized with constant ≈ 3 (+ flag echoes); flat in n");
     t
@@ -690,9 +723,96 @@ pub fn a3_bandwidth(rounds: usize) -> Table {
     t
 }
 
+/// S1 — the streamed scenario tier: runs at sizes whose schedules would be
+/// wasteful (or impossible) to hold in memory. Every row is driven from a
+/// lazy [`TraceSource`](dds_net::TraceSource) — exactly one batch alive at
+/// a time — through the batch scheduler, and reports the process peak RSS
+/// next to an estimate of what the materialized trace alone would occupy
+/// (events only, excluding per-batch overhead: a deliberate underestimate).
+pub fn s1_streamed_tier(n: usize, rounds: usize, jobs: usize) -> Table {
+    let mut t = Table::new(
+        "S1 / streamed tier — large-n runs the materialized path cannot hold",
+        &[
+            "workload",
+            "n",
+            "rounds",
+            "changes",
+            "final edges",
+            "rounds/s",
+            "peak RSS MB",
+            "est. trace MB",
+        ],
+    );
+    // Rolling-window uniform churn (a rolling Erdős–Rényi: random pairs
+    // arrive, expire after `window` rounds) and the flicker stress. Both
+    // generators emit O(batch) state per round, so the streamed run's
+    // memory is bounded by the simulator, not the schedule.
+    let cells: Vec<(&'static str, &'static str, Params)> = vec![
+        (
+            "rolling-er (sliding)",
+            "sliding",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 0x51)
+                .with("arrivals", (n / 25).max(1))
+                .with("window", 10),
+        ),
+        (
+            "flicker",
+            "flicker",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 0xF1)
+                .with("flickering", n / 4)
+                .with("period", 2),
+        ),
+    ];
+    let rows = scheduler::map_ordered(jobs, cells, |_, (label, workload, params)| {
+        let mut src = source_for(workload, params);
+        let s = crate::driver::protocols()
+            .run_stream("two-hop", &mut src, SimConfig::default())
+            .expect("two-hop is registered");
+        let est_mb = s.changes as f64 * std::mem::size_of::<dds_net::TopologyEvent>() as f64
+            / (1024.0 * 1024.0);
+        vec![
+            label.to_string(),
+            s.n.to_string(),
+            s.rounds.to_string(),
+            s.changes.to_string(),
+            s.final_edges.to_string(),
+            f2(s.rounds_per_sec),
+            f2(s.peak_rss_mb),
+            f2(est_mb),
+        ]
+    });
+    for row in rows {
+        t.row(row);
+    }
+    t.note("driven end-to-end from lazy TraceSources: one batch in memory at any time");
+    t.note(
+        "peak RSS is the process-wide high-water mark — monotone across rows and inherited \
+         from whatever ran earlier in the process; standalone runs (`dds simulate --stream`, \
+         CI perf-smoke) are the authoritative measurement. est. trace = events only",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn s1_streams_at_reduced_scale() {
+        let t = s1_streamed_tier(2000, 60, 2);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            assert_eq!(row[2], "60", "all rounds executed: {row:?}");
+            let changes: u64 = row[3].parse().unwrap();
+            assert!(changes > 0, "streamed run saw changes: {row:?}");
+        }
+    }
 
     #[test]
     fn e1_rows_and_flat_amortized() {

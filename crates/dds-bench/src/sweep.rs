@@ -1,12 +1,14 @@
-//! Multi-seed statistical sweeps, fanned out with rayon.
+//! Multi-seed statistical sweeps, fanned out on the batch scheduler.
 //!
 //! A single seeded run shows a shape; a sweep across seeds shows that the
 //! shape is not an artifact. [`sweep`] runs one measurement function over
 //! many seeds in parallel (runs are independent simulations, so this is
 //! embarrassingly parallel) and reports mean, standard deviation and
-//! extremes.
+//! extremes. Samples are aggregated in **seed order** whatever the worker
+//! count (see [`crate::scheduler::map_ordered`]), so the statistics are
+//! bit-identical for `--jobs 1` and `--jobs N`.
 
-use rayon::prelude::*;
+use crate::scheduler;
 
 /// Summary of one measured quantity across seeds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,17 +54,26 @@ impl Stats {
     }
 }
 
-/// Run `measure(seed)` for `seeds` different seeds in parallel and
-/// aggregate. `measure` must be deterministic per seed.
+/// Run `measure(seed)` for `seeds` different seeds in parallel (default
+/// worker count) and aggregate. `measure` must be deterministic per seed.
 pub fn sweep<F>(base_seed: u64, seeds: usize, measure: F) -> Stats
 where
     F: Fn(u64) -> f64 + Sync,
 {
+    sweep_jobs(base_seed, seeds, scheduler::available_jobs(), measure)
+}
+
+/// [`sweep`] with an explicit worker count. Samples aggregate in seed
+/// order for any `jobs`, so the result is jobs-invariant.
+pub fn sweep_jobs<F>(base_seed: u64, seeds: usize, jobs: usize, measure: F) -> Stats
+where
+    F: Fn(u64) -> f64 + Sync,
+{
     assert!(seeds >= 1);
-    let samples: Vec<f64> = (0..seeds as u64)
-        .into_par_iter()
-        .map(|i| measure(base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
-        .collect();
+    let idx: Vec<u64> = (0..seeds as u64).collect();
+    let samples = scheduler::map_ordered(jobs, idx, |_, i| {
+        measure(base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    });
     Stats::from_samples(&samples)
 }
 
@@ -88,7 +99,7 @@ pub fn amortized_sweep_table<N: dds_net::Node>(
     );
     for &n in ns {
         let run = |seed: u64, footnote: bool| -> f64 {
-            let trace = dds_workloads::registry::build_trace(
+            let mut src = dds_workloads::registry::build_source(
                 "er",
                 &dds_workloads::Params::new()
                     .with("n", n)
@@ -97,7 +108,7 @@ pub fn amortized_sweep_table<N: dds_net::Node>(
             )
             .expect("er workload is registered");
             let sim: dds_net::Simulator<N> =
-                dds_net::engine::drive(&trace, dds_net::SimConfig::default());
+                dds_net::engine::drive_source(&mut src, dds_net::SimConfig::default());
             if footnote {
                 sim.per_node_meter().footnote_amortized()
             } else {

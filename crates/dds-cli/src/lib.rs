@@ -28,7 +28,10 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 pub const USAGE: &str = "\
 usage:
   dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
-               [--parallel] [--record-stats] [--json]
+               [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats] [--json]
+               (--stream drives the run from a lazy trace source: one batch in
+                memory at a time; --seeds K runs K seeded replicas on J scheduler
+                workers, streamed, with seed-ordered aggregate statistics)
   dds trace generate --workload <name> [--n N] [--rounds R] [--seed S] --out FILE
   dds trace info FILE
   dds trace validate FILE
@@ -73,14 +76,23 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
-    let trace = run::build_workload(args)?;
     let protocol = args.get_or("protocol", "triangle").to_string();
     let cfg = dds_net::SimConfig {
         parallel: args.flag("parallel"),
         record_stats: args.flag("record-stats"),
         ..dds_net::SimConfig::default()
     };
-    let summary = run::simulate(&protocol, &trace, cfg)?;
+    let seeds: usize = args.num_or("seeds", 1)?;
+    if seeds > 1 {
+        return cmd_simulate_sweep(args, &protocol, cfg, seeds);
+    }
+    let summary = if args.flag("stream") {
+        let mut src = run::build_workload_source(args)?;
+        run::simulate_stream(&protocol, &mut src, cfg)?
+    } else {
+        let trace = run::build_workload(args)?;
+        run::simulate(&protocol, &trace, cfg)?
+    };
     if args.flag("json") {
         println!(
             "{}",
@@ -114,7 +126,76 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
                 summary.peak_round_messages, summary.peak_round_bits
             );
         }
+        if args.flag("stream") {
+            println!(
+                "peak RSS:             {:.1} MB (streamed)",
+                summary.peak_rss_mb
+            );
+        }
     }
+    Ok(())
+}
+
+/// `dds simulate --seeds K [--jobs J]`: run K seeded replicas of the same
+/// point through the batch scheduler (each replica streamed from its own
+/// source) and report per-seed rows plus seed-ordered aggregate statistics.
+fn cmd_simulate_sweep(
+    args: &Args,
+    protocol: &str,
+    cfg: dds_net::SimConfig,
+    seeds: usize,
+) -> Result<(), String> {
+    let jobs: usize = args.num_or("jobs", dds_bench::available_jobs())?;
+    if jobs < 1 {
+        return Err("--jobs must be >= 1".into());
+    }
+    let workload = args.get_or("workload", "er").to_string();
+    let base_seed: u64 = args.num_or("seed", 42)?;
+    let points: Vec<dds_bench::SweepPoint> = (0..seeds as u64)
+        .map(|i| {
+            dds_bench::SweepPoint::new(
+                protocol,
+                &workload,
+                run::params_with_seed(args, base_seed.wrapping_add(i)),
+            )
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let summaries: Vec<dds_net::RunSummary> = dds_bench::scheduler::run_points(points, cfg, jobs)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    let wall = t0.elapsed().as_secs_f64();
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summaries).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("seed sweep: {seeds} seeds × ({protocol} over {workload}), {jobs} worker(s)");
+    for (i, s) in summaries.iter().enumerate() {
+        println!(
+            "  seed {:<6} changes {:<8} inconsistent rounds {:<6} amortized {:.3}  ({:.0} rounds/s)",
+            base_seed.wrapping_add(i as u64),
+            s.changes,
+            s.inconsistent_rounds,
+            s.amortized,
+            s.rounds_per_sec,
+        );
+    }
+    let amortized =
+        dds_bench::Stats::from_samples(&summaries.iter().map(|s| s.amortized).collect::<Vec<_>>());
+    let sim_secs: f64 = summaries.iter().map(|s| s.seconds).sum();
+    println!(
+        "amortized:            {}  (min {:.3} / max {:.3})",
+        amortized.pm(),
+        amortized.min,
+        amortized.max
+    );
+    println!(
+        "wall clock:           {wall:.3}s for {sim_secs:.3}s of simulation ({:.2}x)",
+        sim_secs / wall.max(1e-9)
+    );
     Ok(())
 }
 

@@ -7,7 +7,7 @@
 //! `dds list` are derived, never hand-maintained here.
 
 use crate::args::Args;
-use dds_net::{RunSummary, SimConfig, Trace};
+use dds_net::{BoxedSource, RunSummary, SimConfig, Trace, TraceSource};
 use dds_workloads::registry;
 use dds_workloads::Params;
 
@@ -35,9 +35,32 @@ pub fn build_workload(args: &Args) -> Result<Trace, String> {
     registry::build_trace(args.get_or("workload", "er"), &params_from(args))
 }
 
+/// Build a streaming source for the named workload from CLI options
+/// (the `--stream` path: no trace is ever materialized).
+pub fn build_workload_source(args: &Args) -> Result<BoxedSource, String> {
+    registry::build_source(args.get_or("workload", "er"), &params_from(args))
+}
+
 /// Run the named protocol over a recorded trace.
 pub fn simulate(protocol: &str, trace: &Trace, cfg: SimConfig) -> Result<RunSummary, String> {
     dds_bench::protocols().run(protocol, trace, cfg)
+}
+
+/// Run the named protocol from a streaming source.
+pub fn simulate_stream(
+    protocol: &str,
+    src: &mut dyn TraceSource,
+    cfg: SimConfig,
+) -> Result<RunSummary, String> {
+    dds_bench::protocols().run_stream(protocol, src, cfg)
+}
+
+/// Registry parameters for one seed of a `--seeds` sweep: the CLI options
+/// with the seed overridden.
+pub fn params_with_seed(args: &Args, seed: u64) -> Params {
+    let mut p = params_from(args);
+    p.set("seed", seed);
+    p
 }
 
 #[cfg(test)]

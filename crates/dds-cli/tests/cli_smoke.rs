@@ -96,6 +96,86 @@ fn binary_simulate_json_reports_a_run() {
 }
 
 #[test]
+fn binary_simulate_stream_matches_materialized_run() {
+    let base = [
+        "simulate",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "sliding",
+        "--n",
+        "32",
+        "--rounds",
+        "50",
+        "--seed",
+        "9",
+        "--json",
+    ];
+    let (ok_m, out_m, err_m) = run_bin(&base);
+    assert!(ok_m, "stderr: {err_m}");
+    let mut streamed = base.to_vec();
+    streamed.push("--stream");
+    let (ok_s, out_s, err_s) = run_bin(&streamed);
+    assert!(ok_s, "stderr: {err_s}");
+    // Same meters either way; only wall-clock fields may differ.
+    for key in [
+        "\"changes\"",
+        "\"amortized\"",
+        "\"bits\"",
+        "\"final_edges\"",
+    ] {
+        let pick = |s: &str| {
+            s.lines()
+                .find(|l| l.contains(key))
+                .map(String::from)
+                .unwrap_or_default()
+        };
+        assert_eq!(pick(&out_m), pick(&out_s), "{key} diverged");
+    }
+}
+
+#[test]
+fn binary_simulate_seeds_sweeps_with_jobs() {
+    let (ok, stdout, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "triangle",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "30",
+        "--seeds",
+        "3",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("seed sweep: 3 seeds"), "output: {stdout}");
+    assert!(stdout.contains("seed 42"), "output: {stdout}");
+    assert!(stdout.contains("seed 44"), "output: {stdout}");
+    assert!(stdout.contains("amortized:"), "output: {stdout}");
+    // JSON mode emits one summary per seed.
+    let (ok, stdout, _) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "triangle",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "30",
+        "--seeds",
+        "3",
+        "--json",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.matches("\"protocol\"").count(), 3, "{stdout}");
+}
+
+#[test]
 fn trace_generate_validate_info_round_trip() {
     let dir = std::env::temp_dir().join(format!("dds-cli-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -4,9 +4,12 @@
 //! meters" used to be copy-pasted between the CLI, the experiment runners
 //! and the seed sweeps. This module is the single implementation:
 //!
-//! - [`drive`] replays a recorded [`Trace`] through a fresh simulator;
-//! - [`run_trace_as`] does the same and condenses the meters into a
-//!   [`RunSummary`] (with wall-clock rounds/sec);
+//! - [`drive`] replays a recorded [`Trace`] through a fresh simulator, and
+//!   [`drive_source`] streams any [`TraceSource`] through one without ever
+//!   materializing the schedule;
+//! - [`run_trace_as`] / [`run_source_as`] do the same and condense the
+//!   meters into a [`RunSummary`] (with wall-clock rounds/sec and peak
+//!   process RSS);
 //! - [`ProtocolRegistry`] maps protocol *names* to boxed runners so
 //!   frontends can dispatch dynamically without a hand-maintained `match`
 //!   per call site. The registry entries for the concrete protocols live in
@@ -15,6 +18,7 @@
 
 use crate::protocol::Node;
 use crate::sim::{SimConfig, Simulator};
+use crate::source::TraceSource;
 use crate::trace::Trace;
 use serde::Serialize;
 use std::time::Instant;
@@ -55,6 +59,10 @@ pub struct RunSummary {
     pub peak_round_messages: u64,
     /// Busiest round by transmitted bits (0 unless `record_stats`).
     pub peak_round_bits: u64,
+    /// Peak resident set size of this process in MiB at summary time
+    /// (Linux `VmHWM`; 0 on other platforms). Process-wide, so only
+    /// meaningful when one run dominates the process.
+    pub peak_rss_mb: f64,
 }
 
 /// Replay a recorded trace through a fresh simulator and return it for
@@ -67,11 +75,51 @@ pub fn drive<N: Node>(trace: &Trace, cfg: SimConfig) -> Simulator<N> {
     sim
 }
 
+/// Drive a fresh simulator from a streaming source. Exactly one batch is
+/// alive at a time, so memory stays bounded by the generator state plus
+/// the simulator itself, independent of run length or change volume.
+pub fn drive_source<N: Node>(src: &mut dyn TraceSource, cfg: SimConfig) -> Simulator<N> {
+    let mut sim: Simulator<N> = Simulator::with_config(src.n(), cfg);
+    while let Some(batch) = src.next_batch() {
+        sim.step(&batch);
+    }
+    sim
+}
+
 /// Replay a trace as protocol `N` and summarize the meters.
 pub fn run_trace_as<N: Node>(name: &str, trace: &Trace, cfg: SimConfig) -> RunSummary {
     let start = Instant::now();
     let sim: Simulator<N> = drive(trace, cfg);
     summarize(name, &sim, start.elapsed().as_secs_f64())
+}
+
+/// Stream a source through protocol `N` and summarize the meters.
+pub fn run_source_as<N: Node>(name: &str, src: &mut dyn TraceSource, cfg: SimConfig) -> RunSummary {
+    let start = Instant::now();
+    let sim: Simulator<N> = drive_source(src, cfg);
+    summarize(name, &sim, start.elapsed().as_secs_f64())
+}
+
+/// Peak resident set size of this process in MiB (Linux `VmHWM` from
+/// `/proc/self/status`; 0.0 where unavailable).
+pub fn peak_rss_mb() -> f64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    if let Some(kb) = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                    {
+                        return kb / 1024.0;
+                    }
+                }
+            }
+        }
+    }
+    0.0
 }
 
 /// Condense a finished simulator's meters into a [`RunSummary`].
@@ -98,11 +146,18 @@ pub fn summarize<N: Node>(name: &str, sim: &Simulator<N>, seconds: f64) -> RunSu
         },
         peak_round_messages: sim.stats().iter().map(|s| s.messages).max().unwrap_or(0),
         peak_round_bits: sim.stats().iter().map(|s| s.bits).max().unwrap_or(0),
+        peak_rss_mb: peak_rss_mb(),
     }
 }
 
-/// A boxed protocol runner: trace + config in, summary out.
-pub type Runner = Box<dyn Fn(&Trace, SimConfig) -> RunSummary + Send + Sync>;
+/// A boxed protocol runner: batch source + config in, summary out. Every
+/// registered protocol runs from a stream; recorded traces enter through
+/// [`Trace::replay`].
+pub type Runner = Box<dyn Fn(&mut dyn TraceSource, SimConfig) -> RunSummary + Send + Sync>;
+
+/// A boxed by-reference trace runner: the zero-copy fast path for
+/// recorded traces.
+pub type TraceRunner = Box<dyn Fn(&Trace, SimConfig) -> RunSummary + Send + Sync>;
 
 /// A named, runnable protocol: the registry entry.
 pub struct ProtocolSpec {
@@ -111,12 +166,22 @@ pub struct ProtocolSpec {
     /// One-line description for `dds list`.
     pub summary: &'static str,
     runner: Runner,
+    /// Zero-copy fast path for recorded traces: drives by reference so the
+    /// replay hot path allocates nothing per round (a `TraceReplay` would
+    /// clone every batch out of the trace).
+    trace_runner: TraceRunner,
 }
 
 impl ProtocolSpec {
-    /// Run this protocol over a recorded trace.
+    /// Run this protocol over a recorded trace (by reference, no batch
+    /// copies).
     pub fn run(&self, trace: &Trace, cfg: SimConfig) -> RunSummary {
-        (self.runner)(trace, cfg)
+        (self.trace_runner)(trace, cfg)
+    }
+
+    /// Run this protocol from a streaming source (never materializes).
+    pub fn run_stream(&self, src: &mut dyn TraceSource, cfg: SimConfig) -> RunSummary {
+        (self.runner)(src, cfg)
     }
 }
 
@@ -163,7 +228,8 @@ impl ProtocolRegistry {
         self.specs.push(ProtocolSpec {
             name,
             summary,
-            runner: Box::new(move |trace, cfg| run_trace_as::<N>(name, trace, prep(cfg))),
+            runner: Box::new(move |src, cfg| run_source_as::<N>(name, src, prep(cfg))),
+            trace_runner: Box::new(move |trace, cfg| run_trace_as::<N>(name, trace, prep(cfg))),
         });
     }
 
@@ -182,10 +248,28 @@ impl ProtocolRegistry {
         self.specs.iter().find(|s| s.name == name)
     }
 
-    /// Run the named protocol over a trace, or report the known names.
+    /// Run the named protocol over a trace (zero-copy, by reference), or
+    /// report the known names.
     pub fn run(&self, name: &str, trace: &Trace, cfg: SimConfig) -> Result<RunSummary, String> {
         match self.get(name) {
             Some(spec) => Ok(spec.run(trace, cfg)),
+            None => Err(format!(
+                "unknown protocol {name:?}; expected one of {:?}",
+                self.names()
+            )),
+        }
+    }
+
+    /// Run the named protocol from a streaming source, or report the known
+    /// names. The source is never materialized.
+    pub fn run_stream(
+        &self,
+        name: &str,
+        src: &mut dyn TraceSource,
+        cfg: SimConfig,
+    ) -> Result<RunSummary, String> {
+        match self.get(name) {
+            Some(spec) => Ok(spec.run_stream(src, cfg)),
             None => Err(format!(
                 "unknown protocol {name:?}; expected one of {:?}",
                 self.names()
@@ -247,6 +331,44 @@ mod tests {
         let mut reg = ProtocolRegistry::new();
         reg.register::<Idle>("idle", "a");
         reg.register::<Idle>("idle", "b");
+    }
+
+    #[test]
+    fn streamed_and_replayed_runs_agree() {
+        let trace = sample_trace();
+        let cfg = SimConfig::default();
+        let a = run_trace_as::<Idle>("idle", &trace, cfg);
+        let b = run_source_as::<Idle>("idle", &mut trace.replay(), cfg);
+        let c = run_source_as::<Idle>("idle", &mut trace.clone().into_source(), cfg);
+        for s in [&b, &c] {
+            assert_eq!(a.rounds, s.rounds);
+            assert_eq!(a.changes, s.changes);
+            assert_eq!(a.amortized.to_bits(), s.amortized.to_bits());
+            assert_eq!(a.messages, s.messages);
+            assert_eq!(a.bits, s.bits);
+            assert_eq!(a.final_edges, s.final_edges);
+        }
+    }
+
+    #[test]
+    fn registry_runs_streams() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register::<Idle>("idle", "does nothing");
+        let trace = sample_trace();
+        let s = reg
+            .run_stream("idle", &mut trace.replay(), SimConfig::default())
+            .unwrap();
+        assert_eq!(s.rounds, 2);
+        assert!(reg
+            .run_stream("nope", &mut trace.replay(), SimConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_mb() > 0.0);
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! Each node is locally notified only of changes *incident to it*.
 
 use crate::ids::{Edge, NodeId};
-use serde::{Deserialize, Serialize};
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize, Value};
 
 /// A single topology change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -57,9 +58,56 @@ pub struct LocalEvent {
 /// an edge appears at most once per batch (the model applies one change per
 /// edge per round; flicker within a single round is meaningless because the
 /// graph `G_i` is a set).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EventBatch {
     events: Vec<TopologyEvent>,
+    /// Edges already touched by this batch, for O(1) duplicate detection
+    /// once the batch outgrows [`TOUCHED_INDEX_THRESHOLD`] (large
+    /// adversarial batches would otherwise make `push` quadratic). Small
+    /// batches — the overwhelmingly common case — use a linear scan and
+    /// keep this set empty and allocation-free. Not part of the serialized
+    /// form or of equality.
+    touched: FxHashSet<Edge>,
+}
+
+/// Batch size at which the hashed duplicate index takes over from the
+/// linear scan. Below it, scanning a handful of events beats maintaining
+/// a heap-allocated set per batch (materialized traces hold one batch per
+/// round, so small-batch overhead is multiplied by run length).
+const TOUCHED_INDEX_THRESHOLD: usize = 16;
+
+impl PartialEq for EventBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for EventBatch {}
+
+// Hand-written (de)serialization so the JSON shape stays exactly what the
+// derive produced before the `touched` index existed: `{"events": [...]}`.
+// Deserialization is lenient about in-batch duplicates — `Trace::validate`
+// is the authority on untrusted input and reports them as errors rather
+// than panicking mid-parse.
+impl Serialize for EventBatch {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![("events".to_string(), self.events.to_value())])
+    }
+}
+
+impl Deserialize for EventBatch {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let events = match v.get("events") {
+            Some(evs) => Vec::<TopologyEvent>::from_value(evs)?,
+            None => return Err("EventBatch: missing `events` field".to_string()),
+        };
+        let touched = if events.len() >= TOUCHED_INDEX_THRESHOLD {
+            events.iter().map(|ev| ev.edge()).collect()
+        } else {
+            FxHashSet::default()
+        };
+        Ok(EventBatch { events, touched })
+    }
 }
 
 impl EventBatch {
@@ -88,11 +136,27 @@ impl EventBatch {
     /// Panics if the batch already contains an event for the same edge.
     pub fn push(&mut self, ev: TopologyEvent) {
         assert!(
-            !self.events.iter().any(|p| p.edge() == ev.edge()),
+            !self.touches(ev.edge()),
             "duplicate event for edge {:?} within one round",
             ev.edge()
         );
+        if self.events.len() + 1 == TOUCHED_INDEX_THRESHOLD {
+            // Crossing the threshold: index everything so far.
+            self.touched = self.events.iter().map(|p| p.edge()).collect();
+        }
+        if self.events.len() + 1 >= TOUCHED_INDEX_THRESHOLD {
+            self.touched.insert(ev.edge());
+        }
         self.events.push(ev);
+    }
+
+    /// Whether this batch already contains an event for edge `e`.
+    pub fn touches(&self, e: Edge) -> bool {
+        if self.events.len() < TOUCHED_INDEX_THRESHOLD {
+            self.events.iter().any(|ev| ev.edge() == e)
+        } else {
+            self.touched.contains(&e)
+        }
     }
 
     /// Append an insertion of `e`.

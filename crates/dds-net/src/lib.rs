@@ -31,16 +31,21 @@ pub mod metrics;
 pub mod protocol;
 mod round;
 pub mod sim;
+pub mod source;
 pub mod topology;
 pub mod trace;
 
 pub use bandwidth::{BandwidthConfig, BandwidthMeter, BandwidthPolicy};
-pub use engine::{drive, run_trace_as, ProtocolRegistry, ProtocolSpec, RunSummary};
+pub use engine::{
+    drive, drive_source, peak_rss_mb, run_source_as, run_trace_as, ProtocolRegistry, ProtocolSpec,
+    RunSummary,
+};
 pub use event::{EventBatch, LocalEvent, TopologyEvent};
 pub use ids::{edge, Edge, NodeId, Round, NEVER};
 pub use message::{node_bits, Addressed, BitSized, Flags, Outbox, Received};
 pub use metrics::{AmortizedMeter, RoundStats};
 pub use protocol::{Node, Response};
 pub use sim::{SimConfig, Simulator};
+pub use source::{BoxedSource, OwnedReplay, TraceReplay, TraceSource, Validated};
 pub use topology::Topology;
 pub use trace::Trace;

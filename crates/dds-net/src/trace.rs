@@ -35,6 +35,17 @@ impl Trace {
         self.batches.len()
     }
 
+    /// Replay this trace as a streaming [`TraceSource`](crate::source::TraceSource)
+    /// (batches are cloned out one at a time).
+    pub fn replay(&self) -> crate::source::TraceReplay<'_> {
+        crate::source::TraceReplay::new(self)
+    }
+
+    /// Consume this trace into an owning streaming source (no clones).
+    pub fn into_source(self) -> crate::source::OwnedReplay {
+        crate::source::OwnedReplay::new(self)
+    }
+
     /// Total number of topology changes across all rounds.
     pub fn total_changes(&self) -> usize {
         self.batches.iter().map(|b| b.len()).sum()

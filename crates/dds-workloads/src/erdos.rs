@@ -71,6 +71,10 @@ impl Workload for ErChurn {
         self.cfg.n
     }
 
+    fn rounds_hint(&self) -> Option<usize> {
+        Some(self.cfg.rounds.saturating_sub(self.emitted))
+    }
+
     fn next_batch(&mut self) -> Option<EventBatch> {
         if self.emitted >= self.cfg.rounds {
             return None;

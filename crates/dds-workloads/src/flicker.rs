@@ -130,6 +130,10 @@ impl Workload for Flicker {
         self.cfg.n
     }
 
+    fn rounds_hint(&self) -> Option<usize> {
+        Some(self.cfg.rounds.saturating_sub(self.round as usize))
+    }
+
     fn next_batch(&mut self) -> Option<EventBatch> {
         if self.round >= self.cfg.rounds as u64 {
             return None;

@@ -17,7 +17,7 @@
 //!   Theorem 4 (Figure 4) and Remark 1;
 //! - [`bounds`]: numeric evaluation of the lower-bound curves;
 //! - [`registry`]: the workload registry (name → parameter schema →
-//!   recorded trace) every frontend builds traces through.
+//!   streaming source / recorded trace) every frontend builds through.
 //!
 //! Everything is seeded and reproducible, and every generated trace is
 //! valid by construction (guarded by [`schedule::EdgeLedger`]).
@@ -42,6 +42,6 @@ pub use erdos::{ErChurn, ErChurnConfig};
 pub use flicker::{staggered_flicker_trace, Flicker, FlickerConfig};
 pub use planted::{Planted, PlantedConfig, Shape};
 pub use preferential::{Preferential, PreferentialConfig};
-pub use registry::{build_trace, ParamSpec, Params, WorkloadSpec};
+pub use registry::{build_source, build_trace, ParamSpec, Params, WorkloadSpec};
 pub use schedule::{record, run_trace, EdgeLedger, Workload};
 pub use sliding::{SlidingWindow, SlidingWindowConfig};

@@ -140,6 +140,10 @@ impl Workload for Planted {
         self.cfg.n
     }
 
+    fn rounds_hint(&self) -> Option<usize> {
+        Some(self.cfg.rounds.saturating_sub(self.round as usize))
+    }
+
     fn next_batch(&mut self) -> Option<EventBatch> {
         if self.round >= self.cfg.rounds as u64 {
             return None;

@@ -1,11 +1,13 @@
-//! The workload registry: name → parameter schema → recorded [`Trace`].
+//! The workload registry: name → parameter schema → streaming source.
 //!
 //! Every workload generator in this crate is registered here once, with a
-//! declared parameter schema and a builder. Frontends (the `dds` CLI, the
-//! experiment runners, the seed sweeps) construct traces through
-//! [`build_trace`] instead of hand-maintaining their own `match` over
-//! workload names — adding a workload means adding one [`WorkloadSpec`]
-//! entry, and every frontend picks it up, including `dds list`.
+//! declared parameter schema and a *source* builder. Frontends (the `dds`
+//! CLI, the experiment runners, the seed sweeps) obtain lazy batch streams
+//! through [`build_source`] — or a fully materialized [`Trace`] through
+//! [`build_trace`], which is just `build_source(..).materialize()` — and
+//! never hand-maintain their own `match` over workload names: adding a
+//! workload means adding one [`WorkloadSpec`] entry, and every frontend
+//! picks it up, including `dds list`.
 //!
 //! Parameters arrive as untyped key/value strings ([`Params`]) so the
 //! registry stays independent of any particular argument parser; builders
@@ -17,9 +19,8 @@ use crate::erdos::{ErChurn, ErChurnConfig};
 use crate::flicker::{Flicker, FlickerConfig};
 use crate::planted::{Planted, PlantedConfig, Shape};
 use crate::preferential::{Preferential, PreferentialConfig};
-use crate::schedule::record;
 use crate::sliding::{SlidingWindow, SlidingWindowConfig};
-use dds_net::Trace;
+use dds_net::{BoxedSource, Trace, TraceSource as _};
 use std::collections::BTreeMap;
 
 /// Untyped workload parameters: `--key value` pairs from any frontend.
@@ -97,13 +98,23 @@ pub struct WorkloadSpec {
     pub summary: &'static str,
     /// Declared parameters beyond the common `n` / `rounds` / `seed`.
     pub params: &'static [ParamSpec],
-    build: fn(&Params) -> Result<Trace, String>,
+    source: fn(&Params) -> Result<BoxedSource, String>,
 }
 
 impl WorkloadSpec {
-    /// Build a recorded trace from parameters.
+    /// Build a fresh streaming source from parameters. Sources are seeded
+    /// and replayable: calling this twice with equal parameters yields two
+    /// sources that stream bit-identical batch sequences.
+    pub fn source(&self, p: &Params) -> Result<BoxedSource, String> {
+        (self.source)(p)
+    }
+
+    /// Build a recorded trace from parameters (materializes the source).
     pub fn build(&self, p: &Params) -> Result<Trace, String> {
-        (self.build)(p)
+        let mut src = self.source(p)?;
+        let trace = src.materialize();
+        debug_assert!(trace.validate().is_ok(), "workload produced invalid trace");
+        Ok(trace)
     }
 }
 
@@ -134,133 +145,115 @@ fn common(p: &Params) -> Result<(usize, usize, u64), String> {
     ))
 }
 
-fn build_er(p: &Params) -> Result<Trace, String> {
+fn source_er(p: &Params) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
-    Ok(record(
-        ErChurn::new(ErChurnConfig {
-            n,
-            target_edges: p.num_or("target-edges", 2 * n)?,
-            changes_per_round: p.num_or("changes-per-round", 4)?,
-            rounds,
-            seed,
-        }),
-        usize::MAX,
-    ))
+    Ok(Box::new(ErChurn::new(ErChurnConfig {
+        n,
+        target_edges: p.num_or("target-edges", 2 * n)?,
+        changes_per_round: p.num_or("changes-per-round", 4)?,
+        rounds,
+        seed,
+    })))
 }
 
-fn build_p2p(p: &Params) -> Result<Trace, String> {
+fn source_p2p(p: &Params) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
-    Ok(record(
-        P2pChurn::new(P2pChurnConfig {
-            n,
-            degree: p.num_or("degree", 3)?,
-            triadic: p.flag("triadic"),
-            rounds,
-            seed,
-            ..P2pChurnConfig::default()
-        }),
-        usize::MAX,
-    ))
+    Ok(Box::new(P2pChurn::new(P2pChurnConfig {
+        n,
+        degree: p.num_or("degree", 3)?,
+        triadic: p.flag("triadic"),
+        rounds,
+        seed,
+        ..P2pChurnConfig::default()
+    })))
 }
 
-fn build_flicker(p: &Params) -> Result<Trace, String> {
+fn source_flicker(p: &Params) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
-    Ok(record(
-        Flicker::new(FlickerConfig {
-            n,
-            flickering: p.num_or("flickering", n / 4)?,
-            period: p.num_or("period", 2)?,
-            rounds,
-            seed,
-            ..FlickerConfig::default()
-        }),
-        usize::MAX,
-    ))
+    Ok(Box::new(Flicker::new(FlickerConfig {
+        n,
+        flickering: p.num_or("flickering", n / 4)?,
+        period: p.num_or("period", 2)?,
+        rounds,
+        seed,
+        ..FlickerConfig::default()
+    })))
 }
 
-fn build_planted(p: &Params, cycle: bool) -> Result<Trace, String> {
+fn source_planted(p: &Params, cycle: bool) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
     let k: usize = p.num_or("k", 3)?;
     let defaults = PlantedConfig::default();
-    Ok(record(
-        Planted::new(PlantedConfig {
-            n,
-            shape: if cycle {
-                Shape::Cycle(k)
-            } else {
-                Shape::Clique(k)
-            },
-            spacing: p.num_or("spacing", defaults.spacing)?,
-            lifetime: p.num_or("lifetime", defaults.lifetime)?,
-            noise_per_round: p.num_or("noise", defaults.noise_per_round)?,
-            rounds,
-            seed,
-        }),
-        usize::MAX,
-    ))
+    Ok(Box::new(Planted::new(PlantedConfig {
+        n,
+        shape: if cycle {
+            Shape::Cycle(k)
+        } else {
+            Shape::Clique(k)
+        },
+        spacing: p.num_or("spacing", defaults.spacing)?,
+        lifetime: p.num_or("lifetime", defaults.lifetime)?,
+        noise_per_round: p.num_or("noise", defaults.noise_per_round)?,
+        rounds,
+        seed,
+    })))
 }
 
-fn build_sliding(p: &Params) -> Result<Trace, String> {
+fn source_sliding(p: &Params) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
-    Ok(record(
-        SlidingWindow::new(SlidingWindowConfig {
-            n,
-            window: p.num_or("window", 20)?,
-            arrivals_per_round: p.num_or("arrivals", 3)?,
-            rounds,
-            seed,
-        }),
-        usize::MAX,
-    ))
+    Ok(Box::new(SlidingWindow::new(SlidingWindowConfig {
+        n,
+        window: p.num_or("window", 20)?,
+        arrivals_per_round: p.num_or("arrivals", 3)?,
+        rounds,
+        seed,
+    })))
 }
 
-fn build_preferential(p: &Params) -> Result<Trace, String> {
+fn source_preferential(p: &Params) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
-    Ok(record(
-        Preferential::new(PreferentialConfig {
-            n,
-            rounds,
-            seed,
-            ..PreferentialConfig::default()
-        }),
-        usize::MAX,
-    ))
+    Ok(Box::new(Preferential::new(PreferentialConfig {
+        n,
+        rounds,
+        seed,
+        ..PreferentialConfig::default()
+    })))
 }
 
-fn build_thm2(p: &Params) -> Result<Trace, String> {
+fn source_thm2(p: &Params) -> Result<BoxedSource, String> {
     let (n, _rounds, _seed) = common(p)?;
     let pattern = match p.get("pattern").unwrap_or("p3") {
         "p3" => HSpec::path3(),
         "k4-e" => HSpec::k4_minus_edge(),
         other => return Err(format!("--pattern: unknown H {other:?} (p3 | k4-e)")),
     };
-    Ok(record(
-        Thm2Adversary::new(pattern, n, p.num_or("stabilize", 2 * n)?),
-        usize::MAX,
-    ))
+    Ok(Box::new(Thm2Adversary::new(
+        pattern,
+        n,
+        p.num_or("stabilize", 2 * n)?,
+    )))
 }
 
-fn build_thm4(p: &Params) -> Result<Trace, String> {
+fn source_thm4(p: &Params) -> Result<BoxedSource, String> {
     let (n, _rounds, seed) = common(p)?;
-    Ok(record(
-        Thm4Adversary::with_n(
-            p.num_or("k", 6usize)?.max(6),
-            n,
-            p.num_or("stabilize", 8)?,
-            seed,
-        ),
-        usize::MAX,
-    ))
+    Ok(Box::new(Thm4Adversary::with_n(
+        p.num_or("k", 6usize)?.max(6),
+        n,
+        p.num_or("stabilize", 8)?,
+        seed,
+    )))
 }
 
-fn build_remark1(p: &Params) -> Result<Trace, String> {
+fn source_remark1(p: &Params) -> Result<BoxedSource, String> {
     let (_n, _rounds, seed) = common(p)?;
     let rows: usize = p.num_or("rows", 4)?;
     let d: usize = p.num_or("d", 3 * rows)?;
-    Ok(record(
-        Remark1Adversary::new(rows, d, p.num_or("stabilize", 4 * d)?, seed),
-        usize::MAX,
-    ))
+    Ok(Box::new(Remark1Adversary::new(
+        rows,
+        d,
+        p.num_or("stabilize", 4 * d)?,
+        seed,
+    )))
 }
 
 /// Every registered workload, in listing order.
@@ -280,7 +273,7 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "topology changes per round",
             },
         ],
-        build: build_er,
+        source: source_er,
     },
     WorkloadSpec {
         name: "p2p",
@@ -297,7 +290,7 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "prefer friend-of-friend links",
             },
         ],
-        build: build_p2p,
+        source: source_p2p,
     },
     WorkloadSpec {
         name: "flicker",
@@ -314,19 +307,19 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "rounds between flips",
             },
         ],
-        build: build_flicker,
+        source: source_flicker,
     },
     WorkloadSpec {
         name: "planted-clique",
         summary: "planted k-cliques appearing and dissolving under noise",
         params: PLANTED_PARAMS,
-        build: |p| build_planted(p, false),
+        source: |p| source_planted(p, false),
     },
     WorkloadSpec {
         name: "planted-cycle",
         summary: "planted k-cycles appearing and dissolving under noise",
         params: PLANTED_PARAMS,
-        build: |p| build_planted(p, true),
+        source: |p| source_planted(p, true),
     },
     WorkloadSpec {
         name: "sliding",
@@ -343,13 +336,13 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "edge arrivals per round",
             },
         ],
-        build: build_sliding,
+        source: source_sliding,
     },
     WorkloadSpec {
         name: "preferential",
         summary: "scale-free preferential attachment churn (hub stress)",
         params: &[],
-        build: build_preferential,
+        source: source_preferential,
     },
     WorkloadSpec {
         name: "thm2",
@@ -366,7 +359,7 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "quiet rounds between phases",
             },
         ],
-        build: build_thm2,
+        source: source_thm2,
     },
     WorkloadSpec {
         name: "thm4",
@@ -383,7 +376,7 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "quiet rounds between phases",
             },
         ],
-        build: build_thm4,
+        source: source_thm4,
     },
     WorkloadSpec {
         name: "remark1",
@@ -405,7 +398,7 @@ static WORKLOADS: &[WorkloadSpec] = &[
                 help: "quiet rounds between phases",
             },
         ],
-        build: build_remark1,
+        source: source_remark1,
     },
 ];
 
@@ -447,6 +440,19 @@ pub fn find(name: &str) -> Option<&'static WorkloadSpec> {
     WORKLOADS.iter().find(|w| w.name == name)
 }
 
+/// Build a fresh streaming source for the named workload, or report known
+/// names. The returned source produces exactly the batch sequence that
+/// [`build_trace`] would materialize from the same parameters.
+pub fn build_source(name: &str, params: &Params) -> Result<BoxedSource, String> {
+    match find(name) {
+        Some(spec) => spec.source(params),
+        None => Err(format!(
+            "unknown workload {name:?}; expected one of {:?}",
+            names()
+        )),
+    }
+}
+
 /// Build a recorded trace for the named workload, or report known names.
 pub fn build_trace(name: &str, params: &Params) -> Result<Trace, String> {
     match find(name) {
@@ -478,8 +484,29 @@ mod tests {
     }
 
     #[test]
+    fn every_source_streams_what_build_trace_materializes() {
+        let p = Params::new()
+            .with("n", 20)
+            .with("rounds", 30)
+            .with("seed", 5);
+        for spec in workloads() {
+            let trace = spec.build(&p).unwrap();
+            let mut src = spec.source(&p).unwrap();
+            assert_eq!(src.n(), trace.n, "{}", spec.name);
+            for (i, want) in trace.batches.iter().enumerate() {
+                let got = src.next_batch().unwrap_or_else(|| {
+                    panic!("{}: stream ended early at round {}", spec.name, i + 1)
+                });
+                assert_eq!(&got, want, "{}: round {} diverged", spec.name, i + 1);
+            }
+            assert!(src.next_batch().is_none(), "{}: stream overran", spec.name);
+        }
+    }
+
+    #[test]
     fn unknown_names_and_bad_params_error() {
         assert!(build_trace("nope", &Params::new()).is_err());
+        assert!(build_source("nope", &Params::new()).is_err());
         let bad = Params::new().with("n", "twelve");
         assert!(build_trace("er", &bad).is_err());
         let bad_pattern = Params::new().with("pattern", "q9");

@@ -2,20 +2,22 @@
 //!
 //! A workload owns whatever state it needs (its own shadow of the current
 //! edge set, RNG, phase counters) and yields one [`EventBatch`] per round;
-//! `None` means the schedule is exhausted. Helpers turn a workload into a
-//! recorded [`Trace`] and drive a simulator through it.
+//! `None` means the schedule is exhausted. Since every generator in this
+//! crate produces batches lazily, `Workload` *is* the engine's streaming
+//! [`TraceSource`](dds_net::TraceSource) trait — the simulator can drive a
+//! live generator directly without a recorded [`Trace`] ever existing, and
+//! [`record`] / [`TraceSource::materialize`](dds_net::TraceSource::materialize)
+//! are the explicit escape hatches back to one.
 
 use dds_net::{EventBatch, Node, SimConfig, Simulator, Trace};
 use rustc_hash::FxHashSet;
 
-/// A per-round schedule of topology changes.
-pub trait Workload {
-    /// Number of nodes the workload is defined over.
-    fn n(&self) -> usize;
-
-    /// The next round's batch, or `None` when the schedule ends.
-    fn next_batch(&mut self) -> Option<EventBatch>;
-}
+/// A per-round schedule of topology changes: the engine's streaming
+/// [`TraceSource`](dds_net::TraceSource) trait under its workload name.
+/// Implement `n` and `next_batch` (plus `rounds_hint` where the total
+/// length is known up front) and the generator both streams through the
+/// engine and records into traces.
+pub use dds_net::TraceSource as Workload;
 
 /// Record up to `max_rounds` rounds of a workload into a trace.
 pub fn record(mut w: impl Workload, max_rounds: usize) -> Trace {
@@ -73,7 +75,7 @@ impl EdgeLedger {
     /// Add an insertion to `batch` if `e` is absent (and not already
     /// touched by the batch); returns whether it was added.
     pub fn insert(&mut self, batch: &mut EventBatch, e: dds_net::Edge) -> bool {
-        if self.present.contains(&e) || batch.events().iter().any(|ev| ev.edge() == e) {
+        if self.present.contains(&e) || batch.touches(e) {
             return false;
         }
         self.present.insert(e);
@@ -84,7 +86,7 @@ impl EdgeLedger {
     /// Add a deletion to `batch` if `e` is present (and not already touched
     /// by the batch); returns whether it was added.
     pub fn delete(&mut self, batch: &mut EventBatch, e: dds_net::Edge) -> bool {
-        if !self.present.contains(&e) || batch.events().iter().any(|ev| ev.edge() == e) {
+        if !self.present.contains(&e) || batch.touches(e) {
             return false;
         }
         self.present.remove(&e);

@@ -1,0 +1,185 @@
+//! Integration: k-clique *enumeration* (`list_cliques`, Corollary 1)
+//! against the centralized ground truth, across workloads — the
+//! enumeration layer in `dds-robust/src/clique.rs` that the triangle
+//! suite does not cover.
+//!
+//! Invariants:
+//! - at every consistent node, `list_cliques(k)` equals the oracle's
+//!   `cliques_containing(v, k)` as a set, for every k;
+//! - `query_clique` answers `true` for exactly the oracle's cliques and
+//!   `false` for non-clique vertex sets (no phantom cliques);
+//! - clique counts are consistent across k (every (k+1)-clique through v
+//!   contains k of its k-cliques through v).
+
+use dynamic_subgraphs::net::{Node as _, NodeId, Response, Simulator, TraceSource};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::TriangleNode;
+use dynamic_subgraphs::workloads::{registry, Params};
+use rustc_hash::FxHashSet;
+
+struct Audit {
+    listings: u64,
+    memberships: u64,
+    phantom_probes: u64,
+}
+
+/// Stream a registry workload and audit clique enumeration at a rotating
+/// node sample against the oracle, every round, for k ∈ {3, 4, 5}.
+fn audit_stream(workload: &str, params: &Params, label: &str) -> Audit {
+    let mut src = registry::build_source(workload, params).expect("registered workload");
+    let n = src.n();
+    let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+    let mut g = DynamicGraph::new(n);
+    let mut audit = Audit {
+        listings: 0,
+        memberships: 0,
+        phantom_probes: 0,
+    };
+    let mut i = 0usize;
+    while let Some(batch) = src.next_batch() {
+        sim.step(&batch);
+        g.apply(&batch);
+        i += 1;
+        for off in 0..3u32 {
+            let v = NodeId(((i as u32).wrapping_mul(13).wrapping_add(off * 23)) % n as u32);
+            let node = sim.node(v);
+            if !node.is_consistent() {
+                continue;
+            }
+            for k in [3usize, 4, 5] {
+                let listed: FxHashSet<Vec<NodeId>> = node
+                    .list_cliques(k)
+                    .expect_answer("consistent")
+                    .into_iter()
+                    .collect();
+                let truth: FxHashSet<Vec<NodeId>> =
+                    g.cliques_containing(v, k).into_iter().collect();
+                assert_eq!(
+                    listed, truth,
+                    "[{label}] round {i}: {k}-cliques at v{} diverge from oracle",
+                    v.0
+                );
+                audit.listings += 1;
+                // Membership must confirm every listed clique.
+                for clique in &truth {
+                    assert_eq!(
+                        node.query_clique(clique),
+                        Response::Answer(true),
+                        "[{label}] round {i}: membership of {clique:?} at v{}",
+                        v.0
+                    );
+                    audit.memberships += 1;
+                }
+            }
+            // Phantom probes: deterministic pseudo-random 4-sets through v
+            // that the oracle says are not cliques must answer false.
+            for probe in 0..3u32 {
+                let mut vs = vec![v];
+                for j in 0..3u32 {
+                    let w = NodeId(
+                        (v.0 + 1 + (i as u32 * 7 + probe * 11 + j * 5) % (n as u32 - 1)) % n as u32,
+                    );
+                    if !vs.contains(&w) {
+                        vs.push(w);
+                    }
+                }
+                vs.sort_unstable();
+                if vs.len() < 4 || g.is_clique(&vs) {
+                    continue;
+                }
+                assert_eq!(
+                    node.query_clique(&vs),
+                    Response::Answer(false),
+                    "[{label}] round {i}: phantom clique {vs:?} claimed at v{}",
+                    v.0
+                );
+                audit.phantom_probes += 1;
+            }
+        }
+    }
+    audit
+}
+
+#[test]
+fn cliques_exact_under_planted_cliques() {
+    for k in [4usize, 5] {
+        let p = Params::new()
+            .with("n", 20)
+            .with("rounds", 220)
+            .with("seed", 600 + k as u64)
+            .with("k", k)
+            .with("spacing", 12)
+            .with("lifetime", 40)
+            .with("noise", 1);
+        let audit = audit_stream("planted-clique", &p, &format!("planted-k{k}"));
+        assert!(audit.listings > 200, "too few audits: {}", audit.listings);
+        assert!(
+            audit.memberships > 50,
+            "planted cliques never surfaced: {}",
+            audit.memberships
+        );
+    }
+}
+
+#[test]
+fn cliques_exact_under_dense_er_churn() {
+    // Dense ER gives organic (unplanted) 3- and 4-cliques.
+    let p = Params::new()
+        .with("n", 16)
+        .with("rounds", 300)
+        .with("seed", 77)
+        .with("target-edges", 44)
+        .with("changes-per-round", 2);
+    let audit = audit_stream("er", &p, "dense-er");
+    assert!(audit.listings > 200, "too few audits: {}", audit.listings);
+    assert!(audit.phantom_probes > 100, "too few phantom probes");
+}
+
+#[test]
+fn cliques_exact_under_p2p_churn() {
+    let p = Params::new()
+        .with("n", 24)
+        .with("rounds", 250)
+        .with("seed", 31)
+        .with("degree", 4)
+        .with("triadic", true);
+    let audit = audit_stream("p2p", &p, "p2p");
+    assert!(audit.listings > 100, "too few audits: {}", audit.listings);
+}
+
+#[test]
+fn clique_counts_nest_across_k() {
+    // Settle a planted 5-clique and check the binomial nesting at a
+    // member: C(4,2)=6 triangles, C(4,3)=4 4-cliques, 1 5-clique.
+    let p = Params::new()
+        .with("n", 18)
+        .with("rounds", 60)
+        .with("seed", 5)
+        .with("k", 5)
+        .with("spacing", 70) // one plant, never dissolved
+        .with("lifetime", 500)
+        .with("noise", 0);
+    let mut src = registry::build_source("planted-clique", &p).unwrap();
+    let n = src.n();
+    let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+    let mut g = DynamicGraph::new(n);
+    while let Some(b) = src.next_batch() {
+        sim.step(&b);
+        g.apply(&b);
+    }
+    sim.settle(128).expect("stabilizes");
+    let mut checked = 0u64;
+    for v in 0..n as u32 {
+        let v = NodeId(v);
+        let five = g.cliques_containing(v, 5);
+        if five.is_empty() {
+            continue;
+        }
+        let node = sim.node(v);
+        assert_eq!(node.list_cliques(5).expect_answer("settled").len(), 1);
+        assert_eq!(node.list_cliques(4).expect_answer("settled").len(), 4);
+        assert_eq!(node.list_cliques(3).expect_answer("settled").len(), 6);
+        checked += 1;
+    }
+    assert_eq!(checked, 5, "all five members of the planted clique audited");
+}

@@ -1,0 +1,265 @@
+//! Integration: the 3-hop structure's *learning paths* (`paths.rs`, the
+//! per-edge path sets `P_e` of Theorem 6) against the centralized oracle —
+//! the path layer that the 3-hop sandwich suite does not inspect.
+//!
+//! Invariants:
+//! - well-formedness at every consistent node: every stored path is
+//!   simple, starts at the node, ends with the edge it justifies, has at
+//!   most 3 edges, and is prefix-closed within the known set;
+//! - when a whole graph appears in one batch and settles, the stored
+//!   paths are exactly the oracle's simple paths from the node with 1..=3
+//!   edges (robust = full when every path predates every edge);
+//! - after arbitrary churn settles, paths are *sound* (every survivor is
+//!   a real simple path of the final graph) and the known edge set obeys
+//!   the Theorem 6 sandwich `R^{v,3} ⊆ S̃ ⊆ E^{v,3}`;
+//! - severing every learning path of an edge makes the node forget it.
+
+use dynamic_subgraphs::net::{edge, Edge, EventBatch, Node as _, NodeId, Simulator, TraceSource};
+use dynamic_subgraphs::oracle::DynamicGraph;
+use dynamic_subgraphs::robust::{Path, ThreeHopNode};
+use dynamic_subgraphs::workloads::{registry, Params};
+use rustc_hash::FxHashSet;
+
+/// All stored paths at `v`, flattened to vertex sequences.
+fn stored_paths(node: &ThreeHopNode) -> FxHashSet<Vec<NodeId>> {
+    let mut out = FxHashSet::default();
+    for e in node.known_edges() {
+        for p in node.paths_of(e).expect("known edge has paths") {
+            out.insert(p.nodes().to_vec());
+        }
+    }
+    out
+}
+
+/// The oracle's simple paths from `v` with 1..=3 edges.
+fn oracle_paths(g: &DynamicGraph, v: NodeId) -> FxHashSet<Vec<NodeId>> {
+    let mut out = FxHashSet::default();
+    for edges in 1..=3usize {
+        for p in g.paths_from(v, edges) {
+            out.insert(p);
+        }
+    }
+    out
+}
+
+/// Well-formedness of every stored path at one node.
+fn assert_well_formed(node: &ThreeHopNode, v: NodeId, ctx: &str) {
+    let known: FxHashSet<Edge> = node.known_edges().collect();
+    for e in node.known_edges() {
+        let paths = node.paths_of(e).expect("known edge");
+        assert!(!paths.is_empty(), "[{ctx}] edge {e:?} kept with no paths");
+        for p in paths {
+            assert_eq!(p.first(), v, "[{ctx}] path {p:?} not rooted at v{}", v.0);
+            assert_eq!(p.last_edge(), e, "[{ctx}] path {p:?} filed under {e:?}");
+            assert!(p.is_simple(), "[{ctx}] non-simple path {p:?}");
+            assert!(p.num_edges() <= 3, "[{ctx}] path {p:?} too long");
+            for (prefix_edge, _) in p.prefixes() {
+                assert!(
+                    known.contains(&prefix_edge),
+                    "[{ctx}] path {p:?} uses unknown edge {prefix_edge:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Insert a whole edge set in one batch, settle, and compare the stored
+/// path sets against the oracle at every node. (One batch matters: every
+/// learning path then predates every edge, so the robust path sets equal
+/// the full ones. Staggered insertion legitimately learns fewer paths —
+/// that is the `R ⊆ E` gap the churn test covers.)
+fn audit_static(n: usize, edges: &[(u32, u32)], label: &str) {
+    let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+    let mut g = DynamicGraph::new(n);
+    let mut batch = EventBatch::new();
+    for &(a, b) in edges {
+        batch.push_insert(edge(a, b));
+    }
+    sim.step(&batch);
+    g.apply(&batch);
+    sim.settle(64 * n).expect("static graph settles");
+    for vi in 0..n as u32 {
+        let v = NodeId(vi);
+        let node = sim.node(v);
+        assert!(node.is_consistent(), "[{label}] v{vi} inconsistent at rest");
+        assert_well_formed(node, v, label);
+        let have = stored_paths(node);
+        let want = oracle_paths(&g, v);
+        assert_eq!(
+            have, want,
+            "[{label}] v{vi}: stored learning paths != oracle simple paths (≤3 edges)"
+        );
+    }
+}
+
+#[test]
+fn settled_paths_match_oracle_on_canonical_graphs() {
+    // Path graph: the motivating 3-hop chain.
+    audit_static(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], "P5");
+    // Cycle: two directions to every edge.
+    audit_static(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)], "C6");
+    // Star: many 2-edge paths through the hub, no 3-edge simple paths.
+    audit_static(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)], "K1,5");
+    // Complete graph: dense path multiplicity.
+    audit_static(
+        5,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+        ],
+        "K5",
+    );
+    // Two triangles sharing a vertex: branching at the articulation point.
+    audit_static(
+        5,
+        &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        "bowtie",
+    );
+}
+
+#[test]
+fn settled_paths_match_oracle_after_churn() {
+    // Stream a registry workload, then quiesce: the surviving path sets
+    // must equal the oracle's on the final graph — deletions must have
+    // purged exactly the severed paths, no more, no less.
+    for (workload, params, label) in [
+        (
+            "er",
+            Params::new()
+                .with("n", 14)
+                .with("rounds", 120)
+                .with("seed", 909)
+                .with("target-edges", 18)
+                .with("changes-per-round", 2),
+            "er-then-quiet",
+        ),
+        (
+            "sliding",
+            Params::new()
+                .with("n", 14)
+                .with("rounds", 120)
+                .with("seed", 910)
+                .with("window", 9)
+                .with("arrivals", 2),
+            "sliding-then-quiet",
+        ),
+    ] {
+        let mut src = registry::build_source(workload, &params).expect("registered");
+        let n = src.n();
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+        let mut g = DynamicGraph::new(n);
+        while let Some(b) = src.next_batch() {
+            sim.step(&b);
+            g.apply(&b);
+        }
+        sim.settle(64 * n).expect("settles after churn");
+        for vi in 0..n as u32 {
+            let v = NodeId(vi);
+            let node = sim.node(v);
+            assert!(node.is_consistent(), "[{label}] v{vi} inconsistent at rest");
+            assert_well_formed(node, v, label);
+            // Path soundness: every surviving learning path is a real
+            // simple path of the final graph (deletions purged exactly
+            // the severed ones).
+            let have = stored_paths(node);
+            let full = oracle_paths(&g, v);
+            for p in &have {
+                assert!(
+                    full.contains(p),
+                    "[{label}] v{vi}: stale learning path {p:?} survives"
+                );
+            }
+            // Theorem 6 sandwich on the known edge set at rest.
+            let known: FxHashSet<Edge> = node.known_edges().collect();
+            let r3 = g.robust_three_hop(v);
+            let e3 = g.r_hop_edges(v, 3);
+            for e in &r3 {
+                assert!(
+                    known.contains(e),
+                    "[{label}] v{vi}: missing robust edge {e:?}"
+                );
+            }
+            for e in &known {
+                assert!(
+                    e3.contains(e),
+                    "[{label}] v{vi}: phantom edge {e:?} outside E^{{v,3}}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paths_stay_well_formed_mid_churn() {
+    // No full settling: a few quiet rounds after each burst open the
+    // 3-hop structure's consistency window (it needs a ~2-round quiet
+    // window), and at every consistent node the path structure must be
+    // internally sound mid-run.
+    let mut src = registry::build_source(
+        "flicker",
+        &Params::new()
+            .with("n", 12)
+            .with("rounds", 60)
+            .with("seed", 44)
+            .with("flickering", 3)
+            .with("period", 3),
+    )
+    .expect("registered");
+    let n = src.n();
+    let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+    let quiet = EventBatch::new();
+    let mut audits = 0u64;
+    let mut i = 0u32;
+    while let Some(b) = src.next_batch() {
+        sim.step(&b);
+        for _ in 0..4 {
+            sim.step(&quiet);
+        }
+        i += 1;
+        for off in 0..2u32 {
+            let v = NodeId((i.wrapping_mul(7).wrapping_add(off * 5)) % n as u32);
+            let node = sim.node(v);
+            if !node.is_consistent() {
+                continue;
+            }
+            assert_well_formed(node, v, "flicker-mid-run");
+            audits += 1;
+        }
+    }
+    assert!(audits > 40, "too few consistent audits: {audits}");
+}
+
+#[test]
+fn severing_every_learning_path_forgets_the_edge() {
+    // v0 −a− v1 −b− v2 −c− v3: v0 knows c only via the single chain.
+    let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+    for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
+        sim.step(&EventBatch::insert(edge(a, b)));
+    }
+    sim.settle(128).expect("settles");
+    let far = edge(2, 3);
+    let v0 = NodeId(0);
+    assert!(sim.node(v0).paths_of(far).is_some(), "chain learned");
+    let only_path = Path::from_nodes(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    assert!(
+        sim.node(v0).paths_of(far).unwrap().contains(&only_path),
+        "the 3-edge chain is the learning path"
+    );
+    // Cut the middle: every learning path for {2,3} at v0 traverses {1,2}.
+    sim.step(&EventBatch::delete(edge(1, 2)));
+    sim.settle(128).expect("settles");
+    assert!(
+        sim.node(v0).paths_of(far).is_none(),
+        "severed edge must be forgotten at v0"
+    );
+    // But v1's direct neighbor knowledge of {0,1} survives.
+    assert!(sim.node(v0).paths_of(edge(0, 1)).is_some());
+}

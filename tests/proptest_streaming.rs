@@ -1,0 +1,139 @@
+//! Property: the streaming validator and `Trace::validate` are the same
+//! judge.
+//!
+//! For arbitrary event scripts — valid and invalid alike (duplicate edges
+//! within a batch, double inserts, phantom deletes, out-of-range
+//! endpoints) — wrapping the schedule in [`Validated`] and draining it
+//! must agree *exactly* with materializing the schedule and calling
+//! [`Trace::validate`]: clean stream ⇔ `Ok`, and a rejecting stream stops
+//! at the first offending batch with the same error text.
+
+use dynamic_subgraphs::net::{Trace, TraceSource, Validated};
+use proptest::prelude::*;
+
+/// Render an arbitrary (possibly invalid) script as trace JSON and parse
+/// it through the lenient deserializer — the only door that admits
+/// invalid schedules, exactly like untrusted `dds trace` input.
+fn lenient_trace(n: u32, script: &[Vec<(u32, u32, bool)>]) -> Trace {
+    let mut batches = Vec::new();
+    for ops in script {
+        let events: Vec<String> = ops
+            .iter()
+            .map(|&(a, b, insert)| {
+                let kind = if insert { "Insert" } else { "Delete" };
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                format!("{{\"{kind}\":{{\"a\":{lo},\"b\":{hi}}}}}")
+            })
+            .collect();
+        batches.push(format!("{{\"events\":[{}]}}", events.join(",")));
+    }
+    let json = format!("{{\"n\":{n},\"batches\":[{}]}}", batches.join(","));
+    serde_json::from_str(&json).expect("shape is always parseable")
+}
+
+/// Raw generated script: per batch, `((a, b), flag)` ops. Endpoints up to
+/// 9 on n ∈ 4..9 nodes, so out-of-range endpoints occur; random
+/// insert/delete flags, so double inserts and phantom deletes occur;
+/// repeated pairs within a chunk, so in-batch duplicates occur.
+type RawScript = Vec<Vec<((u32, u32), u32)>>;
+
+fn script_strategy() -> impl Strategy<Value = RawScript> {
+    prop::collection::vec(
+        prop::collection::vec(((0u32..9, 0u32..9), 0u32..2), 0..6),
+        1..10,
+    )
+}
+
+/// Decode the raw script, dropping self-loops (rejected at `Edge`
+/// construction, not validation, so unrepresentable anyway).
+fn decode(raw: RawScript) -> Vec<Vec<(u32, u32, bool)>> {
+    raw.into_iter()
+        .map(|batch| {
+            batch
+                .into_iter()
+                .filter(|&((a, b), _)| a != b)
+                .map(|((a, b), flag)| (a, b, flag == 0))
+                .collect()
+        })
+        .collect()
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(192)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn validated_stream_agrees_with_trace_validate(
+        script in script_strategy(),
+        n in 4u32..9,
+    ) {
+        let script = decode(script);
+        let trace = lenient_trace(n, &script);
+        let verdict = trace.validate();
+
+        let mut v = Validated::new(trace.replay());
+        let mut clean_rounds = 0usize;
+        while v.next_batch().is_some() {
+            clean_rounds += 1;
+        }
+        match &verdict {
+            Ok(()) => {
+                prop_assert!(
+                    v.error().is_none(),
+                    "validate accepted but stream rejected: {:?}",
+                    v.error()
+                );
+                prop_assert_eq!(clean_rounds, trace.rounds());
+            }
+            Err(want) => {
+                let got = v.error().unwrap_or("<stream stayed clean>");
+                prop_assert_eq!(
+                    got, want.as_str(),
+                    "stream and validate disagree on the first violation"
+                );
+                prop_assert!(clean_rounds < trace.rounds());
+            }
+        }
+    }
+
+    #[test]
+    fn clean_streams_materialize_to_valid_traces(
+        script in script_strategy(),
+        n in 4u32..9,
+    ) {
+        let script = decode(script);
+        let trace = lenient_trace(n, &script);
+        // Any source that streams fully clean through Validated must also
+        // materialize to a trace passing validate() — the contract every
+        // generator relies on.
+        let mut v = Validated::new(trace.replay());
+        let materialized = v.materialize();
+        if v.error().is_none() {
+            prop_assert!(materialized.validate().is_ok());
+            prop_assert_eq!(materialized.rounds(), trace.rounds());
+        } else {
+            prop_assert!(trace.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn duplicate_edge_within_a_batch_is_rejected_by_both(
+        a in 0u32..4,
+        b in 4u32..8,
+    ) {
+        // Direct duplicate-in-batch construction (insert + delete of the
+        // same edge in one round): both judges must refuse it.
+        let script = vec![vec![(a, b, true), (a, b, false)]];
+        let trace = lenient_trace(8, &script);
+        prop_assert!(trace.validate().is_err());
+        let mut v = Validated::new(trace.replay());
+        prop_assert!(v.next_batch().is_none());
+        prop_assert!(v.error().unwrap().contains("duplicate event"));
+    }
+}

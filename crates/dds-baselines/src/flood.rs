@@ -9,7 +9,10 @@
 //!
 //! [`BandwidthPolicy::Observe`]: dds_net::BandwidthPolicy::Observe
 
-use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
+use dds_net::{
+    Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
+    Queryable, Received, Response, Round,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// A topology fact: the `seq`-th change observed on `edge` was an
@@ -157,6 +160,19 @@ impl Node for FloodNode {
 
     fn is_consistent(&self) -> bool {
         self.consistent
+    }
+}
+
+impl Queryable for FloodNode {
+    fn supported_queries() -> &'static [QueryKind] {
+        &[QueryKind::Edge]
+    }
+
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError> {
+        match query {
+            Query::Edge(e) => Ok(self.query_edge(*e).map(Answer::Bool)),
+            _ => Err(QueryError::Unsupported),
+        }
     }
 }
 

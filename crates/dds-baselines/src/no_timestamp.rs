@@ -13,7 +13,10 @@
 //! experiment A1) reproduce this, which is precisely why Theorem 7 needs
 //! the imaginary-timestamp machinery.
 
-use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
+use dds_net::{
+    Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
+    Queryable, Received, Response, Round,
+};
 use rustc_hash::FxHashSet;
 use std::collections::VecDeque;
 
@@ -141,6 +144,19 @@ impl Node for NaiveTwoHopNode {
 
     fn is_consistent(&self) -> bool {
         self.consistent
+    }
+}
+
+impl Queryable for NaiveTwoHopNode {
+    fn supported_queries() -> &'static [QueryKind] {
+        &[QueryKind::Edge]
+    }
+
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError> {
+        match query {
+            Query::Edge(e) => Ok(self.query_edge(*e).map(Answer::Bool)),
+            _ => Err(QueryError::Unsupported),
+        }
     }
 }
 

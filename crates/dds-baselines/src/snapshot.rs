@@ -18,7 +18,10 @@
 //!   impossibility threshold — there is provably no asymptotically better
 //!   algorithm.
 
-use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
+use dds_net::{
+    Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
+    Queryable, Received, Response, Round,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
@@ -302,6 +305,27 @@ impl Node for SnapshotNode {
 
     fn is_consistent(&self) -> bool {
         self.consistent
+    }
+}
+
+impl Queryable for SnapshotNode {
+    fn supported_queries() -> &'static [QueryKind] {
+        &[QueryKind::Edge, QueryKind::Path3]
+    }
+
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError> {
+        match query {
+            Query::Edge(e) => Ok(self.query_edge(*e).map(Answer::Bool)),
+            Query::Path3 { center, a, b } => {
+                if center == a || center == b {
+                    return Err(QueryError::Invalid(
+                        "path3 endpoints must differ from the center".into(),
+                    ));
+                }
+                Ok(self.query_path3(*center, *a, *b).map(Answer::Bool))
+            }
+            _ => Err(QueryError::Unsupported),
+        }
     }
 }
 

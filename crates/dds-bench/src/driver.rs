@@ -79,6 +79,73 @@ mod tests {
     }
 
     #[test]
+    fn capability_matrix_is_discoverable_per_protocol() {
+        use dds_net::QueryKind;
+        let expect: &[(&str, &[QueryKind])] = &[
+            ("two-hop", &[QueryKind::Edge]),
+            (
+                "triangle",
+                &[
+                    QueryKind::Edge,
+                    QueryKind::Triangle,
+                    QueryKind::Clique,
+                    QueryKind::ListTriangles,
+                    QueryKind::ListCliques,
+                ],
+            ),
+            (
+                "three-hop",
+                &[QueryKind::Edge, QueryKind::Cycle, QueryKind::ListCycles],
+            ),
+            ("snapshot", &[QueryKind::Edge, QueryKind::Path3]),
+            ("naive", &[QueryKind::Edge]),
+            ("flood", &[QueryKind::Edge]),
+        ];
+        assert_eq!(expect.len(), protocols().specs().len());
+        for (name, kinds) in expect {
+            let spec = protocols().resolve(name).unwrap();
+            assert_eq!(&spec.supported_queries(), kinds, "{name}");
+        }
+        // Every registered protocol answers edge queries — the common
+        // denominator the CLI's mid-run sampling relies on.
+        for spec in protocols().specs() {
+            assert!(
+                spec.supported_queries().contains(&QueryKind::Edge),
+                "{} lost edge queries",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_protocol_is_queryable_by_name_through_a_session() {
+        use dds_net::{edge, NodeId, Query};
+        let trace = registry::build_trace(
+            "er",
+            &Params::new()
+                .with("n", 12)
+                .with("rounds", 30)
+                .with("seed", 9),
+        )
+        .unwrap();
+        for spec in protocols().specs() {
+            let mut session = protocols()
+                .open(spec.name, trace.n, SimConfig::default())
+                .unwrap();
+            session.run_trace(&trace);
+            session.settle(256).expect("settles");
+            let resp = session
+                .query(NodeId(0), &Query::Edge(edge(0, 1)))
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(
+                resp.answer().is_some(),
+                "{}: settled session must answer",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
     fn names_are_stable_and_unique() {
         let names = protocols().names();
         assert!(names.contains(&"two-hop") && names.contains(&"flood"));

@@ -4,11 +4,11 @@
 
 use crate::scheduler;
 use crate::table::{f2, f3, Table};
-use dds_baselines::{NaiveTwoHopNode, SnapshotNode};
+use dds_baselines::SnapshotNode;
 use dds_net::engine::{drive, drive_source};
-use dds_net::{BoxedSource, Node as _, NodeId, Response, SimConfig, Simulator, Trace};
+use dds_net::{BoxedSource, NodeId, Query, Response, Session, SimConfig, Simulator, Trace};
 use dds_oracle::DynamicGraph;
-use dds_robust::{listing_verdict, ThreeHopNode, TriangleNode, TwoHopNode};
+use dds_robust::{listing_verdict, ThreeHopNode, TwoHopNode};
 use dds_workloads::{bounds, registry, staggered_flicker_trace, Params, Thm4Adversary, Workload};
 use rustc_hash::FxHashSet;
 
@@ -25,6 +25,30 @@ fn trace_for(workload: &str, params: Params) -> Trace {
 /// errors (static experiment definitions again).
 fn source_for(workload: &str, params: Params) -> BoxedSource {
     registry::build_source(workload, &params).unwrap_or_else(|e| panic!("workload {workload}: {e}"))
+}
+
+/// Open an erased session of a registered protocol under the default
+/// config, panicking on unknown names (the experiment definitions are
+/// static, so a failure here is a bug).
+fn open(protocol: &str, n: usize) -> Session {
+    crate::driver::protocols()
+        .open(protocol, n, SimConfig::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Ask one cycle query at every node of the candidate cycle through the
+/// erased session — the paper's listing guarantee quantifies over all
+/// participants, so verdicts come from [`listing_verdict`] on the lot.
+fn cycle_responses(session: &Session, cyc: &[NodeId]) -> Vec<Response<bool>> {
+    let q = Query::Cycle(cyc.to_vec());
+    cyc.iter()
+        .map(|&v| {
+            session
+                .query(v, &q)
+                .expect("protocol answers cycle queries")
+                .map(|a| a.as_bool().expect("membership verdict"))
+        })
+        .collect()
 }
 
 fn er_trace(n: usize, rounds: usize, seed: u64) -> Trace {
@@ -111,7 +135,8 @@ pub fn e1_two_hop_sizes(ns: &[usize], rounds: usize) -> Table {
 }
 
 /// E2 — Theorem 1: triangle membership listing, O(1) amortized and exact
-/// against the ground truth.
+/// against the ground truth. Dispatched through the erased session API —
+/// the cell never names a node type, only the registry name.
 pub fn e2_triangle(rounds: usize) -> Table {
     let mut t = Table::new(
         "E2 / Theorem 1 — triangle membership listing",
@@ -136,22 +161,25 @@ pub fn e2_triangle(rounds: usize) -> Table {
                 .with("lifetime", 40)
                 .with("noise", 2),
         );
-        let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+        let mut session = open("triangle", n);
         let mut g = DynamicGraph::new(n);
         let mut audits = 0u64;
         let mut exact = 0u64;
         let mut max_tri = 0usize;
         for (i, b) in trace.batches.iter().enumerate() {
-            sim.step(b);
+            session.step(b);
             g.apply(b);
             if (i + 1) % 10 != 0 {
                 continue;
             }
             for off in 0..4u32 {
                 let v = NodeId((i as u32 * 13 + off * 29) % n as u32);
-                if let Response::Answer(listed) = sim.node(v).list_triangles() {
+                let resp = session
+                    .query(v, &Query::ListTriangles)
+                    .expect("triangle protocol lists triangles");
+                if let Response::Answer(ans) = resp {
                     audits += 1;
-                    let mut listed = listed;
+                    let mut listed = ans.as_triangles().expect("triangle listing").to_vec();
                     listed.sort();
                     let mut truth = g.triangles_containing(v);
                     truth.sort();
@@ -164,8 +192,8 @@ pub fn e2_triangle(rounds: usize) -> Table {
         }
         t.row(vec![
             n.to_string(),
-            sim.meter().changes().to_string(),
-            f3(sim.meter().amortized()),
+            session.meter().changes().to_string(),
+            f3(session.meter().amortized()),
             audits.to_string(),
             exact.to_string(),
             max_tri.to_string(),
@@ -195,22 +223,26 @@ pub fn e3_cliques(rounds: usize) -> Table {
                 .with("lifetime", 60)
                 .with("noise", 1),
         );
-        let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+        let mut session = open("triangle", n);
         let mut g = DynamicGraph::new(n);
         let mut verified = 0u64;
         let mut errors = 0u64;
         for (i, b) in trace.batches.iter().enumerate() {
-            sim.step(b);
+            session.step(b);
             g.apply(b);
             if (i + 1) % 15 != 0 {
                 continue;
             }
             for v in (0..n as u32).step_by(11) {
                 let v = NodeId(v);
-                if let Response::Answer(listed) = sim.node(v).list_cliques(k) {
+                let resp = session
+                    .query(v, &Query::ListCliques(k))
+                    .expect("triangle protocol lists cliques");
+                if let Response::Answer(ans) = resp {
+                    let listed = ans.as_vertex_sets().expect("clique listing");
                     let truth: FxHashSet<Vec<NodeId>> =
                         g.cliques_containing(v, k).into_iter().collect();
-                    let got: FxHashSet<Vec<NodeId>> = listed.into_iter().collect();
+                    let got: FxHashSet<Vec<NodeId>> = listed.iter().cloned().collect();
                     verified += truth.len() as u64;
                     if got != truth {
                         errors += 1;
@@ -221,7 +253,7 @@ pub fn e3_cliques(rounds: usize) -> Table {
         t.row(vec![
             k.to_string(),
             n.to_string(),
-            f3(sim.meter().amortized()),
+            f3(session.meter().amortized()),
             verified.to_string(),
             errors.to_string(),
         ]);
@@ -348,18 +380,17 @@ pub fn e6_cycles(rounds: usize) -> Table {
                 trace.push(dds_net::EventBatch::new());
             }
         }
-        let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+        let mut session = open("three-hop", n);
         let mut g = DynamicGraph::new(n);
         let (mut audits, mut listed, mut false_pos) = (0u64, 0u64, 0u64);
         for (i, b) in trace.batches.iter().enumerate() {
-            sim.step(b);
+            session.step(b);
             g.apply(b);
             if (i + 1) % 25 != 0 {
                 continue;
             }
             for cyc in g.all_cycles(k) {
-                let responses: Vec<Response<bool>> =
-                    cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
+                let responses = cycle_responses(&session, &cyc);
                 if responses.iter().any(|r| r.is_inconsistent()) {
                     continue;
                 }
@@ -378,8 +409,8 @@ pub fn e6_cycles(rounds: usize) -> Table {
                 if vs.len() < k || g.is_cycle(&vs) {
                     continue;
                 }
-                for &v in &vs {
-                    if sim.node(v).query_cycle(&vs) == Response::Answer(true) {
+                for r in cycle_responses(&session, &vs) {
+                    if r == Response::Answer(true) {
                         false_pos += 1;
                     }
                 }
@@ -388,7 +419,7 @@ pub fn e6_cycles(rounds: usize) -> Table {
         t.row(vec![
             k.to_string(),
             n.to_string(),
-            f3(sim.meter().amortized()),
+            f3(session.meter().amortized()),
             audits.to_string(),
             listed.to_string(),
             false_pos.to_string(),
@@ -417,17 +448,17 @@ pub fn e7_six_cycle_wall_rows(row_counts: &[usize]) -> Table {
         let d = 3 * rows;
         let mut adv = Thm4Adversary::new(6, rows, d, 8, 0xE7 + rows as u64);
         let n = adv.n();
-        let mut sim: Simulator<ThreeHopNode> = Simulator::new(n);
+        let mut session = open("three-hop", n);
         let cutoff = adv.phase1_rounds() + 1;
         let mut steps = 0;
         while let Some(b) = adv.next_batch() {
-            sim.step(&b);
+            session.step(&b);
             steps += 1;
             if steps == cutoff {
                 break;
             }
         }
-        sim.settle(4 * n + 64).expect("stabilizes");
+        session.settle(4 * n + 64).expect("stabilizes");
         let shared: Vec<usize> = adv.subsets()[1]
             .iter()
             .copied()
@@ -436,9 +467,7 @@ pub fn e7_six_cycle_wall_rows(row_counts: &[usize]) -> Table {
         let mut missed = 0usize;
         for &j in &shared {
             let cyc = adv.merge_cycle6(1, 0, j);
-            let responses: Vec<Response<bool>> =
-                cyc.iter().map(|&v| sim.node(v).query_cycle(&cyc)).collect();
-            if listing_verdict(&responses) != Some(true) {
+            if listing_verdict(&cycle_responses(&session, &cyc)) != Some(true) {
                 missed += 1;
             }
         }
@@ -586,19 +615,22 @@ pub fn a1_timestamp_ablation() -> Table {
         ],
     );
     let trace = staggered_flicker_trace();
-    let e = dds_net::edge(1, 2);
+    let probe = Query::Edge(dds_net::edge(1, 2));
 
-    let mut naive: Simulator<NaiveTwoHopNode> = Simulator::new(trace.n);
-    let mut sound: Simulator<TwoHopNode> = Simulator::new(trace.n);
-    for b in &trace.batches {
-        naive.step(b);
-        sound.step(b);
-    }
-    let naive_ans = naive.node(NodeId(0)).query_edge(e);
-    let sound_ans = sound.node(NodeId(0)).query_edge(e);
+    let mut naive = open("naive", trace.n);
+    let mut sound = open("two-hop", trace.n);
+    naive.run_trace(&trace);
+    sound.run_trace(&trace);
+    let ask = |s: &Session| -> Response<bool> {
+        s.query(NodeId(0), &probe)
+            .expect("every protocol answers edge queries")
+            .map(|a| a.as_bool().expect("membership verdict"))
+    };
+    let naive_ans = ask(&naive);
+    let sound_ans = ask(&sound);
     t.row(vec![
         "no-timestamp strawman".into(),
-        naive.node(NodeId(0)).is_consistent().to_string(),
+        naive.node_consistent(NodeId(0)).to_string(),
         format!("{naive_ans:?}"),
         "deleted".into(),
         if naive_ans == Response::Answer(true) {
@@ -609,7 +641,7 @@ pub fn a1_timestamp_ablation() -> Table {
     ]);
     t.row(vec![
         "robust 2-hop (Thm 7)".into(),
-        sound.node(NodeId(0)).is_consistent().to_string(),
+        sound.node_consistent(NodeId(0)).to_string(),
         format!("{sound_ans:?}"),
         "deleted".into(),
         if sound_ans == Response::Answer(false) {
@@ -792,9 +824,10 @@ pub fn s1_streamed_tier(n: usize, rounds: usize, jobs: usize) -> Table {
     }
     t.note("driven end-to-end from lazy TraceSources: one batch in memory at any time");
     t.note(
-        "peak RSS is the process-wide high-water mark — monotone across rows and inherited \
-         from whatever ran earlier in the process; standalone runs (`dds simulate --stream`, \
-         CI perf-smoke) are the authoritative measurement. est. trace = events only",
+        "peak RSS is the growth of the process high-water mark over the run (VmHWM minus a \
+         baseline at run start) — if an earlier run in this process peaked higher, a row can \
+         read 0; standalone runs (`dds simulate --stream`, CI perf-smoke) are the \
+         authoritative measurement. est. trace = events only",
     );
     t
 }

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! dds simulate --protocol triangle --workload er --n 128 --rounds 500 [--parallel] [--json]
+//! dds query --protocol triangle --workload er --n 32 --rounds 100 \
+//!           --settle 64 --query "list-triangles@0; edge:0-1"
 //! dds trace generate --workload p2p --n 64 --rounds 300 --out trace.json
 //! dds trace info trace.json
 //! dds bounds --n 1024
@@ -15,9 +17,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod args;
+pub mod query;
 pub mod run;
 
 use args::Args;
+use dds_net::{NodeId, Query, Response};
 use dds_oracle::DynamicGraph;
 use dds_workloads::bounds;
 
@@ -28,10 +32,21 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 pub const USAGE: &str = "\
 usage:
   dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
-               [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats] [--json]
+               [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats]
+               [--sample-queries K] [--json]
                (--stream drives the run from a lazy trace source: one batch in
                 memory at a time; --seeds K runs K seeded replicas on J scheduler
-                workers, streamed, with seed-ordered aggregate statistics)
+                workers, streamed, with seed-ordered aggregate statistics;
+                --sample-queries K probes an edge query mid-run every K rounds
+                and reports the answered/inconsistent split)
+  dds query    --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
+               [--at ROUND] [--settle MAX] --query \"SPEC[; SPEC...]\" [--json]
+               (runs the workload to --at (default: all rounds), optionally
+                settles, then answers each query spec with zero communication.
+                specs: edge:U-W  triangle:A,B,C  clique:V1,V2,..  cycle:V1,V2,..
+                path3:C,A,B  list-triangles  list-cliques:K  list-cycles:K —
+                each with an optional @NODE routing suffix. `dds list` shows
+                which kinds each protocol supports)
   dds trace generate --workload <name> [--n N] [--rounds R] [--seed S] --out FILE
   dds trace info FILE
   dds trace validate FILE
@@ -55,12 +70,15 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
     }
     match args.positional.first().map(String::as_str) {
         Some("simulate") => cmd_simulate(&args),
+        Some("query") => cmd_query(&args),
         Some("trace") => cmd_trace(&args),
         Some("bounds") => cmd_bounds(&args),
         Some("list") => {
             println!("protocols:");
             for spec in dds_bench::protocols().specs() {
                 println!("  {:<14} {}", spec.name, spec.summary);
+                let kinds: Vec<&str> = spec.supported_queries().iter().map(|k| k.name()).collect();
+                println!("      queries: {}", kinds.join(", "));
             }
             println!("workloads:");
             for spec in dds_workloads::registry::workloads() {
@@ -83,16 +101,57 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         ..dds_net::SimConfig::default()
     };
     let seeds: usize = args.num_or("seeds", 1)?;
+    let sample_every: usize = args.num_or("sample-queries", 0)?;
     if seeds > 1 {
+        if sample_every > 0 {
+            return Err("--sample-queries does not combine with --seeds; run one seed".into());
+        }
         return cmd_simulate_sweep(args, &protocol, cfg, seeds);
     }
-    let summary = if args.flag("stream") {
+    let mut samples: Option<(u64, u64)> = None;
+    let summary = if sample_every > 0 {
+        // Mid-run query sampling: drive a live session and probe an edge
+        // query every `sample_every` rounds — the serving-path smoke test
+        // (how often is the structure answerable under this churn?).
+        let mut src = run::build_workload_source(args)?;
+        let n = src.n();
+        if n < 2 {
+            return Err("--sample-queries needs at least 2 nodes".into());
+        }
+        let mut session = dds_bench::protocols().open(&protocol, n, cfg)?;
+        let (mut answered, mut inconsistent) = (0u64, 0u64);
+        while let Some(batch) = src.next_batch() {
+            session.step(&batch);
+            let r = session.round();
+            if r % sample_every as u64 != 0 {
+                continue;
+            }
+            // Deterministic rotating probe: the edge {r, r+1} (mod n),
+            // asked at its first endpoint. Edge queries are the one kind
+            // every registered protocol supports.
+            let u = (r % n as u64) as u32;
+            let w = ((r + 1) % n as u64) as u32;
+            match session.query(NodeId(u), &Query::Edge(dds_net::edge(u, w)))? {
+                Response::Answer(_) => answered += 1,
+                Response::Inconsistent => inconsistent += 1,
+            }
+        }
+        samples = Some((answered, inconsistent));
+        session.summary()
+    } else if args.flag("stream") {
         let mut src = run::build_workload_source(args)?;
         run::simulate_stream(&protocol, &mut src, cfg)?
     } else {
         let trace = run::build_workload(args)?;
         run::simulate(&protocol, &trace, cfg)?
     };
+    if let Some((answered, inconsistent)) = samples {
+        // To stderr so `--json` output stays a single parseable object.
+        eprintln!(
+            "query samples:        {} answered / {} inconsistent (every {} rounds)",
+            answered, inconsistent, sample_every
+        );
+    }
     if args.flag("json") {
         println!(
             "{}",
@@ -197,6 +256,175 @@ fn cmd_simulate_sweep(
         sim_secs / wall.max(1e-9)
     );
     Ok(())
+}
+
+/// `dds query`: run a workload through a live session, then answer
+/// subgraph query specs with zero communication — the paper's serving
+/// path, protocol chosen purely by registry name.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let protocol = args.get_or("protocol", "triangle").to_string();
+    let spec_text = args
+        .options
+        .get("query")
+        .ok_or("query needs --query \"SPEC[; SPEC...]\" (see `dds --help` for the grammar)")?;
+    let cfg = dds_net::SimConfig {
+        parallel: args.flag("parallel"),
+        ..dds_net::SimConfig::default()
+    };
+    let mut src = run::build_workload_source(args)?;
+    let n = src.n();
+    let specs = query::parse_specs(spec_text, n)?;
+    let mut session = dds_bench::protocols().open(&protocol, n, cfg)?;
+    // Capability check up front: a spec the protocol cannot answer is a
+    // user error, reported before any simulation time is spent.
+    for spec in &specs {
+        session.require_support(spec.query.kind())?;
+    }
+    match args.options.get("at") {
+        Some(_) => {
+            let at: u64 = args.num_or("at", 0)?;
+            session.run_to(at, &mut src);
+        }
+        None => session.drain(&mut src),
+    }
+    let settle_budget: usize = args.num_or("settle", 0)?;
+    let settled = if settle_budget > 0 {
+        session.settle(settle_budget)
+    } else {
+        None
+    };
+    let results: Vec<(&query::QuerySpec, Response<dds_net::Answer>)> = specs
+        .iter()
+        .map(|s| session.query(s.at, &s.query).map(|r| (s, r)))
+        .collect::<Result<_, _>>()?;
+    if args.flag("json") {
+        let kinds: Vec<String> = session
+            .supported_queries()
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect();
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(s, r)| {
+                format!(
+                    "    {{\"spec\": \"{}\", \"node\": {}, \"kind\": \"{}\", {}}}",
+                    json_escape(&s.raw),
+                    s.at.0,
+                    s.query.kind(),
+                    match r {
+                        Response::Inconsistent => "\"status\": \"inconsistent\"".to_string(),
+                        Response::Answer(a) =>
+                            format!("\"status\": \"answer\", \"value\": {}", answer_json(a)),
+                    }
+                )
+            })
+            .collect();
+        println!("{{");
+        println!("  \"protocol\": \"{}\",", json_escape(session.protocol()));
+        println!("  \"n\": {},", session.n());
+        println!("  \"round\": {},", session.round());
+        println!("  \"supported_queries\": [{}],", kinds.join(", "));
+        println!("  \"queries\": [\n{}\n  ]", entries.join(",\n"));
+        println!("}}");
+        return Ok(());
+    }
+    let kinds: Vec<&str> = session
+        .supported_queries()
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    println!(
+        "protocol:  {}  (queries: {})",
+        session.protocol(),
+        kinds.join(", ")
+    );
+    println!(
+        "state:     round {}, {} edges, {} inconsistent node(s)",
+        session.round(),
+        session.topology().edge_count(),
+        session.inconsistent_nodes()
+    );
+    match settled {
+        Some(quiet) if settle_budget > 0 => println!("settled:   after {quiet} quiet round(s)"),
+        None if settle_budget > 0 => {
+            println!("settled:   NOT consistent within {settle_budget} quiet round(s)")
+        }
+        _ => {}
+    }
+    for (s, r) in &results {
+        println!("{:<24} @v{:<4} -> {}", s.raw, s.at.0, render_response(r));
+    }
+    Ok(())
+}
+
+/// Human rendering of one query response.
+fn render_response(r: &Response<dds_net::Answer>) -> String {
+    use dds_net::Answer;
+    match r {
+        Response::Inconsistent => "inconsistent (structure mid-update; try --settle 64)".into(),
+        Response::Answer(Answer::Bool(b)) => b.to_string(),
+        Response::Answer(Answer::Triangles(ts)) => {
+            let shown: Vec<String> = ts
+                .iter()
+                .take(8)
+                .map(|t| format!("{{v{},v{},v{}}}", t[0].0, t[1].0, t[2].0))
+                .collect();
+            let more = if ts.len() > 8 { ", …" } else { "" };
+            format!("{} triangle(s): {}{more}", ts.len(), shown.join(", "))
+        }
+        Response::Answer(Answer::VertexSets(vs)) => {
+            let shown: Vec<String> = vs
+                .iter()
+                .take(8)
+                .map(|set| {
+                    let ids: Vec<String> = set.iter().map(|v| format!("v{}", v.0)).collect();
+                    format!("{{{}}}", ids.join(","))
+                })
+                .collect();
+            let more = if vs.len() > 8 { ", …" } else { "" };
+            format!("{} set(s): {}{more}", vs.len(), shown.join(", "))
+        }
+    }
+}
+
+/// JSON rendering of one answer payload.
+fn answer_json(a: &dds_net::Answer) -> String {
+    use dds_net::Answer;
+    match a {
+        Answer::Bool(b) => b.to_string(),
+        Answer::Triangles(ts) => {
+            let items: Vec<String> = ts
+                .iter()
+                .map(|t| format!("[{}, {}, {}]", t[0].0, t[1].0, t[2].0))
+                .collect();
+            format!("[{}]", items.join(", "))
+        }
+        Answer::VertexSets(vs) => {
+            let items: Vec<String> = vs
+                .iter()
+                .map(|set| {
+                    let ids: Vec<String> = set.iter().map(|v| v.0.to_string()).collect();
+                    format!("[{}]", ids.join(", "))
+                })
+                .collect();
+            format!("[{}]", items.join(", "))
+        }
+    }
+}
+
+/// Minimal JSON string escaping for spec echoes: backslash, quote, and
+/// ASCII control characters (strict parsers reject raw controls).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {

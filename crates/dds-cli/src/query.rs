@@ -1,0 +1,269 @@
+//! The `dds query` spec grammar: compact textual subgraph queries.
+//!
+//! A spec string holds one or more specs separated by `;`. Each spec is
+//! `kind[:args][@node]`, where `@node` routes the question to an explicit
+//! node (the default is the spec's first vertex, or v0 for listings):
+//!
+//! ```text
+//! edge:0-1            is {v0,v1} in the structure?        (asked at v0)
+//! triangle:0,1,2      is {v0,v1,v2} a triangle?           (asked at v0)
+//! clique:0,1,2,3      is the set a 4-clique?              (asked at v0)
+//! cycle:0,1,2,3       is the sequence a 4-cycle?          (asked at v0)
+//! path3:1,0,2         does the path v0 − v1 − v2 exist?   (asked at v1)
+//! list-triangles@4    all triangles containing v4
+//! list-cliques:4@2    all 4-cliques containing v2
+//! list-cycles:5@0     all 5-cycles through v0
+//! ```
+//!
+//! Membership specs over vertex sets (`triangle`, `clique`, `cycle`) must
+//! route to one of their own vertices — the paper's guarantees are stated
+//! per participating node.
+
+use dds_net::{Edge, NodeId, Query};
+
+/// One parsed query: the raw spec (echoed in reports), the routed-to node,
+/// and the engine-level [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The spec text as the user wrote it.
+    pub raw: String,
+    /// The node the question is routed to.
+    pub at: NodeId,
+    /// The erased query to ask.
+    pub query: Query,
+}
+
+/// Parse a `;`-separated spec string against an `n`-node network.
+pub fn parse_specs(input: &str, n: usize) -> Result<Vec<QuerySpec>, String> {
+    let mut out = Vec::new();
+    for raw in input.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        out.push(parse_one(raw, n)?);
+    }
+    if out.is_empty() {
+        return Err("empty query spec; see `dds --help` for the grammar".into());
+    }
+    Ok(out)
+}
+
+fn parse_one(raw: &str, n: usize) -> Result<QuerySpec, String> {
+    let err = |msg: String| format!("query spec {raw:?}: {msg}");
+    let (body, at) = match raw.rsplit_once('@') {
+        Some((body, node)) => (body, Some(parse_node(node, n).map_err(&err)?)),
+        None => (raw, None),
+    };
+    let (kind, args) = match body.split_once(':') {
+        Some((k, a)) => (k.trim(), Some(a.trim())),
+        None => (body.trim(), None),
+    };
+    let args_required = |what: &str| match args {
+        Some(a) if !a.is_empty() => Ok(a),
+        _ => Err(err(format!("needs {what} after `:`"))),
+    };
+    let no_args = || match args {
+        None => Ok(()),
+        Some(_) => Err(err("takes no `:` arguments".into())),
+    };
+    let (default_at, query) = match kind {
+        "edge" => {
+            let vs = parse_nodes(args_required("two vertices")?, n).map_err(&err)?;
+            if vs.len() != 2 {
+                return Err(err(format!("needs exactly 2 vertices, got {}", vs.len())));
+            }
+            if vs[0] == vs[1] {
+                return Err(err("edge endpoints must differ".into()));
+            }
+            (vs[0], Query::Edge(Edge::new(vs[0], vs[1])))
+        }
+        "triangle" => {
+            let vs = parse_nodes(args_required("three vertices")?, n).map_err(&err)?;
+            if vs.len() != 3 {
+                return Err(err(format!("needs exactly 3 vertices, got {}", vs.len())));
+            }
+            let target = at.unwrap_or(vs[0]);
+            let others: Vec<NodeId> = vs.iter().copied().filter(|&v| v != target).collect();
+            if others.len() != 2 {
+                return Err(err(format!(
+                    "@v{} must be one of the three distinct vertices",
+                    target.0
+                )));
+            }
+            (target, Query::Triangle(others[0], others[1]))
+        }
+        "clique" => {
+            let vs = parse_nodes(args_required("the vertex set")?, n).map_err(&err)?;
+            require_target(&vs, at, raw)?;
+            (vs[0], Query::Clique(vs))
+        }
+        "cycle" => {
+            let vs = parse_nodes(args_required("the cyclic vertex sequence")?, n).map_err(&err)?;
+            require_target(&vs, at, raw)?;
+            (vs[0], Query::Cycle(vs))
+        }
+        "path3" => {
+            let vs = parse_nodes(args_required("center and two endpoints")?, n).map_err(&err)?;
+            if vs.len() != 3 {
+                return Err(err(format!("needs exactly 3 vertices, got {}", vs.len())));
+            }
+            if vs[0] == vs[1] || vs[0] == vs[2] {
+                return Err(err("endpoints must differ from the center".into()));
+            }
+            (
+                vs[0],
+                Query::Path3 {
+                    center: vs[0],
+                    a: vs[1],
+                    b: vs[2],
+                },
+            )
+        }
+        "list-triangles" => {
+            no_args()?;
+            (NodeId(0), Query::ListTriangles)
+        }
+        "list-cliques" => {
+            let k = parse_size(args_required("a clique size")?).map_err(&err)?;
+            if k < 1 {
+                return Err(err("clique size must be at least 1".into()));
+            }
+            (NodeId(0), Query::ListCliques(k))
+        }
+        "list-cycles" => {
+            let k = parse_size(args_required("a cycle length")?).map_err(&err)?;
+            if k < 3 {
+                return Err(err("cycles have at least 3 vertices".into()));
+            }
+            (NodeId(0), Query::ListCycles(k))
+        }
+        other => {
+            return Err(err(format!(
+                "unknown query kind {other:?}; expected one of \
+                 edge, triangle, clique, cycle, path3, list-triangles, list-cliques, list-cycles"
+            )))
+        }
+    };
+    Ok(QuerySpec {
+        raw: raw.to_string(),
+        at: at.unwrap_or(default_at),
+        query,
+    })
+}
+
+/// Membership specs must route to a member vertex.
+fn require_target(vs: &[NodeId], at: Option<NodeId>, raw: &str) -> Result<(), String> {
+    if vs.len() < 3 {
+        return Err(format!(
+            "query spec {raw:?}: needs at least 3 vertices, got {}",
+            vs.len()
+        ));
+    }
+    if let Some(at) = at {
+        if !vs.contains(&at) {
+            return Err(format!(
+                "query spec {raw:?}: @v{} must be one of the queried vertices",
+                at.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_node(s: &str, n: usize) -> Result<NodeId, String> {
+    let v: u32 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse node id {s:?}"))?;
+    if (v as usize) < n {
+        Ok(NodeId(v))
+    } else {
+        Err(format!("node v{v} is outside the {n}-node network"))
+    }
+}
+
+fn parse_nodes(s: &str, n: usize) -> Result<Vec<NodeId>, String> {
+    s.split([',', '-'])
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| parse_node(p, n))
+        .collect()
+}
+
+fn parse_size(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("cannot parse size {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_net::edge;
+
+    #[test]
+    fn parses_every_kind() {
+        let specs = parse_specs(
+            "edge:0-1; triangle:0,1,2@2; clique:0,1,2,3; cycle:3,1,2,0@1; \
+             path3:1,0,2; list-triangles@4; list-cliques:4@2; list-cycles:5",
+            8,
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].query, Query::Edge(edge(0, 1)));
+        assert_eq!(specs[0].at, NodeId(0));
+        assert_eq!(specs[1].query, Query::Triangle(NodeId(0), NodeId(1)));
+        assert_eq!(specs[1].at, NodeId(2));
+        assert_eq!(
+            specs[2].query,
+            Query::Clique(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+        );
+        assert_eq!(specs[2].at, NodeId(0));
+        assert_eq!(specs[3].at, NodeId(1));
+        assert_eq!(
+            specs[4].query,
+            Query::Path3 {
+                center: NodeId(1),
+                a: NodeId(0),
+                b: NodeId(2)
+            }
+        );
+        assert_eq!(specs[5].query, Query::ListTriangles);
+        assert_eq!(specs[5].at, NodeId(4));
+        assert_eq!(specs[6].query, Query::ListCliques(4));
+        assert_eq!(specs[6].at, NodeId(2));
+        assert_eq!(specs[7].query, Query::ListCycles(5));
+        assert_eq!(specs[7].at, NodeId(0));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (bad, needle) in [
+            ("", "empty query spec"),
+            ("frob:1,2", "unknown query kind"),
+            ("edge:0-0", "endpoints must differ"),
+            ("edge:0", "exactly 2"),
+            ("edge:0-99", "outside the 8-node network"),
+            ("triangle:0,1", "exactly 3"),
+            ("triangle:0,1,2@5", "must be one of the three"),
+            ("cycle:0,1,2@7", "must be one of the queried vertices"),
+            ("clique:0,1", "at least 3"),
+            ("list-cliques", "needs a clique size"),
+            ("list-cliques:0", "at least 1"),
+            ("list-cycles:x", "cannot parse size"),
+            ("list-cycles:2", "at least 3 vertices"),
+            ("path3:0,0,1", "must differ from the center"),
+            ("edge:0-1@99", "outside the 8-node network"),
+            ("list-triangles:3", "takes no"),
+        ] {
+            let err = parse_specs(bad, 8).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn whitespace_and_empty_segments_are_tolerated() {
+        let specs = parse_specs(" edge:2,3 ; ; list-triangles ", 8).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].query, Query::Edge(edge(2, 3)));
+        assert_eq!(specs[0].raw, "edge:2,3");
+    }
+}

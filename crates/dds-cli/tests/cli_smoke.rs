@@ -176,6 +176,203 @@ fn binary_simulate_seeds_sweeps_with_jobs() {
 }
 
 #[test]
+fn binary_query_answers_specs_after_settling() {
+    let (ok, stdout, stderr) = run_bin(&[
+        "query",
+        "--protocol",
+        "triangle",
+        "--workload",
+        "planted-clique",
+        "--n",
+        "24",
+        "--rounds",
+        "80",
+        "--seed",
+        "7",
+        "--k",
+        "3",
+        "--settle",
+        "64",
+        "--query",
+        "list-triangles@0; edge:0-1; clique:0,1,2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("protocol:  triangle"), "{stdout}");
+    assert!(stdout.contains("queries: edge, triangle"), "{stdout}");
+    assert!(stdout.contains("settled:"), "{stdout}");
+    assert!(stdout.contains("triangle(s):"), "{stdout}");
+    assert!(
+        stdout.contains("edge:0-1") && (stdout.contains("-> true") || stdout.contains("-> false")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn binary_query_unsupported_kind_exits_nonzero_naming_capabilities() {
+    let (ok, _, stderr) = run_bin(&[
+        "query",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "30",
+        "--query",
+        "list-triangles",
+    ]);
+    assert!(!ok, "unsupported query kind must fail");
+    assert!(
+        stderr.contains("does not support list-triangles"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("supported: [edge]"), "stderr: {stderr}");
+}
+
+#[test]
+fn binary_query_rejects_malformed_specs() {
+    for bad in ["edge:0-0", "frob:1", "edge:0-999", "cycle:0,1"] {
+        let (ok, _, stderr) = run_bin(&[
+            "query",
+            "--protocol",
+            "triangle",
+            "--workload",
+            "er",
+            "--n",
+            "8",
+            "--rounds",
+            "5",
+            "--query",
+            bad,
+        ]);
+        assert!(!ok, "{bad:?} must be rejected");
+        assert!(stderr.contains("error:"), "{bad:?}: {stderr}");
+    }
+    assert!(dds_cli::real_main(argv(&["query", "--protocol", "triangle"])).is_err());
+}
+
+#[test]
+fn binary_query_json_is_parseable_with_the_expected_schema() {
+    let (ok, stdout, stderr) = run_bin(&[
+        "query",
+        "--protocol",
+        "three-hop",
+        "--workload",
+        "planted-cycle",
+        "--n",
+        "20",
+        "--rounds",
+        "60",
+        "--seed",
+        "3",
+        "--k",
+        "4",
+        "--settle",
+        "64",
+        "--query",
+        "cycle:0,1,2,3; list-cycles:4@0; edge:0-1",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("query --json parses");
+    assert_eq!(
+        v.get("protocol").and_then(|p| p.as_str()),
+        Some("three-hop")
+    );
+    let supported = v
+        .get("supported_queries")
+        .and_then(|s| s.as_array())
+        .expect("supported_queries array");
+    assert_eq!(supported.len(), 3, "{stdout}");
+    let queries = v
+        .get("queries")
+        .and_then(|q| q.as_array())
+        .expect("queries array");
+    assert_eq!(queries.len(), 3, "{stdout}");
+    for entry in queries {
+        assert!(entry.get("spec").is_some(), "{stdout}");
+        assert!(entry.get("node").is_some(), "{stdout}");
+        assert!(entry.get("kind").is_some(), "{stdout}");
+        let status = entry
+            .get("status")
+            .and_then(|s| s.as_str())
+            .expect("status");
+        assert!(
+            status == "answer" || status == "inconsistent",
+            "bad status {status}: {stdout}"
+        );
+        if status == "answer" {
+            assert!(entry.get("value").is_some(), "{stdout}");
+        }
+    }
+}
+
+#[test]
+fn binary_query_at_round_answers_mid_schedule() {
+    let (ok, stdout, stderr) = run_bin(&[
+        "query",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--at",
+        "30",
+        "--settle",
+        "64",
+        "--query",
+        "edge:0-1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    // --at runs to the requested round; --settle then appends quiet rounds.
+    assert!(stdout.contains("state:     round 3"), "{stdout}");
+}
+
+#[test]
+fn binary_simulate_samples_queries_mid_run() {
+    let (ok, _, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "50",
+        "--seed",
+        "3",
+        "--sample-queries",
+        "5",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("query samples:"), "stderr: {stderr}");
+    assert!(stderr.contains("answered"), "stderr: {stderr}");
+}
+
+#[test]
+fn binary_list_shows_per_protocol_query_capabilities() {
+    let (ok, stdout, _) = run_bin(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("queries: edge"), "{stdout}");
+    assert!(
+        stdout.contains("queries: edge, triangle, clique, list-triangles, list-cliques"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("queries: edge, cycle, list-cycles"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("queries: edge, path3"), "{stdout}");
+}
+
+#[test]
 fn trace_generate_validate_info_round_trip() {
     let dir = std::env::temp_dir().join(format!("dds-cli-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -8,15 +8,20 @@
 //!   [`drive_source`] streams any [`TraceSource`] through one without ever
 //!   materializing the schedule;
 //! - [`run_trace_as`] / [`run_source_as`] do the same and condense the
-//!   meters into a [`RunSummary`] (with wall-clock rounds/sec and peak
-//!   process RSS);
-//! - [`ProtocolRegistry`] maps protocol *names* to boxed runners so
+//!   meters into a [`RunSummary`] (with wall-clock rounds/sec and the peak
+//!   process RSS delta);
+//! - [`ProtocolRegistry`] maps protocol *names* to [`Session`] openers so
 //!   frontends can dispatch dynamically without a hand-maintained `match`
-//!   per call site. The registry entries for the concrete protocols live in
-//!   `dds-bench::driver` (the one crate that depends on every protocol
-//!   implementation); this module only provides the machinery.
+//!   per call site: [`ProtocolRegistry::open`] hands out a live,
+//!   type-erased, queryable run, and `run`/`run_stream` are thin
+//!   run-to-completion wrappers over it. The registry entries for the
+//!   concrete protocols live in `dds-bench::driver` (the one crate that
+//!   depends on every protocol implementation); this module only provides
+//!   the machinery.
 
 use crate::protocol::Node;
+use crate::query::{QueryKind, Queryable};
+use crate::session::Session;
 use crate::sim::{SimConfig, Simulator};
 use crate::source::TraceSource;
 use crate::trace::Trace;
@@ -59,9 +64,17 @@ pub struct RunSummary {
     pub peak_round_messages: u64,
     /// Busiest round by transmitted bits (0 unless `record_stats`).
     pub peak_round_bits: u64,
-    /// Peak resident set size of this process in MiB at summary time
-    /// (Linux `VmHWM`; 0 on other platforms). Process-wide, so only
-    /// meaningful when one run dominates the process.
+    /// Growth of this process's peak resident set size in MiB over the
+    /// run: `VmHWM` at summary time minus a baseline captured when the run
+    /// (or [`Session`]) started; 0 on non-Linux platforms.
+    ///
+    /// Caveat: `VmHWM` is a monotone process-wide high-water mark, so the
+    /// delta *attributes* growth, it cannot isolate it — if an earlier run
+    /// in the same process peaked higher than this run ever reaches, the
+    /// delta reads 0 (an underestimate), and concurrent runs (`--jobs`)
+    /// all observe the same shared peak. Single-run processes (the CI
+    /// perf-smoke `dds simulate --stream` invocation) are the authoritative
+    /// measurement.
     pub peak_rss_mb: f64,
 }
 
@@ -88,16 +101,18 @@ pub fn drive_source<N: Node>(src: &mut dyn TraceSource, cfg: SimConfig) -> Simul
 
 /// Replay a trace as protocol `N` and summarize the meters.
 pub fn run_trace_as<N: Node>(name: &str, trace: &Trace, cfg: SimConfig) -> RunSummary {
+    let rss_baseline = peak_rss_mb();
     let start = Instant::now();
     let sim: Simulator<N> = drive(trace, cfg);
-    summarize(name, &sim, start.elapsed().as_secs_f64())
+    summarize(name, &sim, start.elapsed().as_secs_f64(), rss_baseline)
 }
 
 /// Stream a source through protocol `N` and summarize the meters.
 pub fn run_source_as<N: Node>(name: &str, src: &mut dyn TraceSource, cfg: SimConfig) -> RunSummary {
+    let rss_baseline = peak_rss_mb();
     let start = Instant::now();
     let sim: Simulator<N> = drive_source(src, cfg);
-    summarize(name, &sim, start.elapsed().as_secs_f64())
+    summarize(name, &sim, start.elapsed().as_secs_f64(), rss_baseline)
 }
 
 /// Peak resident set size of this process in MiB (Linux `VmHWM` from
@@ -123,7 +138,15 @@ pub fn peak_rss_mb() -> f64 {
 }
 
 /// Condense a finished simulator's meters into a [`RunSummary`].
-pub fn summarize<N: Node>(name: &str, sim: &Simulator<N>, seconds: f64) -> RunSummary {
+/// `rss_baseline_mb` is the process `VmHWM` captured when the run started;
+/// the summary reports the growth over it (see
+/// [`RunSummary::peak_rss_mb`] for the residual attribution caveat).
+pub fn summarize<N: Node>(
+    name: &str,
+    sim: &Simulator<N>,
+    seconds: f64,
+    rss_baseline_mb: f64,
+) -> RunSummary {
     let rounds = sim.meter().rounds();
     RunSummary {
         protocol: name.to_string(),
@@ -146,42 +169,51 @@ pub fn summarize<N: Node>(name: &str, sim: &Simulator<N>, seconds: f64) -> RunSu
         },
         peak_round_messages: sim.stats().iter().map(|s| s.messages).max().unwrap_or(0),
         peak_round_bits: sim.stats().iter().map(|s| s.bits).max().unwrap_or(0),
-        peak_rss_mb: peak_rss_mb(),
+        peak_rss_mb: (peak_rss_mb() - rss_baseline_mb).max(0.0),
     }
 }
 
-/// A boxed protocol runner: batch source + config in, summary out. Every
-/// registered protocol runs from a stream; recorded traces enter through
-/// [`Trace::replay`].
-pub type Runner = Box<dyn Fn(&mut dyn TraceSource, SimConfig) -> RunSummary + Send + Sync>;
+/// A boxed session opener: nodes + config in, live type-erased run out.
+/// Everything a registered protocol can do — run to completion, stream,
+/// answer queries — goes through the [`Session`] this produces.
+pub type Opener = Box<dyn Fn(usize, SimConfig) -> Session + Send + Sync>;
 
-/// A boxed by-reference trace runner: the zero-copy fast path for
-/// recorded traces.
-pub type TraceRunner = Box<dyn Fn(&Trace, SimConfig) -> RunSummary + Send + Sync>;
-
-/// A named, runnable protocol: the registry entry.
+/// A named, runnable, queryable protocol: the registry entry.
 pub struct ProtocolSpec {
     /// Registry name (what `--protocol` matches).
     pub name: &'static str,
     /// One-line description for `dds list`.
     pub summary: &'static str,
-    runner: Runner,
-    /// Zero-copy fast path for recorded traces: drives by reference so the
-    /// replay hot path allocates nothing per round (a `TraceReplay` would
-    /// clone every batch out of the trace).
-    trace_runner: TraceRunner,
+    /// Query kinds this protocol answers (capability discovery without
+    /// instantiating a network).
+    supported: &'static [QueryKind],
+    opener: Opener,
 }
 
 impl ProtocolSpec {
-    /// Run this protocol over a recorded trace (by reference, no batch
-    /// copies).
+    /// Open a live session of this protocol on an empty `n`-node network.
+    pub fn open(&self, n: usize, cfg: SimConfig) -> Session {
+        (self.opener)(n, cfg)
+    }
+
+    /// The query kinds this protocol can answer.
+    pub fn supported_queries(&self) -> &'static [QueryKind] {
+        self.supported
+    }
+
+    /// Run this protocol over a recorded trace (by reference — the session
+    /// steps each batch in place, so the replay hot path copies nothing).
     pub fn run(&self, trace: &Trace, cfg: SimConfig) -> RunSummary {
-        (self.trace_runner)(trace, cfg)
+        let mut session = self.open(trace.n, cfg);
+        session.run_trace(trace);
+        session.summary()
     }
 
     /// Run this protocol from a streaming source (never materializes).
     pub fn run_stream(&self, src: &mut dyn TraceSource, cfg: SimConfig) -> RunSummary {
-        (self.runner)(src, cfg)
+        let mut session = self.open(src.n(), cfg);
+        session.drain(src);
+        session.summary()
     }
 }
 
@@ -208,14 +240,14 @@ impl ProtocolRegistry {
 
     /// Register protocol `N` under `name` with the caller's config passed
     /// through unchanged.
-    pub fn register<N: Node + 'static>(&mut self, name: &'static str, summary: &'static str) {
+    pub fn register<N: Queryable + 'static>(&mut self, name: &'static str, summary: &'static str) {
         self.register_with::<N>(name, summary, |cfg| cfg);
     }
 
     /// Register protocol `N` under `name`, with `prep` adjusting the
     /// caller's config first (e.g. the flooding calibrator switching the
     /// bandwidth policy to `Observe`).
-    pub fn register_with<N: Node + 'static>(
+    pub fn register_with<N: Queryable + 'static>(
         &mut self,
         name: &'static str,
         summary: &'static str,
@@ -228,8 +260,8 @@ impl ProtocolRegistry {
         self.specs.push(ProtocolSpec {
             name,
             summary,
-            runner: Box::new(move |src, cfg| run_source_as::<N>(name, src, prep(cfg))),
-            trace_runner: Box::new(move |trace, cfg| run_trace_as::<N>(name, trace, prep(cfg))),
+            supported: N::supported_queries(),
+            opener: Box::new(move |n, cfg| Session::open::<N>(name, n, prep(cfg))),
         });
     }
 
@@ -248,16 +280,30 @@ impl ProtocolRegistry {
         self.specs.iter().find(|s| s.name == name)
     }
 
+    /// The one unknown-name error — every by-name entry point reports the
+    /// same "expected one of …" message through it.
+    fn unknown(&self, name: &str) -> String {
+        format!(
+            "unknown protocol {name:?}; expected one of {:?}",
+            self.names()
+        )
+    }
+
+    /// Resolve one protocol by name, or report the known names.
+    pub fn resolve(&self, name: &str) -> Result<&ProtocolSpec, String> {
+        self.get(name).ok_or_else(|| self.unknown(name))
+    }
+
+    /// Open a live, queryable [`Session`] of the named protocol on an
+    /// empty `n`-node network, or report the known names.
+    pub fn open(&self, name: &str, n: usize, cfg: SimConfig) -> Result<Session, String> {
+        Ok(self.resolve(name)?.open(n, cfg))
+    }
+
     /// Run the named protocol over a trace (zero-copy, by reference), or
     /// report the known names.
     pub fn run(&self, name: &str, trace: &Trace, cfg: SimConfig) -> Result<RunSummary, String> {
-        match self.get(name) {
-            Some(spec) => Ok(spec.run(trace, cfg)),
-            None => Err(format!(
-                "unknown protocol {name:?}; expected one of {:?}",
-                self.names()
-            )),
-        }
+        Ok(self.resolve(name)?.run(trace, cfg))
     }
 
     /// Run the named protocol from a streaming source, or report the known
@@ -268,13 +314,7 @@ impl ProtocolRegistry {
         src: &mut dyn TraceSource,
         cfg: SimConfig,
     ) -> Result<RunSummary, String> {
-        match self.get(name) {
-            Some(spec) => Ok(spec.run_stream(src, cfg)),
-            None => Err(format!(
-                "unknown protocol {name:?}; expected one of {:?}",
-                self.names()
-            )),
-        }
+        Ok(self.resolve(name)?.run_stream(src, cfg))
     }
 }
 
@@ -284,6 +324,8 @@ mod tests {
     use crate::event::LocalEvent;
     use crate::ids::{edge, NodeId, Round};
     use crate::message::{Outbox, Received};
+    use crate::protocol::Response;
+    use crate::query::{Answer, Query, QueryError};
 
     /// Trivial always-consistent protocol for registry tests.
     struct Idle;
@@ -299,6 +341,14 @@ mod tests {
         fn receive(&mut self, _round: Round, _inbox: &[Received<()>], _ns: &[NodeId]) {}
         fn is_consistent(&self) -> bool {
             true
+        }
+    }
+    impl Queryable for Idle {
+        fn supported_queries() -> &'static [QueryKind] {
+            &[]
+        }
+        fn query(&self, _query: &Query) -> Result<Response<Answer>, QueryError> {
+            Err(QueryError::Unsupported)
         }
     }
 
@@ -362,6 +412,39 @@ mod tests {
         assert!(reg
             .run_stream("nope", &mut trace.replay(), SimConfig::default())
             .is_err());
+    }
+
+    #[test]
+    fn unknown_name_message_is_shared_across_entry_points() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register::<Idle>("idle", "does nothing");
+        let trace = sample_trace();
+        let cfg = SimConfig::default();
+        let from_run = reg.run("nope", &trace, cfg).unwrap_err();
+        let from_stream = reg
+            .run_stream("nope", &mut trace.replay(), cfg)
+            .unwrap_err();
+        let from_open = reg.open("nope", 4, cfg).unwrap_err();
+        assert_eq!(from_run, from_stream);
+        assert_eq!(from_run, from_open);
+        assert!(from_run.contains("expected one of"), "{from_run}");
+        assert!(from_run.contains("idle"), "{from_run}");
+    }
+
+    #[test]
+    fn open_hands_out_live_queryable_sessions() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register::<Idle>("idle", "does nothing");
+        assert!(reg.resolve("idle").unwrap().supported_queries().is_empty());
+        let mut session = reg.open("idle", 4, SimConfig::default()).unwrap();
+        session.run_trace(&sample_trace());
+        assert_eq!(session.round(), 2);
+        assert_eq!(session.summary().changes, 1);
+        // Idle supports nothing: every query is a capability error.
+        assert!(session
+            .query(NodeId(0), &Query::Edge(edge(0, 1)))
+            .unwrap_err()
+            .contains("does not support"));
     }
 
     #[test]

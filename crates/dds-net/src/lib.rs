@@ -29,7 +29,9 @@ pub mod ids;
 pub mod message;
 pub mod metrics;
 pub mod protocol;
+pub mod query;
 mod round;
+pub mod session;
 pub mod sim;
 pub mod source;
 pub mod topology;
@@ -45,6 +47,8 @@ pub use ids::{edge, Edge, NodeId, Round, NEVER};
 pub use message::{node_bits, Addressed, BitSized, Flags, Outbox, Received};
 pub use metrics::{AmortizedMeter, RoundStats};
 pub use protocol::{Node, Response};
+pub use query::{Answer, Query, QueryError, QueryKind, Queryable};
+pub use session::Session;
 pub use sim::{SimConfig, Simulator};
 pub use source::{BoxedSource, OwnedReplay, TraceReplay, TraceSource, Validated};
 pub use topology::Topology;

@@ -1,0 +1,284 @@
+//! The unified query layer: one vocabulary for every subgraph question a
+//! distributed dynamic data structure can answer.
+//!
+//! The paper's deliverable is a data structure that answers subgraph
+//! queries **at any round, with zero communication**. Each concrete node
+//! type exposes typed query methods (`query_edge`, `query_triangle`,
+//! `list_cliques`, …); this module erases them behind one [`Query`] enum
+//! and one [`Answer`] enum so frontends (the CLI, the experiment cells,
+//! the session layer) can route a question to *any* protocol by name and
+//! discover per-protocol capabilities instead of matching on names.
+//!
+//! - [`Query`] is the question, addressed to one node (the session layer
+//!   does the routing);
+//! - [`Answer`] is the payload of a consistent [`Response`];
+//! - [`QueryKind`] is the capability unit: every protocol reports the set
+//!   of kinds it supports via [`Queryable::supported_queries`];
+//! - [`Queryable`] is the per-node-type adapter from [`Query`] to the
+//!   typed methods — implemented once per protocol, next to the protocol.
+
+use crate::ids::{Edge, NodeId};
+use crate::protocol::{Node, Response};
+
+/// The capability unit: one kind of subgraph query, with its parameters
+/// abstracted away. Protocols report the kinds they support so frontends
+/// can discover capabilities instead of hard-coding protocol names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryKind {
+    /// Edge membership in the node's maintained edge set.
+    Edge,
+    /// Triangle membership `{v, u, w}` through the queried node `v`.
+    Triangle,
+    /// k-clique membership for an explicit vertex set containing `v`.
+    Clique,
+    /// k-cycle listing query for an explicit cyclic vertex sequence
+    /// containing `v`.
+    Cycle,
+    /// 3-vertex path membership `a − center − b` within the 2-hop view.
+    Path3,
+    /// Enumerate all triangles containing the queried node.
+    ListTriangles,
+    /// Enumerate all k-cliques containing the queried node.
+    ListCliques,
+    /// Enumerate all k-cycles through the queried node.
+    ListCycles,
+}
+
+impl QueryKind {
+    /// Every kind, in declaration order (capability matrices, CLI help).
+    pub const ALL: [QueryKind; 8] = [
+        QueryKind::Edge,
+        QueryKind::Triangle,
+        QueryKind::Clique,
+        QueryKind::Cycle,
+        QueryKind::Path3,
+        QueryKind::ListTriangles,
+        QueryKind::ListCliques,
+        QueryKind::ListCycles,
+    ];
+
+    /// Stable lowercase name (CLI specs, JSON output, capability lists).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Edge => "edge",
+            QueryKind::Triangle => "triangle",
+            QueryKind::Clique => "clique",
+            QueryKind::Cycle => "cycle",
+            QueryKind::Path3 => "path3",
+            QueryKind::ListTriangles => "list-triangles",
+            QueryKind::ListCliques => "list-cliques",
+            QueryKind::ListCycles => "list-cycles",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One subgraph question, addressed to a single node. The vertex-set
+/// variants must include the queried node (the paper's membership and
+/// listing guarantees are stated per participating node).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Is this edge in the node's maintained edge set?
+    Edge(Edge),
+    /// Does the triangle `{v, u, w}` exist, where `v` is the queried node?
+    Triangle(NodeId, NodeId),
+    /// Does this vertex set (which must contain the queried node) form a
+    /// clique?
+    Clique(Vec<NodeId>),
+    /// Does this cyclic vertex sequence (which must contain the queried
+    /// node) form a cycle? The paper's listing guarantee holds for lengths
+    /// 4 and 5 when every cycle node is asked.
+    Cycle(Vec<NodeId>),
+    /// Does the 3-vertex path `a − center − b` exist?
+    Path3 {
+        /// The middle vertex of the path.
+        center: NodeId,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Enumerate all triangles containing the queried node.
+    ListTriangles,
+    /// Enumerate all k-cliques containing the queried node.
+    ListCliques(usize),
+    /// Enumerate all k-cycles through the queried node.
+    ListCycles(usize),
+}
+
+impl Query {
+    /// The capability kind this query requires.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Edge(_) => QueryKind::Edge,
+            Query::Triangle(..) => QueryKind::Triangle,
+            Query::Clique(_) => QueryKind::Clique,
+            Query::Cycle(_) => QueryKind::Cycle,
+            Query::Path3 { .. } => QueryKind::Path3,
+            Query::ListTriangles => QueryKind::ListTriangles,
+            Query::ListCliques(_) => QueryKind::ListCliques,
+            Query::ListCycles(_) => QueryKind::ListCycles,
+        }
+    }
+}
+
+/// The payload of a consistent answer to a [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// Verdict of a membership query.
+    Bool(bool),
+    /// Triangles, as sorted vertex triples.
+    Triangles(Vec<[NodeId; 3]>),
+    /// Vertex sets (cliques as sorted sets, cycles as canonical sequences).
+    VertexSets(Vec<Vec<NodeId>>),
+}
+
+impl Answer {
+    /// The boolean verdict, when this is a membership answer.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Answer::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The listed triangles, when this is a triangle enumeration.
+    pub fn as_triangles(&self) -> Option<&[[NodeId; 3]]> {
+        match self {
+            Answer::Triangles(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The listed vertex sets, when this is a clique/cycle enumeration.
+    pub fn as_vertex_sets(&self) -> Option<&[Vec<NodeId>]> {
+        match self {
+            Answer::VertexSets(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Why a query could not be answered at all (distinct from
+/// [`Response::Inconsistent`], which is a *valid* answer meaning "retry
+/// later").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The protocol does not maintain the information this query kind
+    /// needs. The session layer decorates this with the protocol's name
+    /// and supported set.
+    Unsupported,
+    /// The query parameters are malformed for this kind (e.g. a clique
+    /// membership query that does not include the queried node).
+    Invalid(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Unsupported => f.write_str("unsupported query kind"),
+            QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+/// The per-protocol adapter from the unified [`Query`] vocabulary to the
+/// typed query methods — the contract every registrable protocol
+/// implements next to its [`Node`] impl.
+///
+/// Implementations must be **pure dispatch**: each supported variant calls
+/// the corresponding typed method and wraps its response, so the erased
+/// path is bit-identical to the typed path (the differential test suite
+/// locks this down). Parameter validation that the typed methods enforce
+/// by panicking (vertex sets that omit the queried node, degenerate `k`)
+/// must be caught here and reported as [`QueryError::Invalid`] instead:
+/// erased queries arrive from untrusted frontends (the CLI), where a
+/// malformed spec must be an error, not a crash.
+pub trait Queryable: Node {
+    /// The query kinds this structure can answer, in [`QueryKind::ALL`]
+    /// order. Static per protocol: capability discovery must not require
+    /// instantiating a network.
+    fn supported_queries() -> &'static [QueryKind];
+
+    /// Answer one query, or report why it cannot be answered.
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError>;
+}
+
+/// Shared validation for vertex-set membership/listing queries: the set
+/// must contain the queried node `id` and hold no duplicates beyond what
+/// the typed methods tolerate. Returns an [`QueryError::Invalid`] with a
+/// uniform message when the queried node is missing.
+pub fn require_member(vertices: &[NodeId], id: NodeId, kind: QueryKind) -> Result<(), QueryError> {
+    if vertices.contains(&id) {
+        Ok(())
+    } else {
+        Err(QueryError::Invalid(format!(
+            "{kind} query must include the queried node v{}",
+            id.0
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::edge;
+
+    #[test]
+    fn kinds_have_stable_names_and_order() {
+        assert_eq!(QueryKind::ALL.len(), 8);
+        let names: Vec<&str> = QueryKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names[0], "edge");
+        assert_eq!(names[7], "list-cycles");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "kind names must be unique");
+    }
+
+    #[test]
+    fn query_reports_its_kind() {
+        assert_eq!(Query::Edge(edge(0, 1)).kind(), QueryKind::Edge);
+        assert_eq!(Query::ListCliques(4).kind(), QueryKind::ListCliques);
+        assert_eq!(
+            Query::Path3 {
+                center: NodeId(1),
+                a: NodeId(0),
+                b: NodeId(2)
+            }
+            .kind(),
+            QueryKind::Path3
+        );
+    }
+
+    #[test]
+    fn answer_accessors_are_kind_safe() {
+        let b = Answer::Bool(true);
+        assert_eq!(b.as_bool(), Some(true));
+        assert!(b.as_triangles().is_none());
+        let t = Answer::Triangles(vec![[NodeId(0), NodeId(1), NodeId(2)]]);
+        assert_eq!(t.as_triangles().map(|x| x.len()), Some(1));
+        assert!(t.as_bool().is_none());
+        let v = Answer::VertexSets(vec![vec![NodeId(0)]]);
+        assert_eq!(v.as_vertex_sets().map(|x| x.len()), Some(1));
+    }
+
+    #[test]
+    fn require_member_checks_inclusion() {
+        let vs = [NodeId(0), NodeId(1)];
+        assert!(require_member(&vs, NodeId(1), QueryKind::Clique).is_ok());
+        let err = require_member(&vs, NodeId(2), QueryKind::Clique).unwrap_err();
+        match err {
+            QueryError::Invalid(msg) => {
+                assert!(msg.contains("clique"), "{msg}");
+                assert!(msg.contains("v2"), "{msg}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+}

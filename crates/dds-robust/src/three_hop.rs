@@ -29,7 +29,10 @@
 //! and 5-cycle listing (Theorem 5; see [`crate::cycle`]).
 
 use crate::paths::Path;
-use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
+use dds_net::{
+    Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
+    Queryable, Received, Response, Round,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
@@ -359,6 +362,31 @@ impl Node for ThreeHopNode {
 
     fn is_consistent(&self) -> bool {
         self.consistent
+    }
+}
+
+impl Queryable for ThreeHopNode {
+    fn supported_queries() -> &'static [QueryKind] {
+        &[QueryKind::Edge, QueryKind::Cycle, QueryKind::ListCycles]
+    }
+
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError> {
+        match query {
+            Query::Edge(e) => Ok(self.query_edge(*e).map(Answer::Bool)),
+            Query::Cycle(vs) => {
+                dds_net::query::require_member(vs, self.id, QueryKind::Cycle)?;
+                Ok(self.query_cycle(vs).map(Answer::Bool))
+            }
+            Query::ListCycles(k) => {
+                if *k < 3 {
+                    return Err(QueryError::Invalid(
+                        "cycles have at least 3 vertices".into(),
+                    ));
+                }
+                Ok(self.list_cycles(*k).map(Answer::VertexSets))
+            }
+            _ => Err(QueryError::Unsupported),
+        }
     }
 }
 

@@ -22,7 +22,10 @@
 //! `S_v` — giving exact membership listing, and by Corollary 1 exact
 //! k-clique membership listing for every `k ≥ 3`.
 
-use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
+use dds_net::{
+    Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
+    Queryable, Received, Response, Round,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
@@ -471,6 +474,37 @@ impl Node for TriangleNode {
 
     fn is_consistent(&self) -> bool {
         self.consistent
+    }
+}
+
+impl Queryable for TriangleNode {
+    fn supported_queries() -> &'static [QueryKind] {
+        &[
+            QueryKind::Edge,
+            QueryKind::Triangle,
+            QueryKind::Clique,
+            QueryKind::ListTriangles,
+            QueryKind::ListCliques,
+        ]
+    }
+
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError> {
+        match query {
+            Query::Edge(e) => Ok(self.query_edge(*e).map(Answer::Bool)),
+            Query::Triangle(u, w) => Ok(self.query_triangle(*u, *w).map(Answer::Bool)),
+            Query::Clique(vs) => {
+                dds_net::query::require_member(vs, self.id, QueryKind::Clique)?;
+                Ok(self.query_clique(vs).map(Answer::Bool))
+            }
+            Query::ListTriangles => Ok(self.list_triangles().map(Answer::Triangles)),
+            Query::ListCliques(k) => {
+                if *k < 1 {
+                    return Err(QueryError::Invalid("clique size must be at least 1".into()));
+                }
+                Ok(self.list_cliques(*k).map(Answer::VertexSets))
+            }
+            _ => Err(QueryError::Unsupported),
+        }
     }
 }
 

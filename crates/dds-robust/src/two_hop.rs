@@ -29,7 +29,10 @@
 //!   the start of the send phase; a node is consistent iff its queue is
 //!   empty and no neighbor signalled `IsEmpty = false` this round.
 
-use dds_net::{BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Received, Response, Round};
+use dds_net::{
+    Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
+    Queryable, Received, Response, Round,
+};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 
@@ -290,6 +293,19 @@ impl Node for TwoHopNode {
 
     fn is_consistent(&self) -> bool {
         self.consistent
+    }
+}
+
+impl Queryable for TwoHopNode {
+    fn supported_queries() -> &'static [QueryKind] {
+        &[QueryKind::Edge]
+    }
+
+    fn query(&self, query: &Query) -> Result<Response<Answer>, QueryError> {
+        match query {
+            Query::Edge(e) => Ok(self.query_edge(*e).map(Answer::Bool)),
+            _ => Err(QueryError::Unsupported),
+        }
     }
 }
 

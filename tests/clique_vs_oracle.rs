@@ -1,19 +1,22 @@
 //! Integration: k-clique *enumeration* (`list_cliques`, Corollary 1)
 //! against the centralized ground truth, across workloads — the
 //! enumeration layer in `dds-robust/src/clique.rs` that the triangle
-//! suite does not cover.
+//! suite does not cover. The audit dispatches through the type-erased
+//! session API (`protocols().open("triangle", …)` + `Query`), so it also
+//! locks the erased path against the oracle.
 //!
 //! Invariants:
-//! - at every consistent node, `list_cliques(k)` equals the oracle's
+//! - at every consistent node, `ListCliques(k)` equals the oracle's
 //!   `cliques_containing(v, k)` as a set, for every k;
-//! - `query_clique` answers `true` for exactly the oracle's cliques and
-//!   `false` for non-clique vertex sets (no phantom cliques);
+//! - `Clique` membership answers `true` for exactly the oracle's cliques
+//!   and `false` for non-clique vertex sets (no phantom cliques);
 //! - clique counts are consistent across k (every (k+1)-clique through v
 //!   contains k of its k-cliques through v).
 
-use dynamic_subgraphs::net::{Node as _, NodeId, Response, Simulator, TraceSource};
+use dynamic_subgraphs::net::{
+    Answer, NodeId, Query, Response, Session, SimConfig, TraceSource as _,
+};
 use dynamic_subgraphs::oracle::DynamicGraph;
-use dynamic_subgraphs::robust::TriangleNode;
 use dynamic_subgraphs::workloads::{registry, Params};
 use rustc_hash::FxHashSet;
 
@@ -23,12 +26,39 @@ struct Audit {
     phantom_probes: u64,
 }
 
+/// Open the triangle structure by registry name — no node types anywhere
+/// in this suite.
+fn open_triangle(n: usize) -> Session {
+    dds_bench::protocols()
+        .open("triangle", n, SimConfig::default())
+        .expect("triangle is registered")
+}
+
+/// Erased clique enumeration, unwrapped (callers audit consistent nodes).
+fn list_cliques(session: &Session, v: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+    match session
+        .query(v, &Query::ListCliques(k))
+        .expect("triangle protocol lists cliques")
+    {
+        Response::Answer(Answer::VertexSets(sets)) => sets,
+        other => panic!("expected a clique listing at v{}, got {other:?}", v.0),
+    }
+}
+
+/// Erased clique membership verdict.
+fn query_clique(session: &Session, v: NodeId, vs: &[NodeId]) -> Response<bool> {
+    session
+        .query(v, &Query::Clique(vs.to_vec()))
+        .expect("triangle protocol answers clique membership")
+        .map(|a| a.as_bool().expect("membership verdict"))
+}
+
 /// Stream a registry workload and audit clique enumeration at a rotating
 /// node sample against the oracle, every round, for k ∈ {3, 4, 5}.
 fn audit_stream(workload: &str, params: &Params, label: &str) -> Audit {
     let mut src = registry::build_source(workload, params).expect("registered workload");
     let n = src.n();
-    let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+    let mut session = open_triangle(n);
     let mut g = DynamicGraph::new(n);
     let mut audit = Audit {
         listings: 0,
@@ -37,21 +67,17 @@ fn audit_stream(workload: &str, params: &Params, label: &str) -> Audit {
     };
     let mut i = 0usize;
     while let Some(batch) = src.next_batch() {
-        sim.step(&batch);
+        session.step(&batch);
         g.apply(&batch);
         i += 1;
         for off in 0..3u32 {
             let v = NodeId(((i as u32).wrapping_mul(13).wrapping_add(off * 23)) % n as u32);
-            let node = sim.node(v);
-            if !node.is_consistent() {
+            if !session.node_consistent(v) {
                 continue;
             }
             for k in [3usize, 4, 5] {
-                let listed: FxHashSet<Vec<NodeId>> = node
-                    .list_cliques(k)
-                    .expect_answer("consistent")
-                    .into_iter()
-                    .collect();
+                let listed: FxHashSet<Vec<NodeId>> =
+                    list_cliques(&session, v, k).into_iter().collect();
                 let truth: FxHashSet<Vec<NodeId>> =
                     g.cliques_containing(v, k).into_iter().collect();
                 assert_eq!(
@@ -63,7 +89,7 @@ fn audit_stream(workload: &str, params: &Params, label: &str) -> Audit {
                 // Membership must confirm every listed clique.
                 for clique in &truth {
                     assert_eq!(
-                        node.query_clique(clique),
+                        query_clique(&session, v, clique),
                         Response::Answer(true),
                         "[{label}] round {i}: membership of {clique:?} at v{}",
                         v.0
@@ -88,7 +114,7 @@ fn audit_stream(workload: &str, params: &Params, label: &str) -> Audit {
                     continue;
                 }
                 assert_eq!(
-                    node.query_clique(&vs),
+                    query_clique(&session, v, &vs),
                     Response::Answer(false),
                     "[{label}] round {i}: phantom clique {vs:?} claimed at v{}",
                     v.0
@@ -161,13 +187,13 @@ fn clique_counts_nest_across_k() {
         .with("noise", 0);
     let mut src = registry::build_source("planted-clique", &p).unwrap();
     let n = src.n();
-    let mut sim: Simulator<TriangleNode> = Simulator::new(n);
+    let mut session = open_triangle(n);
     let mut g = DynamicGraph::new(n);
     while let Some(b) = src.next_batch() {
-        sim.step(&b);
+        session.step(&b);
         g.apply(&b);
     }
-    sim.settle(128).expect("stabilizes");
+    session.settle(128).expect("stabilizes");
     let mut checked = 0u64;
     for v in 0..n as u32 {
         let v = NodeId(v);
@@ -175,10 +201,9 @@ fn clique_counts_nest_across_k() {
         if five.is_empty() {
             continue;
         }
-        let node = sim.node(v);
-        assert_eq!(node.list_cliques(5).expect_answer("settled").len(), 1);
-        assert_eq!(node.list_cliques(4).expect_answer("settled").len(), 4);
-        assert_eq!(node.list_cliques(3).expect_answer("settled").len(), 6);
+        assert_eq!(list_cliques(&session, v, 5).len(), 1);
+        assert_eq!(list_cliques(&session, v, 4).len(), 4);
+        assert_eq!(list_cliques(&session, v, 3).len(), 6);
         checked += 1;
     }
     assert_eq!(checked, 5, "all five members of the planted clique audited");

@@ -161,6 +161,10 @@ impl Node for FloodNode {
     fn is_consistent(&self) -> bool {
         self.consistent
     }
+
+    fn idle(&self) -> bool {
+        self.outbox.is_empty() && self.catchup.is_empty() && self.consistent
+    }
 }
 
 impl Queryable for FloodNode {

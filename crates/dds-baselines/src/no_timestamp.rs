@@ -145,6 +145,10 @@ impl Node for NaiveTwoHopNode {
     fn is_consistent(&self) -> bool {
         self.consistent
     }
+
+    fn idle(&self) -> bool {
+        self.q.is_empty() && self.consistent
+    }
 }
 
 impl Queryable for NaiveTwoHopNode {

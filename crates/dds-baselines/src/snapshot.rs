@@ -306,6 +306,13 @@ impl Node for SnapshotNode {
     fn is_consistent(&self) -> bool {
         self.consistent
     }
+
+    fn idle(&self) -> bool {
+        // `consistent` already required an empty backlog and fully-synced
+        // neighbors when it was computed; both only change through the
+        // phase callbacks, so together they are the quiet fixed point.
+        self.consistent && self.queues.values().all(|q| q.is_empty())
+    }
 }
 
 impl Queryable for SnapshotNode {

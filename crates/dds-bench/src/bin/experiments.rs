@@ -1,7 +1,7 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|all]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|all]
 //!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--json FILE]
 //!             [--check-schema BASELINE.json]
 //! ```
@@ -18,7 +18,9 @@
 //! baseline report, exiting non-zero on drift. `s1` is the streamed
 //! scenario tier (n = 100 000 by default, capped by `--max-n`): runs
 //! driven from lazy trace sources that the materialized path could not
-//! hold in memory.
+//! hold in memory. `s2` is the large-n/low-churn tier: the same streamed
+//! schedule under the sparse and the dense round engine, recording the
+//! activity-proportionality speedup.
 
 use dds_bench::runners;
 use dds_bench::Table;
@@ -211,6 +213,13 @@ fn main() {
         run(
             "s1",
             Box::new(move || runners::s1_streamed_tier(s1_n, rounds, s1_jobs)),
+        );
+    }
+    if want("s2") {
+        let s2_n = 100_000.min(max_n.max(2));
+        run(
+            "s2",
+            Box::new(move || runners::s2_low_churn_tier(s2_n, rounds)),
         );
     }
 

@@ -832,9 +832,113 @@ pub fn s1_streamed_tier(n: usize, rounds: usize, jobs: usize) -> Table {
     t
 }
 
+/// S2 — the large-n / **low-churn** tier: the regime where the paper's
+/// O(1) recovery guarantees shine (huge network, a trickle of changes)
+/// and where the round loop used to be simulation-bound at Ω(n + m) per
+/// round regardless of batch size. Each workload runs twice — once per
+/// round engine — on identical streamed schedules; `changes` and
+/// `peak active` are deterministic and must agree row-for-row across
+/// engines (the differential tests lock the full bit-identity), while
+/// `rounds/s` and `speedup` are the wall-clock payoff: the sparse engine
+/// does O(churn + traffic) work per round instead of visiting all `n`
+/// nodes.
+pub fn s2_low_churn_tier(n: usize, rounds: usize) -> Table {
+    use dds_net::Engine;
+    let mut t = Table::new(
+        "S2 / low-churn tier — activity-proportional rounds: sparse vs dense engine",
+        &[
+            "workload",
+            "engine",
+            "n",
+            "rounds",
+            "changes",
+            "peak active",
+            "rounds/s",
+            "speedup vs dense",
+        ],
+    );
+    let cells: Vec<(&'static str, &'static str, Params)> = vec![
+        (
+            "rolling-er trickle",
+            "sliding",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 0x52)
+                .with("arrivals", 8)
+                .with("window", 10),
+        ),
+        (
+            "er drizzle",
+            "er",
+            Params::new()
+                .with("n", n)
+                .with("rounds", rounds)
+                .with("seed", 0x52)
+                .with("target-edges", (n / 10).max(8))
+                .with("changes-per-round", 4),
+        ),
+    ];
+    for (label, workload, params) in cells {
+        let run = |engine: Engine| {
+            let cfg = SimConfig {
+                engine,
+                record_stats: true,
+                ..SimConfig::default()
+            };
+            let mut src = source_for(workload, params.clone());
+            crate::driver::protocols()
+                .run_stream("two-hop", &mut src, cfg)
+                .expect("two-hop is registered")
+        };
+        let dense = run(Engine::Dense);
+        let sparse = run(Engine::Sparse);
+        for (engine, s) in [("dense", &dense), ("sparse", &sparse)] {
+            t.row(vec![
+                label.to_string(),
+                engine.to_string(),
+                s.n.to_string(),
+                s.rounds.to_string(),
+                s.changes.to_string(),
+                s.peak_round_active.to_string(),
+                f2(s.rounds_per_sec),
+                if engine == "dense" {
+                    "1.00".to_string()
+                } else {
+                    f2(s.rounds_per_sec / dense.rounds_per_sec.max(1e-9))
+                },
+            ]);
+        }
+    }
+    t.note("identical streamed schedules per workload; changes must match across engines");
+    t.note("rounds/s and speedup are wall-clock (machine-dependent); the acceptance bar is");
+    t.note("sparse >= 5x dense at n = 100k — activity, not n, now prices a round");
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn s2_engines_agree_on_deterministic_columns() {
+        let t = s2_low_churn_tier(2000, 60);
+        assert_eq!(t.rows.len(), 4);
+        for pair in t.rows.chunks(2) {
+            let (dense, sparse) = (&pair[0], &pair[1]);
+            assert_eq!(dense[1], "dense");
+            assert_eq!(sparse[1], "sparse");
+            // Same schedule, same execution: changes agree bit-for-bit.
+            assert_eq!(dense[4], sparse[4], "changes diverged: {pair:?}");
+            // Dense visits everyone; sparse only the active frontier.
+            assert_eq!(dense[5], "2000", "dense peak active: {pair:?}");
+            let sparse_peak: usize = sparse[5].parse().unwrap();
+            assert!(
+                sparse_peak < 2000 / 2,
+                "sparse engine visited too many nodes: {pair:?}"
+            );
+        }
+    }
 
     #[test]
     fn s1_streams_at_reduced_scale() {

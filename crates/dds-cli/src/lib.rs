@@ -33,10 +33,14 @@ pub const USAGE: &str = "\
 usage:
   dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
                [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats]
-               [--sample-queries K] [--json]
+               [--engine sparse|dense] [--sample-queries K] [--json]
                (--stream drives the run from a lazy trace source: one batch in
                 memory at a time; --seeds K runs K seeded replicas on J scheduler
                 workers, streamed, with seed-ordered aggregate statistics;
+                --engine picks the round engine — sparse [default] does
+                O(churn + traffic) work per round, dense visits all n nodes
+                (escape hatch; bit-identical results); --record-stats also
+                reports per-round active-node counts;
                 --sample-queries K probes an edge query mid-run every K rounds
                 and reports the answered/inconsistent split)
   dds query    --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
@@ -98,6 +102,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let cfg = dds_net::SimConfig {
         parallel: args.flag("parallel"),
         record_stats: args.flag("record-stats"),
+        engine: run::engine_from(args)?,
         ..dds_net::SimConfig::default()
     };
     let seeds: usize = args.num_or("seeds", 1)?;
@@ -109,6 +114,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         return cmd_simulate_sweep(args, &protocol, cfg, seeds);
     }
     let mut samples: Option<(u64, u64)> = None;
+    let active_series: Vec<usize>;
     let summary = if sample_every > 0 {
         // Mid-run query sampling: drive a live session and probe an edge
         // query every `sample_every` rounds — the serving-path smoke test
@@ -137,13 +143,20 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             }
         }
         samples = Some((answered, inconsistent));
+        active_series = session.stats().iter().map(|s| s.active_nodes).collect();
         session.summary()
     } else if args.flag("stream") {
         let mut src = run::build_workload_source(args)?;
-        run::simulate_stream(&protocol, &mut src, cfg)?
+        let mut session = dds_bench::protocols().open(&protocol, src.n(), cfg)?;
+        session.drain(&mut src);
+        active_series = session.stats().iter().map(|s| s.active_nodes).collect();
+        session.summary()
     } else {
         let trace = run::build_workload(args)?;
-        run::simulate(&protocol, &trace, cfg)?
+        let mut session = dds_bench::protocols().open(&protocol, trace.n, cfg)?;
+        session.run_trace(&trace);
+        active_series = session.stats().iter().map(|s| s.active_nodes).collect();
+        session.summary()
     };
     if let Some((answered, inconsistent)) = samples {
         // To stderr so `--json` output stays a single parseable object.
@@ -183,6 +196,33 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             println!(
                 "busiest round:        {} messages / {} bits",
                 summary.peak_round_messages, summary.peak_round_bits
+            );
+            // Activity-proportionality, observable: how many nodes the
+            // engine actually visited each round.
+            let max_active = active_series.iter().copied().max().unwrap_or(0);
+            let mean_active = if active_series.is_empty() {
+                0.0
+            } else {
+                active_series.iter().sum::<usize>() as f64 / active_series.len() as f64
+            };
+            println!(
+                "active nodes/round:   mean {:.1} / peak {} of {} ({:?} engine)",
+                mean_active, max_active, summary.n, cfg.engine
+            );
+            const SHOWN: usize = 24;
+            let head: Vec<String> = active_series
+                .iter()
+                .take(SHOWN)
+                .map(usize::to_string)
+                .collect();
+            println!(
+                "per-round active:     [{}]{}",
+                head.join(", "),
+                if active_series.len() > SHOWN {
+                    format!(" … ({} rounds total)", active_series.len())
+                } else {
+                    String::new()
+                }
             );
         }
         if args.flag("stream") {
@@ -269,6 +309,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         .ok_or("query needs --query \"SPEC[; SPEC...]\" (see `dds --help` for the grammar)")?;
     let cfg = dds_net::SimConfig {
         parallel: args.flag("parallel"),
+        engine: run::engine_from(args)?,
         ..dds_net::SimConfig::default()
     };
     let mut src = run::build_workload_source(args)?;

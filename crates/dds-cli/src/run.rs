@@ -7,7 +7,7 @@
 //! `dds list` are derived, never hand-maintained here.
 
 use crate::args::Args;
-use dds_net::{BoxedSource, RunSummary, SimConfig, Trace, TraceSource};
+use dds_net::{BoxedSource, RunSummary, SimConfig, Trace};
 use dds_workloads::registry;
 use dds_workloads::Params;
 
@@ -41,18 +41,12 @@ pub fn build_workload_source(args: &Args) -> Result<BoxedSource, String> {
     registry::build_source(args.get_or("workload", "er"), &params_from(args))
 }
 
-/// Run the named protocol over a recorded trace.
+/// Run the named protocol over a recorded trace. `cmd_simulate` itself
+/// drives a live session (it reads the per-round active series before
+/// summarizing); this run-to-completion wrapper is the one-call surface
+/// the differential unit tests below exercise.
 pub fn simulate(protocol: &str, trace: &Trace, cfg: SimConfig) -> Result<RunSummary, String> {
     dds_bench::protocols().run(protocol, trace, cfg)
-}
-
-/// Run the named protocol from a streaming source.
-pub fn simulate_stream(
-    protocol: &str,
-    src: &mut dyn TraceSource,
-    cfg: SimConfig,
-) -> Result<RunSummary, String> {
-    dds_bench::protocols().run_stream(protocol, src, cfg)
 }
 
 /// Registry parameters for one seed of a `--seeds` sweep: the CLI options
@@ -61,6 +55,11 @@ pub fn params_with_seed(args: &Args, seed: u64) -> Params {
     let mut p = params_from(args);
     p.set("seed", seed);
     p
+}
+
+/// Round-engine selection from `--engine sparse|dense` (default: sparse).
+pub fn engine_from(args: &Args) -> Result<dds_net::Engine, String> {
+    args.get_or("engine", "sparse").parse()
 }
 
 #[cfg(test)]
@@ -99,6 +98,20 @@ mod tests {
         assert!(build_workload(&a).is_err());
         let t = build_workload(&args("x --workload er --n 8 --rounds 5")).unwrap();
         assert!(simulate("nope", &t, SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn engine_option_parses_and_defaults_to_sparse() {
+        assert_eq!(engine_from(&args("x")).unwrap(), dds_net::Engine::Sparse);
+        assert_eq!(
+            engine_from(&args("x --engine dense")).unwrap(),
+            dds_net::Engine::Dense
+        );
+        assert_eq!(
+            engine_from(&args("x --engine sparse")).unwrap(),
+            dds_net::Engine::Sparse
+        );
+        assert!(engine_from(&args("x --engine frob")).is_err());
     }
 
     #[test]

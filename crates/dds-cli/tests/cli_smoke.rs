@@ -335,6 +335,63 @@ fn binary_query_at_round_answers_mid_schedule() {
 }
 
 #[test]
+fn binary_simulate_engines_agree_and_report_activity() {
+    let base = [
+        "simulate",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "sliding",
+        "--n",
+        "48",
+        "--rounds",
+        "60",
+        "--seed",
+        "11",
+        "--record-stats",
+    ];
+    let mut sparse = base.to_vec();
+    sparse.extend(["--engine", "sparse"]);
+    let (ok_s, out_s, err_s) = run_bin(&sparse);
+    assert!(ok_s, "stderr: {err_s}");
+    // The satellite deliverable: per-round active-node counts are visible.
+    assert!(out_s.contains("active nodes/round:"), "{out_s}");
+    assert!(out_s.contains("per-round active:"), "{out_s}");
+    assert!(out_s.contains("Sparse engine"), "{out_s}");
+
+    let mut dense = base.to_vec();
+    dense.extend(["--engine", "dense"]);
+    let (ok_d, out_d, err_d) = run_bin(&dense);
+    assert!(ok_d, "stderr: {err_d}");
+    assert!(out_d.contains("Dense engine"), "{out_d}");
+
+    // Same meters under either engine; only activity and wall-clock lines
+    // may differ.
+    let pick = |out: &str, key: &str| {
+        out.lines()
+            .find(|l| l.starts_with(key))
+            .map(String::from)
+            .unwrap_or_default()
+    };
+    for key in [
+        "topology changes:",
+        "inconsistent rounds:",
+        "amortized:",
+        "footnote amortized:",
+        "messages / bits:",
+    ] {
+        assert_eq!(pick(&out_s, key), pick(&out_d, key), "{key} diverged");
+    }
+
+    let (ok, _, stderr) = run_bin(&["simulate", "--engine", "frob", "--n", "8", "--rounds", "3"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("expected \"dense\" or \"sparse\""),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn binary_simulate_samples_queries_mid_run() {
     let (ok, _, stderr) = run_bin(&[
         "simulate",

@@ -64,6 +64,10 @@ pub struct RunSummary {
     pub peak_round_messages: u64,
     /// Busiest round by transmitted bits (0 unless `record_stats`).
     pub peak_round_bits: u64,
+    /// Most nodes visited by the round engine in any round (0 unless
+    /// `record_stats`; always `n` for non-trivial dense runs — the sparse
+    /// engine's activity ceiling is the interesting number).
+    pub peak_round_active: usize,
     /// Growth of this process's peak resident set size in MiB over the
     /// run: `VmHWM` at summary time minus a baseline captured when the run
     /// (or [`Session`]) started; 0 on non-Linux platforms.
@@ -169,6 +173,12 @@ pub fn summarize<N: Node>(
         },
         peak_round_messages: sim.stats().iter().map(|s| s.messages).max().unwrap_or(0),
         peak_round_bits: sim.stats().iter().map(|s| s.bits).max().unwrap_or(0),
+        peak_round_active: sim
+            .stats()
+            .iter()
+            .map(|s| s.active_nodes)
+            .max()
+            .unwrap_or(0),
         peak_rss_mb: (peak_rss_mb() - rss_baseline_mb).max(0.0),
     }
 }

@@ -45,11 +45,12 @@ pub use engine::{
 pub use event::{EventBatch, LocalEvent, TopologyEvent};
 pub use ids::{edge, Edge, NodeId, Round, NEVER};
 pub use message::{node_bits, Addressed, BitSized, Flags, Outbox, Received};
+pub use metrics::PerNodeMeter;
 pub use metrics::{AmortizedMeter, RoundStats};
 pub use protocol::{Node, Response};
 pub use query::{Answer, Query, QueryError, QueryKind, Queryable};
 pub use session::Session;
-pub use sim::{SimConfig, Simulator};
+pub use sim::{Engine, SimConfig, Simulator};
 pub use source::{BoxedSource, OwnedReplay, TraceReplay, TraceSource, Validated};
 pub use topology::Topology;
 pub use trace::Trace;

@@ -64,6 +64,15 @@ impl Flags {
     pub fn quiet() -> Self {
         Self::default()
     }
+
+    /// Whether these are the quiet defaults (`true`/`true`). Quiet flags
+    /// are never physically transmitted — the round engine materializes an
+    /// inbox entry for a sender only when its flags are *not* quiet or a
+    /// payload is in flight.
+    #[inline]
+    pub fn is_quiet(&self) -> bool {
+        self.is_empty && self.neighbors_empty
+    }
 }
 
 impl BitSized for Flags {
@@ -131,13 +140,21 @@ impl<M> Outbox<M> {
 }
 
 /// A received message: sender, payload and the sender's flags.
+///
+/// Inboxes are **sparse**: a `Received` entry exists only for neighbors
+/// that actually transmitted something this round — a payload, or flags
+/// with at least one `false` value. A neighbor with no entry sent nothing,
+/// which by the paper's convention means its flags are the quiet defaults
+/// ([`Flags::quiet`]). Protocols must treat an absent entry exactly like
+/// an entry with `payload: None, flags: Flags::quiet()`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Received<M> {
     /// Which neighbor sent this.
     pub from: NodeId,
     /// Payload, if the sender dequeued something for us this round.
     pub payload: Option<M>,
-    /// Sender's piggybacked flags.
+    /// Sender's piggybacked flags (never [quiet](Flags::is_quiet) unless a
+    /// payload is present — quiet, payload-free senders produce no entry).
     pub flags: Flags,
 }
 

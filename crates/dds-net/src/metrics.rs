@@ -98,6 +98,9 @@ pub struct PerNodeMeter {
     /// Prefix-max of global_inconsistent / max_v(changes_v) — the paper's
     /// footnote measure.
     footnote_prefix_max: f64,
+    /// Running `max_v(changes_v)` — counts only grow, so the running max
+    /// equals a per-round scan without the O(n) sweep.
+    max_changes: u64,
 }
 
 impl PerNodeMeter {
@@ -109,29 +112,67 @@ impl PerNodeMeter {
             prefix_max: vec![0.0; n],
             global_inconsistent: 0,
             footnote_prefix_max: 0.0,
+            max_changes: 0,
         }
     }
 
-    /// Record one completed round: per-node incident change counts and
-    /// which nodes were inconsistent.
+    /// Record one completed round from full per-node arrays: incident
+    /// change counts and which nodes were inconsistent. Dense convenience
+    /// wrapper over [`PerNodeMeter::record_round_sparse`].
     pub fn record_round(&mut self, incident_changes: &[u64], inconsistent: &[bool]) {
         assert_eq!(incident_changes.len(), self.changes.len());
         assert_eq!(inconsistent.len(), self.changes.len());
-        for i in 0..self.changes.len() {
-            self.changes[i] += incident_changes[i];
-            if inconsistent[i] {
-                self.inconsistent[i] += 1;
-            }
+        let touched: Vec<(u32, u64)> = incident_changes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u32, c))
+            .collect();
+        let inconsistent_nodes: Vec<u32> = inconsistent
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(v, _)| v as u32)
+            .collect();
+        self.record_round_sparse(&touched, &inconsistent_nodes);
+    }
+
+    /// Record one completed round from the *touched* nodes only: `touched`
+    /// lists `(node, incident change count)` pairs with nonzero counts and
+    /// `inconsistent_nodes` the nodes that reported inconsistent.
+    ///
+    /// Untouched, consistent nodes have an unchanged ratio, so skipping
+    /// them leaves every prefix-max bit-identical to the dense sweep —
+    /// this is what makes the sparse engine's round cost proportional to
+    /// activity rather than `n`.
+    pub fn record_round_sparse(&mut self, touched: &[(u32, u64)], inconsistent_nodes: &[u32]) {
+        for &(v, c) in touched {
+            let i = v as usize;
+            self.changes[i] += c;
+            self.max_changes = self.max_changes.max(self.changes[i]);
+        }
+        for &v in inconsistent_nodes {
+            self.inconsistent[v as usize] += 1;
+        }
+        // The ratio can only rise for nodes whose inconsistency count grew
+        // (and recomputing it for touched nodes is an idempotent no-op when
+        // it fell), so the union of the two lists covers every possible
+        // prefix-max update.
+        for &v in touched
+            .iter()
+            .map(|(v, _)| v)
+            .chain(inconsistent_nodes.iter())
+        {
+            let i = v as usize;
             let ratio = self.inconsistent[i] as f64 / self.changes[i].max(1) as f64;
             if ratio > self.prefix_max[i] {
                 self.prefix_max[i] = ratio;
             }
         }
-        if inconsistent.iter().any(|&b| b) {
+        if !inconsistent_nodes.is_empty() {
             self.global_inconsistent += 1;
         }
-        let max_changes = self.changes.iter().copied().max().unwrap_or(0).max(1);
-        let footnote = self.global_inconsistent as f64 / max_changes as f64;
+        let footnote = self.global_inconsistent as f64 / self.max_changes.max(1) as f64;
         if footnote > self.footnote_prefix_max {
             self.footnote_prefix_max = footnote;
         }
@@ -186,6 +227,13 @@ pub struct RoundStats {
     pub messages: u64,
     /// Bits transmitted this round.
     pub bits: u64,
+    /// Nodes the round engine processed in the receive phase. Under the
+    /// sparse engine this is the round's *activity* (nodes with incident
+    /// events, in-flight traffic, or pending internal work); the dense
+    /// engine always processes all `n`. The one field the dense/sparse
+    /// differential tests exclude from comparison — it measures the
+    /// engine, not the execution.
+    pub active_nodes: usize,
 }
 
 #[cfg(test)]
@@ -256,5 +304,52 @@ mod tests {
         let mut m = PerNodeMeter::new(1);
         m.record_round(&[0], &[true]);
         assert!((m.worst_amortized() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_and_dense_records_agree_bit_for_bit() {
+        // Deterministic pseudo-random round history, fed to both entry
+        // points; every derived measure must be bit-identical.
+        let n = 7usize;
+        let mut dense = PerNodeMeter::new(n);
+        let mut sparse = PerNodeMeter::new(n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            let mut changes = vec![0u64; n];
+            let mut inconsistent = vec![false; n];
+            for (i, c) in changes.iter_mut().enumerate() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(4) {
+                    *c = state % 3;
+                }
+                inconsistent[i] = state.is_multiple_of(5);
+            }
+            dense.record_round(&changes, &inconsistent);
+            let touched: Vec<(u32, u64)> = changes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(v, &c)| (v as u32, c))
+                .collect();
+            let bad: Vec<u32> = inconsistent
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(v, _)| v as u32)
+                .collect();
+            sparse.record_round_sparse(&touched, &bad);
+            assert_eq!(
+                dense.footnote_amortized().to_bits(),
+                sparse.footnote_amortized().to_bits()
+            );
+            assert_eq!(
+                dense.worst_amortized().to_bits(),
+                sparse.worst_amortized().to_bits()
+            );
+            assert_eq!(dense.changes(), sparse.changes());
+            assert_eq!(dense.inconsistent(), sparse.inconsistent());
+        }
     }
 }

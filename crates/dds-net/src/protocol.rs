@@ -73,7 +73,8 @@ pub trait Node: Send + Sync {
     fn new(id: NodeId, n: usize) -> Self;
 
     /// Phase 1: local notifications for this round's incident changes.
-    /// `events` is empty on quiet rounds.
+    /// `events` is empty on quiet rounds; an empty call must be a no-op
+    /// (the engine may skip it for unaffected nodes).
     fn on_topology(&mut self, round: Round, events: &[LocalEvent]);
 
     /// Phase 2: react & send. `neighbors` is the node's current neighbor set
@@ -81,13 +82,36 @@ pub trait Node: Send + Sync {
     /// be multicast (the paper's send step).
     fn send(&mut self, round: Round, neighbors: &[NodeId]) -> Outbox<Self::Msg>;
 
-    /// Phase 3: receive & update. `inbox` holds one entry per current
-    /// neighbor (sorted by sender id), including neighbors that sent only
-    /// flags. Flag-only entries have `payload == None`.
+    /// Phase 3: receive & update. `inbox` is **sparse**, sorted by sender:
+    /// one entry per current neighbor that transmitted this round — a
+    /// payload, or flags with a `false` value. Quiet neighbors (default
+    /// flags, no payload) produce *no* entry; their absence must be read
+    /// as "quiet", mirroring the paper's we-do-not-send-`IsEmpty = true`
+    /// convention. `neighbors` is still the full sorted neighbor set.
     fn receive(&mut self, round: Round, inbox: &[Received<Self::Msg>], neighbors: &[NodeId]);
 
     /// Whether this node's structure is consistent at the end of the round.
     fn is_consistent(&self) -> bool;
+
+    /// Quiescence hint for the sparse round engine. Return `true` only
+    /// when a fully quiet round would leave this node unchanged and
+    /// invisible — i.e., assuming no incident topology events and an empty
+    /// (all-quiet) inbox:
+    ///
+    /// - [`Node::send`] would return [`Outbox::quiet`] (no payloads,
+    ///   default flags),
+    /// - [`Node::receive`] would change no observable state, and
+    /// - [`Node::is_consistent`] is `true` (and would stay `true`).
+    ///
+    /// When it holds, the engine may skip the node's phases entirely until
+    /// an incident event or incoming traffic re-activates it; node state
+    /// only ever changes through the three phase callbacks, so a skipped
+    /// idle node provably stays idle. The default `false` is always safe:
+    /// the engine then treats the node as permanently active (dense
+    /// behavior for that node).
+    fn idle(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

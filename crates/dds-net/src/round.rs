@@ -1,122 +1,194 @@
 //! Persistent per-round scratch storage for the simulator's hot loop.
 //!
-//! [`RoundBuffers`] replaces the per-round `Vec<Vec<_>>` structures the
-//! simulator used to allocate (neighbor lists, per-receiver payload and
-//! flag vectors, inboxes) with flat arrays in CSR layout (one data array
-//! plus an `n + 1` offset array) that live for the whole execution and are
-//! only `clear()`ed between rounds. On a quiet round (empty event batch,
-//! quiet protocol) `Simulator::step` performs no heap allocation at all on
-//! the sequential path.
+//! [`RoundBuffers`] holds everything the round engine reuses between
+//! rounds: the incrementally-maintained sorted adjacency, the sparse
+//! incident-event CSR, the staged payload/flag traffic, the sparse inbox
+//! CSR and the **active set** that makes round cost proportional to
+//! activity instead of `n + m`. On a quiet round (empty event batch, empty
+//! active set) `Simulator::step` performs no heap allocation at all on the
+//! sequential path.
 //!
 //! # Invariants
 //!
 //! After the corresponding build phase of round `i` (and until the next
 //! round overwrites them):
 //!
-//! 1. `local[local_off[v] .. local_off[v + 1]]` are node `v`'s incident
-//!    topology events, in batch order (the order `EventBatch` lists them).
-//! 2. `neighbors[nbr_off[v] .. nbr_off[v + 1]]` is node `v`'s neighbor set
-//!    in `G_i`, sorted ascending — the delivery order contract of
-//!    [`crate::protocol::Node::receive`].
-//! 3. `outboxes[v]` holds node `v`'s flags for round `i`; its payload list
-//!    is drained into `staged` during routing.
-//! 4. `staged` is sorted by `(receiver, sender)` after routing; each
+//! 1. `local_of(v)` is node `v`'s incident topology events, in batch order
+//!    (the order `EventBatch` lists them); `local_nodes` are the nodes
+//!    with at least one event this round, ascending, and
+//!    `touched_changes` pairs them with their event counts (the per-node
+//!    meter's sparse input).
+//! 2. `nbrs[v]` is node `v`'s neighbor set in `G_i`, sorted ascending —
+//!    the delivery order contract of [`crate::protocol::Node::receive`].
+//!    It is updated **incrementally** from each round's batch delta, never
+//!    rebuilt from [`Topology`](crate::topology::Topology).
+//! 3. `active` is the round's active set, ascending and duplicate-free: at
+//!    the start of phase 1 it contains every node that was not
+//!    [`idle`](crate::protocol::Node::idle) at the end of the previous
+//!    round, merged with this round's batch-incident nodes. Only active
+//!    nodes run phases 1–2. (The dense engine forces `active = 0..n`.)
+//! 4. `outboxes[v]` holds node `v`'s flags for round `i` **for active
+//!    `v`**; its payload list is drained into `staged` during routing.
+//!    Skipped nodes' outboxes are stale and never read: inbox assembly
+//!    only dereferences senders that appear in `staged` or `flag_stage`,
+//!    which active nodes alone can enter.
+//! 5. `staged` is sorted by `(receiver, sender)` after routing; each
 //!    `(receiver, sender)` pair appears at most once (two payloads on one
 //!    ordered link in one round is a protocol bug and panics).
-//! 5. `inbox[inbox_off[v] .. inbox_off[v + 1]]` is node `v`'s inbox: one
-//!    [`Received`] entry per current neighbor, sorted by sender, with the
-//!    sender's flags copied straight out of `outboxes` (never cloned per
-//!    receiver) and the payload spliced in from `staged`.
-//! 6. `incident_changes[v]` / `inconsistent[v]` are the round's accounting
-//!    rows, reused by the meters.
+//!    `flag_stage` lists `(receiver, sender)` for every delivered
+//!    non-quiet flag broadcast, sorted the same way.
+//! 6. `recv_nodes` (ascending) are the nodes processed in phase 3: the
+//!    active set merged with every payload or flag receiver.
+//!    `inbox_of_pos(k)` is the *k*-th such node's inbox: one
+//!    [`Received`] entry per transmitting neighbor, sorted by sender, with
+//!    flags copied straight out of `outboxes` — quiet, payload-free
+//!    senders produce no entry (the sparse-inbox contract).
+//! 7. `inconsistent_idx` lists the nodes reporting inconsistent at the end
+//!    of the round, ascending.
 
 use crate::event::{EventBatch, LocalEvent};
 use crate::ids::{Edge, NodeId};
 use crate::message::{Outbox, Received};
-use crate::topology::Topology;
 
 /// Flat, reusable per-round scratch space; one per [`crate::Simulator`].
 #[derive(Debug)]
 pub(crate) struct RoundBuffers<M> {
+    /// Sorted adjacency of `G_i`, maintained incrementally (invariant 2).
+    pub(crate) nbrs: Vec<Vec<NodeId>>,
     /// Incident topology events, CSR data (invariant 1).
     local: Vec<LocalEvent>,
-    /// Incident-event offsets, length `n + 1`.
-    local_off: Vec<usize>,
-    /// Sorted neighbor lists in `G_i`, CSR data (invariant 2).
-    pub(crate) neighbors: Vec<NodeId>,
-    /// Neighbor offsets, length `n + 1`.
-    pub(crate) nbr_off: Vec<usize>,
-    /// This round's outboxes, one per node (invariant 3).
+    /// Nodes with incident events this round, ascending.
+    pub(crate) local_nodes: Vec<u32>,
+    /// Per-node CSR start into `local`; valid only for `local_nodes`.
+    local_start: Vec<usize>,
+    /// Per-node event count; zeroed for all nodes outside `local_nodes`.
+    local_len: Vec<u32>,
+    /// `(node, incident change count)` pairs, ascending by node — the
+    /// sparse input of [`PerNodeMeter::record_round_sparse`].
+    ///
+    /// [`PerNodeMeter::record_round_sparse`]:
+    ///     crate::metrics::PerNodeMeter::record_round_sparse
+    pub(crate) touched_changes: Vec<(u32, u64)>,
+    /// This round's outboxes, one slot per node (invariant 4).
     pub(crate) outboxes: Vec<Outbox<M>>,
-    /// Routed payloads as `(receiver, sender, message)` (invariant 4).
+    /// Routed payloads as `(receiver, sender, message)` (invariant 5).
     pub(crate) staged: Vec<(NodeId, NodeId, M)>,
-    /// Assembled inboxes, CSR data (invariant 5).
+    /// Delivered non-quiet flag broadcasts as `(receiver, sender)`.
+    pub(crate) flag_stage: Vec<(NodeId, NodeId)>,
+    /// Assembled sparse inboxes, CSR data (invariant 6).
     inbox: Vec<Received<M>>,
-    /// Inbox offsets, length `n + 1`.
+    /// Inbox offsets, parallel to `recv_nodes` (length `recv + 1`).
     inbox_off: Vec<usize>,
-    /// Per-node incident-change counts for the per-node meter.
-    pub(crate) incident_changes: Vec<u64>,
-    /// Per-node end-of-round inconsistency flags.
-    pub(crate) inconsistent: Vec<bool>,
-    /// Cursor scratch for counting sorts, length `n`.
+    /// Nodes processed in phase 3 this round, ascending (invariant 6).
+    pub(crate) recv_nodes: Vec<u32>,
+    /// Nodes inconsistent at the end of the round, ascending (invariant 7).
+    pub(crate) inconsistent_idx: Vec<u32>,
+    /// The active set (invariant 3), ascending.
+    pub(crate) active: Vec<u32>,
+    /// Scratch for sorted-set merges.
+    merge_tmp: Vec<u32>,
+    /// Per-node write cursors for the local-event counting sort.
     cursor: Vec<usize>,
 }
 
 impl<M> RoundBuffers<M> {
-    /// Buffers for a network on `n` nodes.
+    /// Buffers for a network on `n` nodes (empty graph, empty active set).
     pub(crate) fn new(n: usize) -> Self {
         RoundBuffers {
+            nbrs: vec![Vec::new(); n],
             local: Vec::new(),
-            local_off: vec![0; n + 1],
-            neighbors: Vec::new(),
-            nbr_off: vec![0; n + 1],
+            local_nodes: Vec::new(),
+            local_start: vec![0; n],
+            local_len: vec![0; n],
+            touched_changes: Vec::new(),
             outboxes: (0..n).map(|_| Outbox::default()).collect(),
             staged: Vec::new(),
+            flag_stage: Vec::new(),
             inbox: Vec::new(),
-            inbox_off: vec![0; n + 1],
-            incident_changes: vec![0; n],
-            inconsistent: vec![false; n],
+            inbox_off: Vec::new(),
+            recv_nodes: Vec::new(),
+            inconsistent_idx: Vec::new(),
+            active: Vec::new(),
+            merge_tmp: Vec::new(),
             cursor: vec![0; n],
         }
     }
 
-    /// Rebuild the incident-event CSR (invariant 1) for this round's batch
-    /// via a counting sort; also refreshes `incident_changes`.
-    pub(crate) fn build_local(&mut self, n: usize, batch: &EventBatch) {
-        self.local.clear();
-        self.cursor.iter_mut().for_each(|c| *c = 0);
+    /// Apply one validated batch to the sorted adjacency (invariant 2) —
+    /// O(Σ degree of touched endpoints), independent of `n` and `m`.
+    pub(crate) fn apply_batch(&mut self, batch: &EventBatch) {
         for ev in batch.iter() {
             let e = ev.edge();
-            self.cursor[e.lo().index()] += 1;
-            self.cursor[e.hi().index()] += 1;
-        }
-        let mut total = 0usize;
-        for v in 0..n {
-            self.local_off[v] = total;
-            self.incident_changes[v] = self.cursor[v] as u64;
-            total += self.cursor[v];
-            // Turn the count into this node's write cursor.
-            self.cursor[v] = self.local_off[v];
-        }
-        self.local_off[n] = total;
-        if total > 0 {
-            let dummy = LocalEvent {
-                edge: Edge::new(NodeId(0), NodeId(1)),
-                peer: NodeId(0),
-                inserted: false,
-            };
-            self.local.resize(total, dummy);
-            for ev in batch.iter() {
-                let e = ev.edge();
-                let inserted = ev.is_insert();
-                for (at, peer) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
-                    self.local[self.cursor[at.index()]] = LocalEvent {
-                        edge: e,
-                        peer,
-                        inserted,
-                    };
-                    self.cursor[at.index()] += 1;
+            for (at, peer) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
+                let list = &mut self.nbrs[at.index()];
+                match list.binary_search(&peer) {
+                    Ok(pos) => {
+                        debug_assert!(ev.is_delete(), "insert of present edge {e:?}");
+                        list.remove(pos);
+                    }
+                    Err(pos) => {
+                        debug_assert!(ev.is_insert(), "delete of absent edge {e:?}");
+                        list.insert(pos, peer);
+                    }
                 }
+            }
+        }
+    }
+
+    /// Node `v`'s sorted neighbors in `G_i`.
+    #[inline]
+    pub(crate) fn neighbors_of(&self, v: usize) -> &[NodeId] {
+        &self.nbrs[v]
+    }
+
+    /// Rebuild the sparse incident-event CSR (invariant 1) for this
+    /// round's batch via a counting sort over the *touched* nodes only —
+    /// O(prev batch + this batch), not O(n).
+    pub(crate) fn build_local(&mut self, batch: &EventBatch) {
+        for &v in &self.local_nodes {
+            self.local_len[v as usize] = 0;
+        }
+        self.local_nodes.clear();
+        self.local.clear();
+        self.touched_changes.clear();
+        if batch.is_empty() {
+            return;
+        }
+        for ev in batch.iter() {
+            let e = ev.edge();
+            for v in [e.lo(), e.hi()] {
+                let i = v.index();
+                if self.local_len[i] == 0 {
+                    self.local_nodes.push(v.0);
+                }
+                self.local_len[i] += 1;
+            }
+        }
+        self.local_nodes.sort_unstable();
+        let mut total = 0usize;
+        for &v in &self.local_nodes {
+            let i = v as usize;
+            self.local_start[i] = total;
+            self.cursor[i] = total;
+            total += self.local_len[i] as usize;
+            self.touched_changes.push((v, u64::from(self.local_len[i])));
+        }
+        let dummy = LocalEvent {
+            edge: Edge::new(NodeId(0), NodeId(1)),
+            peer: NodeId(0),
+            inserted: false,
+        };
+        self.local.resize(total, dummy);
+        for ev in batch.iter() {
+            let e = ev.edge();
+            let inserted = ev.is_insert();
+            for (at, peer) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
+                self.local[self.cursor[at.index()]] = LocalEvent {
+                    edge: e,
+                    peer,
+                    inserted,
+                };
+                self.cursor[at.index()] += 1;
             }
         }
     }
@@ -124,41 +196,59 @@ impl<M> RoundBuffers<M> {
     /// Node `v`'s incident events this round.
     #[inline]
     pub(crate) fn local_of(&self, v: usize) -> &[LocalEvent] {
-        &self.local[self.local_off[v]..self.local_off[v + 1]]
-    }
-
-    /// Rebuild the sorted-neighbor CSR (invariant 2) from the current graph.
-    pub(crate) fn build_neighbors(&mut self, topo: &Topology) {
-        let n = topo.n();
-        self.neighbors.clear();
-        for v in 0..n {
-            self.nbr_off[v] = self.neighbors.len();
-            let start = self.neighbors.len();
-            self.neighbors.extend(topo.neighbors(NodeId(v as u32)));
-            self.neighbors[start..].sort_unstable();
+        let len = self.local_len[v] as usize;
+        if len == 0 {
+            return &[];
         }
-        self.nbr_off[n] = self.neighbors.len();
+        &self.local[self.local_start[v]..self.local_start[v] + len]
     }
 
-    /// Node `v`'s sorted neighbors in `G_i`.
-    #[inline]
-    pub(crate) fn neighbors_of(&self, v: usize) -> &[NodeId] {
-        &self.neighbors[self.nbr_off[v]..self.nbr_off[v + 1]]
+    /// Force the active set to all of `0..n` (the dense engine's policy).
+    pub(crate) fn activate_all(&mut self, n: usize) {
+        self.active.clear();
+        self.active.extend(0..n as u32);
     }
 
-    /// Node `v`'s assembled inbox.
-    #[inline]
-    pub(crate) fn inbox_of(&self, v: usize) -> &[Received<M>] {
-        &self.inbox[self.inbox_off[v]..self.inbox_off[v + 1]]
+    /// Merge this round's batch-incident nodes (`local_nodes`) into the
+    /// active set, keeping it sorted and duplicate-free.
+    pub(crate) fn activate_local(&mut self) {
+        if self.local_nodes.is_empty() {
+            return;
+        }
+        self.merge_tmp.clear();
+        let (mut ai, mut li) = (0usize, 0usize);
+        loop {
+            match (self.active.get(ai), self.local_nodes.get(li)) {
+                (None, None) => break,
+                (Some(&a), None) => {
+                    self.merge_tmp.push(a);
+                    ai += 1;
+                }
+                (None, Some(&l)) => {
+                    self.merge_tmp.push(l);
+                    li += 1;
+                }
+                (Some(&a), Some(&l)) => {
+                    self.merge_tmp.push(a.min(l));
+                    if a <= l {
+                        ai += 1;
+                    }
+                    if l <= a {
+                        li += 1;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.merge_tmp);
     }
 
-    /// Assemble every node's inbox (invariant 5) from the sorted `staged`
-    /// payloads and the flags already sitting in `outboxes`.
+    /// Assemble the sparse inboxes (invariant 6) and the phase-3 receiver
+    /// list from the staged payloads, the staged flag deliveries and the
+    /// active set. Returns nothing; read via `recv_nodes`/`inbox_of_pos`.
     ///
-    /// Both the neighbor slice and the staged payloads for one receiver are
-    /// sorted by sender, so this is a linear merge: no per-receiver sort,
-    /// no per-receiver clone of the flag list.
-    pub(crate) fn assemble_inboxes(&mut self, n: usize, round: u64) {
+    /// Cost: O((traffic + active) · log) for the sorts, then linear merges
+    /// — never a function of `n` or the edge count.
+    pub(crate) fn assemble_inboxes(&mut self, round: u64) {
         self.staged
             .sort_unstable_by_key(|&(to, from, _)| (to, from));
         for w in self.staged.windows(2) {
@@ -169,18 +259,50 @@ impl<M> RoundBuffers<M> {
                 w[0].1
             );
         }
+        self.flag_stage.sort_unstable();
+        // Receivers: active ∪ payload receivers ∪ flag receivers, via a
+        // sorted three-way merge (each source is already ascending;
+        // `staged`/`flag_stage` receivers repeat and are deduplicated).
+        self.merge_tmp.clear();
+        {
+            let staged_to = SortedToStream::new(self.staged.iter().map(|&(to, _, _)| to.0));
+            let flags_to = SortedToStream::new(self.flag_stage.iter().map(|&(to, _)| to.0));
+            merge_three_dedup(&mut self.merge_tmp, &self.active, staged_to, flags_to);
+        }
+        std::mem::swap(&mut self.recv_nodes, &mut self.merge_tmp);
+
         self.inbox.clear();
+        self.inbox_off.clear();
         let mut staged = self.staged.drain(..).peekable();
-        for v in 0..n {
-            self.inbox_off[v] = self.inbox.len();
-            let to = NodeId(v as u32);
-            for &from in &self.neighbors[self.nbr_off[v]..self.nbr_off[v + 1]] {
-                let payload = match staged.peek() {
-                    Some(&(t, f, _)) if t == to && f == from => {
-                        Some(staged.next().expect("peeked").2)
-                    }
+        let mut fi = 0usize; // cursor into flag_stage
+        for &v in &self.recv_nodes {
+            self.inbox_off.push(self.inbox.len());
+            let to = NodeId(v);
+            // Both streams are contiguous per receiver and sorted by
+            // sender within it: a linear two-way merge by sender id.
+            loop {
+                let s_from = match staged.peek() {
+                    Some(&(t, f, _)) if t == to => Some(f),
                     _ => None,
                 };
+                let f_from = match self.flag_stage.get(fi) {
+                    Some(&(t, f)) if t == to => Some(f),
+                    _ => None,
+                };
+                let from = match (s_from, f_from) {
+                    (None, None) => break,
+                    (Some(s), None) => s,
+                    (None, Some(f)) => f,
+                    (Some(s), Some(f)) => s.min(f),
+                };
+                let payload = if s_from == Some(from) {
+                    Some(staged.next().expect("peeked").2)
+                } else {
+                    None
+                };
+                if f_from == Some(from) {
+                    fi += 1;
+                }
                 self.inbox.push(Received {
                     from,
                     payload,
@@ -188,10 +310,166 @@ impl<M> RoundBuffers<M> {
                 });
             }
         }
-        self.inbox_off[n] = self.inbox.len();
+        self.inbox_off.push(self.inbox.len());
         debug_assert!(
             staged.peek().is_none(),
-            "routed payload addressed outside the current graph"
+            "routed payload addressed outside the receiver set"
         );
+        debug_assert_eq!(fi, self.flag_stage.len(), "flags routed to a non-receiver");
+    }
+
+    /// The inbox of the `k`-th receiver in `recv_nodes`.
+    #[inline]
+    pub(crate) fn inbox_of_pos(&self, k: usize) -> &[Received<M>] {
+        &self.inbox[self.inbox_off[k]..self.inbox_off[k + 1]]
+    }
+}
+
+/// A peekable ascending stream of receiver ids that skips duplicates.
+struct SortedToStream<I: Iterator<Item = u32>> {
+    iter: std::iter::Peekable<I>,
+}
+
+impl<I: Iterator<Item = u32>> SortedToStream<I> {
+    fn new(iter: I) -> Self {
+        SortedToStream {
+            iter: iter.peekable(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<u32> {
+        self.iter.peek().copied()
+    }
+
+    /// Advance past every occurrence of `v`.
+    fn skip_value(&mut self, v: u32) {
+        while self.iter.peek() == Some(&v) {
+            self.iter.next();
+        }
+    }
+}
+
+/// Three-way merge of one sorted slice and two sorted streams into `out`,
+/// ascending and duplicate-free.
+fn merge_three_dedup<A, B>(
+    out: &mut Vec<u32>,
+    sorted: &[u32],
+    mut a: SortedToStream<A>,
+    mut b: SortedToStream<B>,
+) where
+    A: Iterator<Item = u32>,
+    B: Iterator<Item = u32>,
+{
+    let mut si = 0usize;
+    loop {
+        let mut next: Option<u32> = sorted.get(si).copied();
+        if let Some(v) = a.peek() {
+            next = Some(next.map_or(v, |n| n.min(v)));
+        }
+        if let Some(v) = b.peek() {
+            next = Some(next.map_or(v, |n| n.min(v)));
+        }
+        let Some(v) = next else { break };
+        out.push(v);
+        if sorted.get(si) == Some(&v) {
+            si += 1;
+        }
+        a.skip_value(v);
+        b.skip_value(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_local_merges_sorted_sets() {
+        use crate::ids::edge;
+        let mut buffers: RoundBuffers<()> = RoundBuffers::new(10);
+        buffers.active = vec![1, 3, 5];
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 3));
+        b.push_insert(edge(5, 6));
+        buffers.build_local(&b);
+        buffers.activate_local();
+        assert_eq!(buffers.active, vec![0, 1, 3, 5, 6]);
+        // Quiet batch: the active set is untouched.
+        buffers.build_local(&EventBatch::new());
+        buffers.activate_local();
+        assert_eq!(buffers.active, vec![0, 1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn three_way_merge_dedups_streams() {
+        let mut out = Vec::new();
+        let a = SortedToStream::new([2u32, 2, 4, 7].into_iter());
+        let b = SortedToStream::new([0u32, 4, 4, 9].into_iter());
+        merge_three_dedup(&mut out, &[1, 4, 8], a, b);
+        assert_eq!(out, vec![0, 1, 2, 4, 7, 8, 9]);
+    }
+
+    #[test]
+    fn incremental_adjacency_matches_topology() {
+        use crate::ids::edge;
+        use crate::topology::Topology;
+        let n = 12usize;
+        let mut topo = Topology::new(n);
+        let mut buffers: RoundBuffers<()> = RoundBuffers::new(n);
+        let mut state = 0xdeadbeefu64;
+        let mut present: Vec<crate::ids::Edge> = Vec::new();
+        for round in 1..=120u64 {
+            let mut batch = EventBatch::new();
+            for _ in 0..3 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state % n as u64) as u32;
+                let w = ((state >> 16) % n as u64) as u32;
+                if u == w {
+                    continue;
+                }
+                let e = edge(u, w);
+                if batch.touches(e) {
+                    continue;
+                }
+                if let Some(pos) = present.iter().position(|&p| p == e) {
+                    present.swap_remove(pos);
+                    batch.push_delete(e);
+                } else {
+                    present.push(e);
+                    batch.push_insert(e);
+                }
+            }
+            topo.apply(&batch, round);
+            buffers.apply_batch(&batch);
+            for v in 0..n {
+                assert_eq!(
+                    buffers.neighbors_of(v),
+                    topo.neighbors_sorted(NodeId(v as u32)),
+                    "adjacency of v{v} diverged at round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_local_events_cover_exactly_the_touched_nodes() {
+        use crate::ids::edge;
+        let mut buffers: RoundBuffers<()> = RoundBuffers::new(8);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(1, 5));
+        b.push_insert(edge(5, 2));
+        buffers.build_local(&b);
+        assert_eq!(buffers.local_nodes, vec![1, 2, 5]);
+        assert_eq!(buffers.touched_changes, vec![(1, 1), (2, 1), (5, 2)]);
+        assert_eq!(buffers.local_of(5).len(), 2);
+        assert_eq!(buffers.local_of(1).len(), 1);
+        assert_eq!(buffers.local_of(0).len(), 0);
+        // Next round resets the previous round's entries.
+        buffers.build_local(&EventBatch::insert(edge(0, 3)));
+        assert_eq!(buffers.local_nodes, vec![0, 3]);
+        assert!(buffers.local_of(5).is_empty());
+        assert!(buffers.local_of(1).is_empty());
     }
 }

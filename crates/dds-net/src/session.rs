@@ -42,6 +42,7 @@ trait ErasedSim: Send {
     fn stats(&self) -> &[RoundStats];
     fn topology(&self) -> &Topology;
     fn inconsistent_nodes(&self) -> usize;
+    fn active_nodes(&self) -> usize;
     fn node_consistent(&self, v: NodeId) -> bool;
     fn query(&self, at: NodeId, query: &Query) -> Result<Response<Answer>, QueryError>;
     fn summarize(&self, name: &str, seconds: f64, rss_baseline_mb: f64) -> RunSummary;
@@ -77,6 +78,9 @@ impl<N: Queryable> ErasedSim for Simulator<N> {
     }
     fn inconsistent_nodes(&self) -> usize {
         Simulator::inconsistent_nodes(self)
+    }
+    fn active_nodes(&self) -> usize {
+        Simulator::active_nodes(self)
     }
     fn node_consistent(&self, v: NodeId) -> bool {
         self.node(v).is_consistent()
@@ -169,6 +173,14 @@ impl Session {
     /// Number of nodes inconsistent at the end of the last round.
     pub fn inconsistent_nodes(&self) -> usize {
         self.sim.inconsistent_nodes()
+    }
+
+    /// Number of nodes the round engine processed in the last round (the
+    /// round's *activity*; always `n` under [`Engine::Dense`]).
+    ///
+    /// [`Engine::Dense`]: crate::sim::Engine::Dense
+    pub fn active_nodes(&self) -> usize {
+        self.sim.active_nodes()
     }
 
     /// True when every node reported consistent at the end of the last
@@ -389,6 +401,9 @@ mod tests {
         s.run_trace(&sample_trace());
         assert_eq!(s.round(), 3);
         assert_eq!(s.meter().changes(), 2);
+        // EdgeSet uses the conservative `idle` default, so the sparse
+        // engine keeps every node active.
+        assert_eq!(s.active_nodes(), 4);
         assert_eq!(
             s.query(NodeId(1), &Query::Edge(edge(1, 2))).unwrap(),
             Response::Answer(Answer::Bool(true))

@@ -6,10 +6,30 @@
 //! enforces the per-link bandwidth budget, and maintains the amortized
 //! inconsistency meter.
 //!
+//! # The activity-driven round loop
+//!
+//! Both engines run the same loop; they differ only in *which nodes* the
+//! per-node phases visit:
+//!
+//! - [`Engine::Sparse`] (the default) maintains a deterministic **active
+//!   set**: a node is visited only while it has incident topology events,
+//!   traffic in flight (a payload, or non-quiet flags from a neighbor),
+//!   or pending internal work (`!`[`Node::idle`]). Round cost is
+//!   O(churn + traffic + active), independent of `n` and the edge count —
+//!   the simulator is finally as activity-proportional as the protocols it
+//!   hosts.
+//! - [`Engine::Dense`] forces the active set to all of `0..n` every round
+//!   (the pre-sparse behavior, kept as an escape hatch and comparison
+//!   baseline). Everything else — routing, inbox assembly, meters — is
+//!   shared code, so the two engines are bit-identical by construction;
+//!   the differential tests lock this down.
+//!
 //! Execution is deterministic: inboxes are sorted by sender, neighbor lists
-//! are sorted, and protocols are required to be deterministic. The parallel
-//! path (`SimConfig::parallel = true`) uses rayon over nodes within each
-//! phase and produces bit-identical results to the sequential path.
+//! are sorted, active/receiver sets are in ascending node order, and
+//! protocols are required to be deterministic. The parallel path
+//! (`SimConfig::parallel = true`) fans node-local phases out over threads
+//! within each phase and produces bit-identical results to the sequential
+//! path.
 
 use crate::bandwidth::{BandwidthConfig, BandwidthMeter};
 use crate::event::EventBatch;
@@ -21,17 +41,51 @@ use crate::round::RoundBuffers;
 use crate::topology::Topology;
 use rayon::prelude::*;
 
+/// Which nodes the per-node phases visit each round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Visit every node in every phase: O(n + traffic) per round. The
+    /// pre-sparse behavior; kept as an escape hatch and as the comparison
+    /// baseline for the activity-proportionality benchmarks.
+    Dense,
+    /// Visit only *active* nodes — incident events, in-flight traffic, or
+    /// pending internal work (`!`[`Node::idle`]): O(churn + traffic +
+    /// active) per round, independent of `n` and the edge count.
+    /// Bit-identical to [`Engine::Dense`].
+    #[default]
+    Sparse,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(Engine::Dense),
+            "sparse" => Ok(Engine::Sparse),
+            other => Err(format!(
+                "unknown engine {other:?}; expected \"dense\" or \"sparse\""
+            )),
+        }
+    }
+}
+
 /// Simulator configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimConfig {
     /// Per-link bandwidth budget configuration.
     pub bandwidth: BandwidthConfig,
-    /// Run node-local phases in parallel with rayon. Results are identical
-    /// to the sequential path; use for large `n`.
+    /// Run node-local phases in parallel. Results are identical to the
+    /// sequential path; use for large active sets.
     pub parallel: bool,
     /// Keep a per-round [`RoundStats`] log (costs memory on long runs).
     pub record_stats: bool,
+    /// Which round engine to run (default: [`Engine::Sparse`]).
+    pub engine: Engine,
 }
+
+/// One sender's expanded routes: `(receiver, message, bits)` triples.
+type Routes<M> = Vec<(NodeId, M, u64)>;
 
 /// The simulator: topology + nodes + meters + reusable round scratch.
 pub struct Simulator<N: Node> {
@@ -44,6 +98,7 @@ pub struct Simulator<N: Node> {
     cfg: SimConfig,
     stats: Vec<RoundStats>,
     inconsistent_now: usize,
+    last_active: usize,
     buffers: RoundBuffers<N::Msg>,
 }
 
@@ -56,7 +111,21 @@ impl<N: Node> Simulator<N> {
     /// New simulator with explicit configuration.
     pub fn with_config(n: usize, cfg: SimConfig) -> Self {
         assert!(n >= 1, "need at least one node");
-        let nodes = (0..n as u32).map(|i| N::new(NodeId(i), n)).collect();
+        let nodes: Vec<N> = (0..n as u32).map(|i| N::new(NodeId(i), n)).collect();
+        let mut buffers = RoundBuffers::new(n);
+        if cfg.engine == Engine::Sparse {
+            // Seed the active set with every node that is born busy. For
+            // protocols using the conservative `idle` default (always
+            // `false`) this is all of them — dense behavior through the
+            // sparse machinery.
+            buffers.active.extend(
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, nd)| !nd.idle())
+                    .map(|(i, _)| i as u32),
+            );
+        }
         Simulator {
             topo: Topology::new(n),
             nodes,
@@ -67,7 +136,8 @@ impl<N: Node> Simulator<N> {
             cfg,
             stats: Vec::new(),
             inconsistent_now: 0,
-            buffers: RoundBuffers::new(n),
+            last_active: 0,
+            buffers,
         }
     }
 
@@ -119,6 +189,12 @@ impl<N: Node> Simulator<N> {
         self.inconsistent_now
     }
 
+    /// Number of nodes the engine processed in the last round's receive
+    /// phase (the round's *activity*; always `n` under [`Engine::Dense`]).
+    pub fn active_nodes(&self) -> usize {
+        self.last_active
+    }
+
     /// True when every node reported consistent at the end of the last round.
     pub fn all_consistent(&self) -> bool {
         self.inconsistent_now == 0
@@ -160,73 +236,93 @@ impl<N: Node> Simulator<N> {
             panic!("invalid event batch at round {round}: {e}");
         }
         self.topo.apply(batch, round);
+        self.buffers.apply_batch(batch);
+        self.buffers.build_local(batch);
 
-        // Phase 1: local topology notifications.
-        self.buffers.build_local(n, batch);
+        // The engines differ only here: who is visited this round.
+        match self.cfg.engine {
+            Engine::Dense => self.buffers.activate_all(n),
+            Engine::Sparse => self.buffers.activate_local(),
+        }
+
+        // Phase 1: local topology notifications. Nodes outside the active
+        // set have no incident events (batch endpoints are merged in
+        // above) and an empty `on_topology` is a contract no-op.
         if self.cfg.parallel {
-            self.nodes
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(i, node)| node.on_topology(round, self.buffers.local_of(i)));
+            let buffers = &self.buffers;
+            select_mut(&mut self.nodes, &buffers.active)
+                .into_par_iter()
+                .for_each(|(i, node)| node.on_topology(round, buffers.local_of(i as usize)));
         } else {
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                node.on_topology(round, self.buffers.local_of(i));
+            for k in 0..self.buffers.active.len() {
+                let i = self.buffers.active[k] as usize;
+                self.nodes[i].on_topology(round, self.buffers.local_of(i));
             }
         }
 
-        // Phase 2: react & send.
-        self.buffers.build_neighbors(&self.topo);
+        // Phase 2: react & send (active nodes only; a skipped node's send
+        // would have been `Outbox::quiet()` by the `idle` contract).
         if self.cfg.parallel {
-            let collected: Vec<Outbox<N::Msg>> = self
-                .nodes
-                .par_iter_mut()
-                .enumerate()
-                .map(|(i, node)| node.send(round, self.buffers.neighbors_of(i)))
-                .collect();
-            self.buffers.outboxes = collected;
+            let collected: Vec<(u32, Outbox<N::Msg>)> = {
+                let buffers = &self.buffers;
+                select_mut(&mut self.nodes, &buffers.active)
+                    .into_par_iter()
+                    .map(|(i, node)| (i, node.send(round, buffers.neighbors_of(i as usize))))
+                    .collect()
+            };
+            for (i, ob) in collected {
+                self.buffers.outboxes[i as usize] = ob;
+            }
         } else {
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                self.buffers.outboxes[i] = node.send(round, self.buffers.neighbors_of(i));
+            for k in 0..self.buffers.active.len() {
+                let i = self.buffers.active[k] as usize;
+                self.buffers.outboxes[i] = self.nodes[i].send(round, self.buffers.neighbors_of(i));
             }
         }
 
-        // Routing: expand addressing, charge bandwidth, stage payloads.
-        // Expansion is node-local and runs in parallel when configured;
-        // bandwidth charging always replays in (sender, payload) order so
-        // both paths are bit-identical.
+        // Routing: expand addressing, charge bandwidth, stage payloads and
+        // flag deliveries. Expansion is node-local and runs in parallel
+        // when configured; bandwidth charging always replays in (sender,
+        // payload) order so both paths are bit-identical.
         self.bandwidth.begin_round();
         self.buffers.staged.clear();
+        self.buffers.flag_stage.clear();
         if self.cfg.parallel {
-            let taken: Vec<(usize, Vec<Addressed<N::Msg>>)> = self
-                .buffers
-                .outboxes
-                .iter_mut()
-                .map(|ob| std::mem::take(&mut ob.payloads))
-                .enumerate()
-                .collect();
-            let expanded: Vec<Vec<(NodeId, N::Msg, u64)>> = taken
-                .into_par_iter()
-                .map(|(i, payloads)| {
-                    let mut routes = Vec::new();
-                    expand_outbox(
-                        NodeId(i as u32),
-                        payloads,
-                        self.buffers.neighbors_of(i),
-                        n,
-                        round,
-                        |to, msg, bits| routes.push((to, msg, bits)),
-                    );
-                    routes
-                })
-                .collect();
-            for (i, routes) in expanded.into_iter().enumerate() {
-                let from = NodeId(i as u32);
+            let taken: Vec<(u32, Vec<Addressed<N::Msg>>)> = {
+                let active = &self.buffers.active;
+                let outboxes = &mut self.buffers.outboxes;
+                active
+                    .iter()
+                    .map(|&i| (i, std::mem::take(&mut outboxes[i as usize].payloads)))
+                    .collect()
+            };
+            let expanded: Vec<(u32, Routes<N::Msg>)> = {
+                let buffers = &self.buffers;
+                taken
+                    .into_par_iter()
+                    .map(|(i, payloads)| {
+                        let mut routes = Vec::new();
+                        expand_outbox(
+                            NodeId(i),
+                            payloads,
+                            buffers.neighbors_of(i as usize),
+                            n,
+                            round,
+                            |to, msg, bits| routes.push((to, msg, bits)),
+                        );
+                        (i, routes)
+                    })
+                    .collect()
+            };
+            for (i, routes) in expanded {
+                let from = NodeId(i);
                 charge_flags(
                     &mut self.bandwidth,
                     from,
-                    &self.buffers.outboxes[i],
-                    self.buffers.neighbors_of(i),
+                    &self.buffers.outboxes[i as usize],
+                    &self.buffers.nbrs[i as usize],
                     n,
+                    &mut self.buffers.flag_stage,
                 );
                 for (to, msg, bits) in routes {
                     self.bandwidth.charge(from, to, Edge::new(from, to), bits);
@@ -234,18 +330,19 @@ impl<N: Node> Simulator<N> {
                 }
             }
         } else {
-            for i in 0..n {
+            for k in 0..self.buffers.active.len() {
+                let i = self.buffers.active[k] as usize;
                 let from = NodeId(i as u32);
-                let nbrs =
-                    &self.buffers.neighbors[self.buffers.nbr_off[i]..self.buffers.nbr_off[i + 1]];
                 charge_flags(
                     &mut self.bandwidth,
                     from,
                     &self.buffers.outboxes[i],
-                    nbrs,
+                    &self.buffers.nbrs[i],
                     n,
+                    &mut self.buffers.flag_stage,
                 );
                 let payloads = std::mem::take(&mut self.buffers.outboxes[i].payloads);
+                let nbrs = &self.buffers.nbrs[i];
                 let bandwidth = &mut self.bandwidth;
                 let staged = &mut self.buffers.staged;
                 expand_outbox(from, payloads, nbrs, n, round, |to, msg, bits| {
@@ -255,50 +352,57 @@ impl<N: Node> Simulator<N> {
             }
         }
 
-        // Phase 3: receive & update. Inboxes are merged in flat storage:
-        // one entry per current neighbor, sorted by sender.
-        self.buffers.assemble_inboxes(n, round);
+        // Phase 3: receive & update. The receiver set is the active set
+        // merged with every payload or flag destination; inboxes are
+        // sparse (one entry per transmitting neighbor, sorted by sender).
+        self.buffers.assemble_inboxes(round);
 
         let messages_this_round = self.bandwidth.round_messages();
         let bits_this_round = self.bandwidth.round_bits();
 
         if self.cfg.parallel {
-            self.nodes.par_iter_mut().enumerate().for_each(|(i, node)| {
-                node.receive(
-                    round,
-                    self.buffers.inbox_of(i),
-                    self.buffers.neighbors_of(i),
-                )
-            });
+            let buffers = &self.buffers;
+            select_mut(&mut self.nodes, &buffers.recv_nodes)
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(k, (i, node))| {
+                    node.receive(
+                        round,
+                        buffers.inbox_of_pos(k),
+                        buffers.neighbors_of(i as usize),
+                    )
+                });
         } else {
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                node.receive(
+            for k in 0..self.buffers.recv_nodes.len() {
+                let i = self.buffers.recv_nodes[k] as usize;
+                self.nodes[i].receive(
                     round,
-                    self.buffers.inbox_of(i),
+                    self.buffers.inbox_of_pos(k),
                     self.buffers.neighbors_of(i),
                 );
             }
         }
 
         // Phase 4: end-of-round accounting; queries now go to `node()`.
-        if self.cfg.parallel {
-            self.buffers.inconsistent = self
-                .nodes
-                .par_iter()
-                .map(|nd| !nd.is_consistent())
-                .collect();
-        } else {
-            self.buffers.inconsistent.clear();
-            self.buffers
-                .inconsistent
-                .extend(self.nodes.iter().map(|nd| !nd.is_consistent()));
+        // Nodes outside the receiver set were idle (hence consistent) and
+        // received nothing, so scanning the receivers counts every
+        // inconsistent node — while filling, no second pass.
+        self.buffers.inconsistent_idx.clear();
+        for k in 0..self.buffers.recv_nodes.len() {
+            let v = self.buffers.recv_nodes[k];
+            if !self.nodes[v as usize].is_consistent() {
+                self.buffers.inconsistent_idx.push(v);
+            }
         }
-        let inconsistent = self.buffers.inconsistent.iter().filter(|&&b| b).count();
+        let inconsistent = self.buffers.inconsistent_idx.len();
         self.inconsistent_now = inconsistent;
+        self.last_active = self.buffers.recv_nodes.len();
         self.meter
             .record_round(batch.len() as u64, inconsistent > 0);
-        self.per_node
-            .record_round(&self.buffers.incident_changes, &self.buffers.inconsistent);
+        self.per_node.record_round_sparse(
+            &self.buffers.touched_changes,
+            &self.buffers.inconsistent_idx,
+        );
         if self.cfg.record_stats {
             self.stats.push(RoundStats {
                 round,
@@ -307,30 +411,66 @@ impl<N: Node> Simulator<N> {
                 inconsistent_nodes: inconsistent,
                 messages: messages_this_round,
                 bits: bits_this_round,
+                active_nodes: self.last_active,
             });
+        }
+
+        // Next round's active set: the survivors of this round's receiver
+        // set. A node that is idle *and* receives nothing stays idle (node
+        // state only changes through the phase callbacks), so dropping it
+        // here is safe until traffic or an incident event re-activates it.
+        if self.cfg.engine == Engine::Sparse {
+            self.buffers.active.clear();
+            for k in 0..self.buffers.recv_nodes.len() {
+                let v = self.buffers.recv_nodes[k];
+                if !self.nodes[v as usize].idle() {
+                    self.buffers.active.push(v);
+                }
+            }
         }
     }
 }
 
-/// Charge the per-neighbor flag broadcast for one sender (a quiet sender's
-/// flags cost zero bits and are not transmitted).
+/// Collect disjoint `&mut` references to `nodes[i]` for every `i` in
+/// `idxs` (ascending, duplicate-free), in O(|idxs|) — the sparse engine's
+/// parallel phases fan these out without touching the other nodes.
+fn select_mut<'a, N>(mut rest: &'a mut [N], idxs: &[u32]) -> Vec<(u32, &'a mut N)> {
+    let mut out = Vec::with_capacity(idxs.len());
+    let mut base = 0usize;
+    for &i in idxs {
+        let (_, tail) = rest.split_at_mut(i as usize - base);
+        let (item, tail) = tail.split_first_mut().expect("index in range");
+        out.push((i, item));
+        base = i as usize + 1;
+        rest = tail;
+    }
+    out
+}
+
+/// Charge the per-neighbor flag broadcast for one sender and stage the
+/// deliveries for inbox assembly (a quiet sender's flags cost zero bits,
+/// are not transmitted, and produce no inbox entries).
 fn charge_flags<M>(
     bandwidth: &mut BandwidthMeter,
     from: NodeId,
     outbox: &Outbox<M>,
     neighbors: &[NodeId],
     n: usize,
+    flag_stage: &mut Vec<(NodeId, NodeId)>,
 ) {
-    let flag_bits = outbox.flags.bit_size(n);
-    if flag_bits > 0 {
+    if !outbox.flags.is_quiet() {
+        let flag_bits = outbox.flags.bit_size(n);
         for &peer in neighbors {
             bandwidth.charge(from, peer, Edge::new(from, peer), flag_bits);
+            flag_stage.push((peer, from));
         }
     }
 }
 
 /// Expand one sender's addressed payloads into `(receiver, message, bits)`
-/// routes, in payload order. Panics when a payload addresses a non-neighbor.
+/// routes, in payload order. Panics when a payload addresses a
+/// non-neighbor; broadcasts draw their receivers from the neighbor slice
+/// itself, so membership holds by construction and is not re-checked.
 fn expand_outbox<M: BitSized + Clone>(
     from: NodeId,
     payloads: Vec<Addressed<M>>,
@@ -339,25 +479,30 @@ fn expand_outbox<M: BitSized + Clone>(
     round: Round,
     mut sink: impl FnMut(NodeId, M, u64),
 ) {
-    let route = |to: NodeId, msg: M, sink: &mut dyn FnMut(NodeId, M, u64)| {
-        assert!(
-            neighbors.binary_search(&to).is_ok(),
-            "node {from:?} attempted to send to non-neighbor {to:?} at round {round}"
-        );
-        let bits = msg.bit_size(n);
-        sink(to, msg, bits);
-    };
     for addressed in payloads {
         match addressed {
-            Addressed::To(peer, msg) => route(peer, msg, &mut sink),
+            Addressed::To(peer, msg) => {
+                assert!(
+                    neighbors.binary_search(&peer).is_ok(),
+                    "node {from:?} attempted to send to non-neighbor {peer:?} at round {round}"
+                );
+                let bits = msg.bit_size(n);
+                sink(peer, msg, bits);
+            }
             Addressed::Broadcast(msg) => {
+                let bits = msg.bit_size(n);
                 for &peer in neighbors {
-                    route(peer, msg.clone(), &mut sink);
+                    sink(peer, msg.clone(), bits);
                 }
             }
             Addressed::Multicast(peers, msg) => {
+                let bits = msg.bit_size(n);
                 for peer in peers {
-                    route(peer, msg.clone(), &mut sink);
+                    assert!(
+                        neighbors.binary_search(&peer).is_ok(),
+                        "node {from:?} attempted to send to non-neighbor {peer:?} at round {round}"
+                    );
+                    sink(peer, msg.clone(), bits);
                 }
             }
         }
@@ -372,7 +517,9 @@ mod tests {
     use crate::message::{Outbox, Received};
 
     /// A toy protocol: every node keeps its current neighbor set as its
-    /// "data structure" and broadcasts nothing. Always consistent.
+    /// "data structure" and broadcasts nothing. Always consistent and
+    /// always idle — the sparse engine should skip it entirely on quiet
+    /// rounds.
     struct NeighborSet {
         id: NodeId,
         neighbors: Vec<NodeId>,
@@ -403,19 +550,24 @@ mod tests {
         }
 
         fn receive(&mut self, _round: Round, inbox: &[Received<()>], neighbors: &[NodeId]) {
-            // Sanity inside the test protocol: inbox senders == neighbors.
-            let senders: Vec<NodeId> = inbox.iter().map(|r| r.from).collect();
-            assert_eq!(senders, neighbors);
+            // Sparse-inbox contract: nobody transmits in this protocol, so
+            // the inbox is empty; the neighbor slice is still complete.
+            assert!(inbox.is_empty());
             assert!(!neighbors.contains(&self.id));
         }
 
         fn is_consistent(&self) -> bool {
             true
         }
+
+        fn idle(&self) -> bool {
+            true
+        }
     }
 
     /// An echo protocol: on every incident insertion, unicast the new
-    /// neighbor a greeting that costs `2 * node_bits` bits.
+    /// neighbor a greeting that costs `2 * node_bits` bits. Uses the
+    /// conservative `idle` default (always active once constructed).
     #[derive(Clone)]
     struct Greeting(NodeId);
     impl BitSized for Greeting {
@@ -486,6 +638,47 @@ mod tests {
     }
 
     #[test]
+    fn sparse_engine_skips_idle_nodes_on_quiet_rounds() {
+        let cfg = SimConfig {
+            record_stats: true,
+            ..SimConfig::default()
+        };
+        assert_eq!(cfg.engine, Engine::Sparse);
+        let mut sim: Simulator<NeighborSet> = Simulator::with_config(64, cfg);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(5, 9));
+        sim.step(&b);
+        // Churn round: exactly the four endpoints were visited.
+        assert_eq!(sim.active_nodes(), 4);
+        sim.step_quiet();
+        // Idle protocol, quiet batch: nobody is visited at all.
+        assert_eq!(sim.active_nodes(), 0);
+        assert_eq!(sim.stats()[1].active_nodes, 0);
+        assert!(sim.all_consistent());
+    }
+
+    #[test]
+    fn dense_engine_visits_everyone() {
+        let cfg = SimConfig {
+            record_stats: true,
+            engine: Engine::Dense,
+            ..SimConfig::default()
+        };
+        let mut sim: Simulator<NeighborSet> = Simulator::with_config(16, cfg);
+        sim.step_quiet();
+        assert_eq!(sim.active_nodes(), 16);
+        assert_eq!(sim.stats()[0].active_nodes, 16);
+    }
+
+    #[test]
+    fn engine_parses_from_str() {
+        assert_eq!("dense".parse::<Engine>(), Ok(Engine::Dense));
+        assert_eq!("sparse".parse::<Engine>(), Ok(Engine::Sparse));
+        assert!("frob".parse::<Engine>().is_err());
+    }
+
+    #[test]
     fn greetings_are_delivered_and_metered() {
         let mut sim: Simulator<Greeter> = Simulator::new(4);
         sim.step(&EventBatch::insert(edge(0, 1)));
@@ -524,6 +717,43 @@ mod tests {
         assert!(quiet <= 3, "took {quiet} quiet rounds");
     }
 
+    /// The shared churn scenario of the equivalence tests below.
+    fn churn_run<F: Fn(&Simulator<Greeter>) -> T, T>(cfg: SimConfig, probe: F) -> (Vec<u64>, T) {
+        let mut sim: Simulator<Greeter> = Simulator::with_config(16, cfg);
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        let mut present: Vec<Edge> = Vec::new();
+        for _ in 0..50 {
+            let mut batch = EventBatch::new();
+            // Simple xorshift-driven random batch, deterministic.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            let u = (rng_state % 16) as u32;
+            let w = ((rng_state >> 8) % 16) as u32;
+            if u != w {
+                let e = Edge::new(NodeId(u), NodeId(w));
+                if let Some(pos) = present.iter().position(|&p| p == e) {
+                    present.swap_remove(pos);
+                    batch.push_delete(e);
+                } else {
+                    present.push(e);
+                    batch.push_insert(e);
+                }
+            }
+            sim.step(&batch);
+        }
+        let meters = vec![
+            sim.meter().inconsistent_rounds(),
+            sim.meter().changes(),
+            sim.bandwidth().total_bits(),
+            sim.bandwidth().total_messages(),
+            sim.meter().amortized().to_bits(),
+            sim.per_node_meter().footnote_amortized().to_bits(),
+            sim.inconsistent_nodes() as u64,
+        ];
+        (meters, probe(&sim))
+    }
+
     #[test]
     fn parallel_matches_sequential() {
         let run = |parallel: bool| {
@@ -532,39 +762,43 @@ mod tests {
                 record_stats: true,
                 ..SimConfig::default()
             };
-            let mut sim: Simulator<Greeter> = Simulator::with_config(16, cfg);
-            let mut rng_state = 0x9e3779b97f4a7c15u64;
-            let mut present: Vec<Edge> = Vec::new();
-            for _ in 0..50 {
-                let mut batch = EventBatch::new();
-                // Simple xorshift-driven random batch, deterministic.
-                rng_state ^= rng_state << 13;
-                rng_state ^= rng_state >> 7;
-                rng_state ^= rng_state << 17;
-                let u = (rng_state % 16) as u32;
-                let w = ((rng_state >> 8) % 16) as u32;
-                if u != w {
-                    let e = Edge::new(NodeId(u), NodeId(w));
-                    if let Some(pos) = present.iter().position(|&p| p == e) {
-                        present.swap_remove(pos);
-                        batch.push_delete(e);
-                    } else {
-                        present.push(e);
-                        batch.push_insert(e);
-                    }
-                }
-                sim.step(&batch);
-            }
-            (
-                sim.meter().inconsistent_rounds(),
-                sim.bandwidth().total_bits(),
+            churn_run(cfg, |sim| {
                 sim.stats()
                     .iter()
-                    .map(|s| s.inconsistent_nodes)
-                    .collect::<Vec<_>>(),
-            )
+                    .map(|s| format!("{s:?}"))
+                    .collect::<Vec<_>>()
+            })
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sparse_matches_dense_bit_for_bit() {
+        let run = |engine: Engine| {
+            let cfg = SimConfig {
+                engine,
+                record_stats: true,
+                ..SimConfig::default()
+            };
+            churn_run(cfg, |sim| {
+                // Everything except `active_nodes` (which measures the
+                // engine itself) must agree per round, plus all node state.
+                let stats: Vec<String> = sim
+                    .stats()
+                    .iter()
+                    .map(|s| {
+                        let mut s = *s;
+                        s.active_nodes = 0;
+                        format!("{s:?}")
+                    })
+                    .collect();
+                let greeted: Vec<Vec<NodeId>> = (0..sim.n())
+                    .map(|v| sim.node(NodeId(v as u32)).greeted_by.clone())
+                    .collect();
+                (stats, greeted)
+            })
+        };
+        assert_eq!(run(Engine::Sparse), run(Engine::Dense));
     }
 
     #[test]

@@ -363,6 +363,18 @@ impl Node for ThreeHopNode {
     fn is_consistent(&self) -> bool {
         self.consistent
     }
+
+    fn idle(&self) -> bool {
+        // A quiet round recomputes `clean_now = true`, leaves every flag
+        // field at its current value and sends quiet flags — but only when
+        // the two-round window has fully closed and the second-order flag
+        // is back at its default. Each conjunct is part of the fixed point.
+        self.q.is_empty()
+            && self.consistent
+            && self.clean_prev
+            && !self.dirty_topology
+            && self.neighbors_were_empty
+    }
 }
 
 impl Queryable for ThreeHopNode {

@@ -475,6 +475,13 @@ impl Node for TriangleNode {
     fn is_consistent(&self) -> bool {
         self.consistent
     }
+
+    fn idle(&self) -> bool {
+        // `consistent` implies the last dequeue already happened
+        // (`!sent_this_round` at the computing receive); the explicit check
+        // keeps the fixed-point argument local.
+        self.q.is_empty() && self.consistent && !self.sent_this_round
+    }
 }
 
 impl Queryable for TriangleNode {

@@ -294,6 +294,14 @@ impl Node for TwoHopNode {
     fn is_consistent(&self) -> bool {
         self.consistent
     }
+
+    fn idle(&self) -> bool {
+        // Fixed point of a quiet round: nothing queued to announce and the
+        // consistency flag raised (which already implies the last send was
+        // quiet — `consistent` is only set when no busy flag was heard and
+        // the queue was empty).
+        self.q.is_empty() && self.consistent
+    }
 }
 
 impl Queryable for TwoHopNode {

@@ -1,12 +1,22 @@
-//! Parallel/sequential determinism: the engine's contract is that
-//! `SimConfig::parallel` changes wall-clock only, never results.
+//! Engine determinism: neither `SimConfig::parallel` nor
+//! `SimConfig::engine` may change anything but wall-clock.
 //!
-//! For random (workload, n, rounds, seed) tuples drawn across the er,
-//! flicker and p2p generators, a parallel and a sequential run of the same
-//! protocol must produce bit-identical meters, bandwidth totals, per-round
-//! stats, and query responses at every node.
+//! Two differentials:
+//!
+//! - **parallel vs sequential** (proptests below): for random (workload,
+//!   n, rounds, seed) tuples, a parallel and a sequential run of the same
+//!   protocol must produce bit-identical meters, bandwidth totals,
+//!   per-round stats, and query responses at every node.
+//! - **sparse vs dense** (`sparse_engine_matches_dense_for_every_protocol`):
+//!   every registry protocol × er/flicker/sliding/p2p, stepped round by
+//!   round through erased sessions under both engines — meters compared to
+//!   `f64::to_bits` after *every* round, per-round stats (minus the
+//!   engine-measuring `active_nodes` field), and every supported query
+//!   kind answered identically mid-run and at the end.
 
-use dynamic_subgraphs::net::{engine, NodeId, SimConfig, Simulator, Trace};
+use dynamic_subgraphs::net::{
+    edge, engine, Engine, NodeId, Query, QueryKind, Session, SimConfig, Simulator, Trace,
+};
 use dynamic_subgraphs::robust::{ThreeHopNode, TriangleNode, TwoHopNode};
 use dynamic_subgraphs::workloads::{registry, Params};
 use proptest::prelude::*;
@@ -77,6 +87,185 @@ fn cases() -> u32 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(12)
+}
+
+/// Every supported query kind of a session, asked at a deterministic
+/// sample of nodes, rendered comparably. `Inconsistent` and capability
+/// errors are part of the fingerprint — mid-run the structures are often
+/// mid-update, and both engines must be mid-update *identically*.
+fn query_fingerprint(session: &Session, n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let wrap = |v: u32, off: u32| NodeId((v + off) % n as u32);
+    for v in (0..n as u32).step_by(3) {
+        let at = NodeId(v);
+        for kind in session.supported_queries() {
+            let queries: Vec<Query> = match kind {
+                QueryKind::Edge => vec![
+                    Query::Edge(edge(v, (v + 1) % n as u32)),
+                    Query::Edge(edge((v + 2) % n as u32, (v + 5) % n as u32)),
+                ],
+                QueryKind::Triangle => vec![Query::Triangle(wrap(v, 1), wrap(v, 2))],
+                QueryKind::Clique => vec![Query::Clique(vec![at, wrap(v, 1), wrap(v, 2)])],
+                QueryKind::Cycle => {
+                    vec![Query::Cycle(vec![at, wrap(v, 1), wrap(v, 2), wrap(v, 3)])]
+                }
+                QueryKind::Path3 => vec![Query::Path3 {
+                    center: at,
+                    a: wrap(v, 1),
+                    b: wrap(v, 2),
+                }],
+                QueryKind::ListTriangles => vec![Query::ListTriangles],
+                QueryKind::ListCliques => vec![Query::ListCliques(3), Query::ListCliques(4)],
+                QueryKind::ListCycles => vec![Query::ListCycles(4), Query::ListCycles(5)],
+            };
+            for q in queries {
+                out.push(format!("v{v} {kind}: {:?}", session.query(at, &q)));
+            }
+        }
+    }
+    out
+}
+
+/// Step a trace through one session per engine, comparing everything
+/// observable after every round.
+fn assert_engines_identical(protocol: &str, trace: &Trace, label: &str) {
+    let open = |eng: Engine| {
+        dds_bench::protocols()
+            .open(
+                protocol,
+                trace.n,
+                SimConfig {
+                    engine: eng,
+                    record_stats: true,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("registered protocol")
+    };
+    let mut sparse = open(Engine::Sparse);
+    let mut dense = open(Engine::Dense);
+    for (i, b) in trace.batches.iter().enumerate() {
+        sparse.step(b);
+        dense.step(b);
+        let round = i + 1;
+        let ctx = format!("{label}/{protocol} at round {round}");
+        assert_eq!(sparse.round(), dense.round(), "{ctx}: round counter");
+        assert_eq!(
+            sparse.meter().changes(),
+            dense.meter().changes(),
+            "{ctx}: changes"
+        );
+        assert_eq!(
+            sparse.meter().inconsistent_rounds(),
+            dense.meter().inconsistent_rounds(),
+            "{ctx}: inconsistent rounds"
+        );
+        assert_eq!(
+            sparse.meter().amortized().to_bits(),
+            dense.meter().amortized().to_bits(),
+            "{ctx}: amortized"
+        );
+        assert_eq!(
+            sparse.per_node_meter().footnote_amortized().to_bits(),
+            dense.per_node_meter().footnote_amortized().to_bits(),
+            "{ctx}: footnote amortized"
+        );
+        assert_eq!(
+            sparse.per_node_meter().worst_amortized().to_bits(),
+            dense.per_node_meter().worst_amortized().to_bits(),
+            "{ctx}: worst per-node amortized"
+        );
+        assert_eq!(
+            sparse.bandwidth().total_messages(),
+            dense.bandwidth().total_messages(),
+            "{ctx}: messages"
+        );
+        assert_eq!(
+            sparse.bandwidth().total_bits(),
+            dense.bandwidth().total_bits(),
+            "{ctx}: bits"
+        );
+        assert_eq!(
+            sparse.bandwidth().violations(),
+            dense.bandwidth().violations(),
+            "{ctx}: violations"
+        );
+        assert_eq!(
+            sparse.inconsistent_nodes(),
+            dense.inconsistent_nodes(),
+            "{ctx}: inconsistent nodes"
+        );
+        assert_eq!(
+            sparse.topology().edge_count(),
+            dense.topology().edge_count(),
+            "{ctx}: edges"
+        );
+        // Inbox-visible behavior, mid-run: every supported query kind must
+        // answer identically while the structures are still churning.
+        if round % 7 == 0 {
+            assert_eq!(
+                query_fingerprint(&sparse, trace.n),
+                query_fingerprint(&dense, trace.n),
+                "{ctx}: mid-run query answers"
+            );
+        }
+    }
+    // Per-round stats, minus the field that measures the engine itself.
+    let scrub = |s: &Session| -> Vec<String> {
+        s.stats()
+            .iter()
+            .map(|st| {
+                let mut st = *st;
+                st.active_nodes = 0;
+                format!("{st:?}")
+            })
+            .collect()
+    };
+    assert_eq!(
+        scrub(&sparse),
+        scrub(&dense),
+        "{label}/{protocol}: per-round stats"
+    );
+    // Settle both and compare the final serving surface.
+    let s_quiet = sparse.settle(256);
+    let d_quiet = dense.settle(256);
+    assert_eq!(s_quiet, d_quiet, "{label}/{protocol}: settle rounds");
+    assert_eq!(
+        query_fingerprint(&sparse, trace.n),
+        query_fingerprint(&dense, trace.n),
+        "{label}/{protocol}: settled query answers"
+    );
+    let (s, d) = (sparse.summary(), dense.summary());
+    assert_eq!(s.amortized.to_bits(), d.amortized.to_bits());
+    assert_eq!(
+        s.footnote_amortized.to_bits(),
+        d.footnote_amortized.to_bits()
+    );
+    assert_eq!(s.messages, d.messages);
+    assert_eq!(s.bits, d.bits);
+    assert_eq!(s.final_edges, d.final_edges);
+    assert_eq!(s.peak_round_messages, d.peak_round_messages);
+    assert_eq!(s.peak_round_bits, d.peak_round_bits);
+}
+
+#[test]
+fn sparse_engine_matches_dense_for_every_protocol() {
+    for (wi, workload) in ["er", "flicker", "sliding", "p2p"].iter().enumerate() {
+        let trace = build(workload, 14, 36, 911 + 37 * wi as u64);
+        for spec in dds_bench::protocols().specs() {
+            assert_engines_identical(spec.name, &trace, workload);
+        }
+    }
+}
+
+#[test]
+fn sparse_engine_matches_dense_under_heavy_batches() {
+    // Flicker with many simultaneous events stresses the active-set
+    // merge paths; p2p with triadic closure stresses degree churn.
+    let trace = build("flicker", 22, 30, 4242);
+    for spec in dds_bench::protocols().specs() {
+        assert_engines_identical(spec.name, &trace, "flicker-heavy");
+    }
 }
 
 proptest! {

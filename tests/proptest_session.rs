@@ -1,5 +1,8 @@
-//! Property: a type-erased [`Session`] stepped batch-by-batch is
-//! round-for-round identical to the typed `drive` path on the same trace.
+//! Property: a type-erased [`Session`] stepped batch-by-batch under the
+//! **sparse** engine is round-for-round identical to the typed `drive`
+//! path under the **dense** engine on the same trace — one differential
+//! covering both the erasure layer and the engine equivalence, mid-run
+//! via `Session::step`.
 //!
 //! For arbitrary registry workloads (n, rounds, seed chosen by proptest)
 //! and each of the paper's protocols: after **every** round, the session's
@@ -8,7 +11,7 @@
 //! summaries agree with `run_trace_as` field for field.
 
 use dynamic_subgraphs::net::{
-    drive, run_trace_as, Queryable, RunSummary, SimConfig, Simulator, Trace,
+    drive, run_trace_as, Engine, Queryable, RunSummary, SimConfig, Simulator, Trace,
 };
 use dynamic_subgraphs::robust::{ThreeHopNode, TriangleNode, TwoHopNode};
 use dynamic_subgraphs::workloads::{registry, Params};
@@ -28,12 +31,20 @@ fn build(workload_idx: usize, n: u32, rounds: u16, seed: u64) -> Trace {
     .expect("registered workload")
 }
 
-/// Step typed and erased in lockstep, comparing all meters each round.
+/// Step typed (dense) and erased (sparse) in lockstep, comparing all
+/// meters each round.
 fn session_equals_drive<N: Queryable + 'static>(protocol: &str, trace: &Trace) {
-    let cfg = SimConfig::default();
+    let cfg = SimConfig {
+        engine: Engine::Dense,
+        ..SimConfig::default()
+    };
+    let sparse_cfg = SimConfig {
+        engine: Engine::Sparse,
+        ..SimConfig::default()
+    };
     let mut typed: Simulator<N> = Simulator::with_config(trace.n, cfg);
     let mut session = dds_bench::protocols()
-        .open(protocol, trace.n, cfg)
+        .open(protocol, trace.n, sparse_cfg)
         .expect("registered protocol");
     for (i, b) in trace.batches.iter().enumerate() {
         typed.step(b);

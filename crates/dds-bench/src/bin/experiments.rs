@@ -1,7 +1,7 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|all]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|all]
 //!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--json FILE]
 //!             [--check-schema BASELINE.json]
 //! ```
@@ -20,7 +20,11 @@
 //! driven from lazy trace sources that the materialized path could not
 //! hold in memory. `s2` is the large-n/low-churn tier: the same streamed
 //! schedule under the sparse and the dense round engine, recording the
-//! activity-proportionality speedup.
+//! activity-proportionality speedup. `s3` is the sharded million-node
+//! tier (n = 1 000 000 by default, capped by `--max-n`): the same
+//! streamed schedule single-shard sequential vs multi-shard on the worker
+//! pool, with every deterministic column asserted bit-identical in the
+//! runner and the multi-core speedup recorded.
 
 use dds_bench::runners;
 use dds_bench::Table;
@@ -220,6 +224,13 @@ fn main() {
         run(
             "s2",
             Box::new(move || runners::s2_low_churn_tier(s2_n, rounds)),
+        );
+    }
+    if want("s3") {
+        let s3_n = 1_000_000.min(max_n.max(2));
+        run(
+            "s3",
+            Box::new(move || runners::s3_sharded_tier(s3_n, rounds)),
         );
     }
 

@@ -17,7 +17,7 @@
 
 use dds_net::{RunSummary, SimConfig};
 use dds_workloads::{registry, Params};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rayon::pool::Pool;
 use std::sync::Mutex;
 
 /// Worker count to use when the caller does not care: the machine's
@@ -28,10 +28,18 @@ pub fn available_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Run `f` over every item on `jobs` worker threads and return the results
-/// **in input order**, regardless of completion order. `f` must be pure
-/// per item for the output to be independent of `jobs` (that property is
-/// what the streaming differential tests assert).
+/// Run `f` over every item on up to `jobs` threads of the workspace's
+/// persistent worker [`Pool`] and return the results **in input order**,
+/// regardless of completion order — every job's result is written back
+/// into its input slot, so aggregation over the output is bit-identical
+/// for `jobs = 1` and `jobs = N`, for any `N`. `f` must be pure per item
+/// for the output to be independent of `jobs` (that property is what the
+/// streaming differential tests assert).
+///
+/// The pool runs one fan-out at a time: a `map_ordered` issued from inside
+/// another `map_ordered` job (or while the sharded round engine is mid
+/// fan-out) executes inline on the calling thread — same results, no
+/// nested oversubscription, no deadlock.
 pub fn map_ordered<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -39,7 +47,8 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = items.len();
-    if jobs <= 1 || n <= 1 {
+    let pool = Pool::global();
+    if jobs <= 1 || n <= 1 || pool.workers() == 0 {
         return items
             .into_iter()
             .enumerate()
@@ -48,23 +57,14 @@ where
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("each job claimed once");
-                let r = f(i, item);
-                *results[i].lock().expect("result lock") = Some(r);
-            });
-        }
+    pool.run(n, 1, jobs, &|i| {
+        let item = slots[i]
+            .lock()
+            .expect("slot lock")
+            .take()
+            .expect("each job claimed once");
+        let r = f(i, item);
+        *results[i].lock().expect("result lock") = Some(r);
     });
     results
         .into_iter()

@@ -33,18 +33,24 @@ pub const USAGE: &str = "\
 usage:
   dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
                [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats]
-               [--engine sparse|dense] [--sample-queries K] [--json]
+               [--engine sparse|dense] [--shards auto|K] [--sample-queries K]
+               [--json]
                (--stream drives the run from a lazy trace source: one batch in
                 memory at a time; --seeds K runs K seeded replicas on J scheduler
                 workers, streamed, with seed-ordered aggregate statistics;
                 --engine picks the round engine — sparse [default] does
                 O(churn + traffic) work per round, dense visits all n nodes
-                (escape hatch; bit-identical results); --record-stats also
-                reports per-round active-node counts;
-                --sample-queries K probes an edge query mid-run every K rounds
-                and reports the answered/inconsistent split)
+                (escape hatch; bit-identical results); --shards partitions each
+                round into K node-id-range tasks (auto [default] scales with
+                activity and the worker pool; results are bit-identical for
+                every K) and --parallel fans them out over the worker pool;
+                --record-stats also reports per-round active-node counts and
+                per-shard peaks; --sample-queries K probes an edge query
+                mid-run every K rounds and reports the answered/inconsistent
+                split)
   dds query    --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
-               [--at ROUND] [--settle MAX] --query \"SPEC[; SPEC...]\" [--json]
+               [--at ROUND] [--settle MAX] [--shards auto|K]
+               --query \"SPEC[; SPEC...]\" [--json]
                (runs the workload to --at (default: all rounds), optionally
                 settles, then answers each query spec with zero communication.
                 specs: edge:U-W  triangle:A,B,C  clique:V1,V2,..  cycle:V1,V2,..
@@ -91,6 +97,17 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
                     println!("      --{:<18} {} (default {})", p.key, p.help, p.default);
                 }
             }
+            let workers = rayon::pool::Pool::global().workers();
+            println!("engine:");
+            println!(
+                "  worker pool:   {workers} daemon worker(s) + the driving thread \
+                 (--parallel fans shards out over them)"
+            );
+            println!(
+                "  shards:        auto scales 1..={} with round activity; \
+                 --shards K pins the count (bit-identical for every K)",
+                (workers + 1).max(1)
+            );
             Ok(())
         }
         _ => Err("missing or unknown subcommand".into()),
@@ -103,6 +120,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         parallel: args.flag("parallel"),
         record_stats: args.flag("record-stats"),
         engine: run::engine_from(args)?,
+        shards: run::shards_from(args)?,
         ..dds_net::SimConfig::default()
     };
     let seeds: usize = args.num_or("seeds", 1)?;
@@ -209,6 +227,16 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
                 "active nodes/round:   mean {:.1} / peak {} of {} ({:?} engine)",
                 mean_active, max_active, summary.n, cfg.engine
             );
+            let peaks: Vec<String> = summary
+                .per_shard_peak_active
+                .iter()
+                .map(usize::to_string)
+                .collect();
+            println!(
+                "shards:               {} (per-shard peak active: [{}])",
+                summary.shards,
+                peaks.join(", ")
+            );
             const SHOWN: usize = 24;
             let head: Vec<String> = active_series
                 .iter()
@@ -310,6 +338,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let cfg = dds_net::SimConfig {
         parallel: args.flag("parallel"),
         engine: run::engine_from(args)?,
+        shards: run::shards_from(args)?,
         ..dds_net::SimConfig::default()
     };
     let mut src = run::build_workload_source(args)?;

@@ -80,6 +80,13 @@ pub struct RunSummary {
     /// perf-smoke `dds simulate --stream` invocation) are the authoritative
     /// measurement.
     pub peak_rss_mb: f64,
+    /// Shard count of the final round (1 for unsharded runs; under
+    /// [`Shards::Auto`](crate::Shards::Auto) the per-round count follows
+    /// the active-set size).
+    pub shards: usize,
+    /// Per-shard peak receiver-set sizes over the whole run, indexed by
+    /// shard — how evenly the id-range partition spread the activity.
+    pub per_shard_peak_active: Vec<usize>,
 }
 
 /// Replay a recorded trace through a fresh simulator and return it for
@@ -180,6 +187,8 @@ pub fn summarize<N: Node>(
             .max()
             .unwrap_or(0),
         peak_rss_mb: (peak_rss_mb() - rss_baseline_mb).max(0.0),
+        shards: sim.shards(),
+        per_shard_peak_active: sim.shard_peak_active().to_vec(),
     }
 }
 

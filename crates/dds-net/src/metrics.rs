@@ -234,6 +234,11 @@ pub struct RoundStats {
     /// differential tests exclude from comparison — it measures the
     /// engine, not the execution.
     pub active_nodes: usize,
+    /// Shards the round's per-node phases ran as. Like `active_nodes`,
+    /// this measures the engine, not the execution — every shard count
+    /// produces bit-identical results — so the differential tests exclude
+    /// it from comparison too.
+    pub shards: usize,
 }
 
 #[cfg(test)]

@@ -43,6 +43,8 @@ trait ErasedSim: Send {
     fn topology(&self) -> &Topology;
     fn inconsistent_nodes(&self) -> usize;
     fn active_nodes(&self) -> usize;
+    fn shards(&self) -> usize;
+    fn shard_peak_active(&self) -> &[usize];
     fn node_consistent(&self, v: NodeId) -> bool;
     fn query(&self, at: NodeId, query: &Query) -> Result<Response<Answer>, QueryError>;
     fn summarize(&self, name: &str, seconds: f64, rss_baseline_mb: f64) -> RunSummary;
@@ -81,6 +83,12 @@ impl<N: Queryable> ErasedSim for Simulator<N> {
     }
     fn active_nodes(&self) -> usize {
         Simulator::active_nodes(self)
+    }
+    fn shards(&self) -> usize {
+        Simulator::shards(self)
+    }
+    fn shard_peak_active(&self) -> &[usize] {
+        Simulator::shard_peak_active(self)
     }
     fn node_consistent(&self, v: NodeId) -> bool {
         self.node(v).is_consistent()
@@ -181,6 +189,17 @@ impl Session {
     /// [`Engine::Dense`]: crate::sim::Engine::Dense
     pub fn active_nodes(&self) -> usize {
         self.sim.active_nodes()
+    }
+
+    /// Shard count of the most recent round (1 before the first step).
+    pub fn shards(&self) -> usize {
+        self.sim.shards()
+    }
+
+    /// Per-shard peak receiver-set sizes over the run so far, indexed by
+    /// shard.
+    pub fn shard_peak_active(&self) -> &[usize] {
+        self.sim.shard_peak_active()
     }
 
     /// True when every node reported consistent at the end of the last

@@ -26,20 +26,33 @@
 //!
 //! Execution is deterministic: inboxes are sorted by sender, neighbor lists
 //! are sorted, active/receiver sets are in ascending node order, and
-//! protocols are required to be deterministic. The parallel path
-//! (`SimConfig::parallel = true`) fans node-local phases out over threads
-//! within each phase and produces bit-identical results to the sequential
-//! path.
+//! protocols are required to be deterministic.
+//!
+//! # Sharded execution
+//!
+//! Each round, the active set is partitioned into `K` contiguous node-id
+//! ranges ([`Shards`]); every shard runs phases 1–2 plus routing expansion
+//! over its own nodes (writing only shard-local scratch and its own slice
+//! of the flag array), then — after a short sequential exchange that
+//! replays bandwidth charges in global sender order and merges the shards'
+//! sorted traffic runs — every shard runs phases 3–4 over its receivers.
+//! Because the exchange is a deterministic sorted merge on globally unique
+//! `(receiver, sender)` keys, `shards = K` is **bit-identical** to
+//! `shards = 1` and to the sequential engine by construction, for every
+//! `K`. With `SimConfig::parallel = true` the shard tasks fan out over the
+//! persistent worker pool; with `parallel = false` the same shard
+//! structure runs inline on one thread — same results either way.
 
 use crate::bandwidth::{BandwidthConfig, BandwidthMeter};
 use crate::event::EventBatch;
 use crate::ids::{Edge, NodeId, Round};
-use crate::message::{Addressed, BitSized, Outbox};
+use crate::message::{Addressed, BitSized, Flags, Received};
 use crate::metrics::{AmortizedMeter, PerNodeMeter, RoundStats};
 use crate::protocol::Node;
-use crate::round::RoundBuffers;
+use crate::round::{LocalView, RecvParts, RoundBuffers, ShardParts, ShardScratch};
 use crate::topology::Topology;
-use rayon::prelude::*;
+use rayon::pool::Pool;
+use std::sync::Mutex;
 
 /// Which nodes the per-node phases visit each round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -70,22 +83,56 @@ impl std::str::FromStr for Engine {
     }
 }
 
+/// How many contiguous node-id-range shards the per-node phases run as
+/// each round. Sharding is *structural*: `Fixed(K)` partitions the round
+/// into `K` tasks even on a single thread, and the result is bit-identical
+/// for every `K` (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Shards {
+    /// Scale the shard count with the round's active-set size and the
+    /// worker pool: 1 on single-core hosts, otherwise roughly one shard
+    /// per 1024 active nodes, capped at `pool workers + 1`. Never a
+    /// function of [`SimConfig::parallel`], so flipping `parallel` cannot
+    /// change per-round stats.
+    #[default]
+    Auto,
+    /// Exactly `K` shards per round (clamped to `1..=1024` and to the
+    /// active-set size).
+    Fixed(usize),
+}
+
+impl std::str::FromStr for Shards {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "auto" {
+            return Ok(Shards::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(k) if k >= 1 => Ok(Shards::Fixed(k)),
+            _ => Err(format!(
+                "unknown shard count {s:?}; expected \"auto\" or an integer >= 1"
+            )),
+        }
+    }
+}
+
 /// Simulator configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimConfig {
     /// Per-link bandwidth budget configuration.
     pub bandwidth: BandwidthConfig,
-    /// Run node-local phases in parallel. Results are identical to the
-    /// sequential path; use for large active sets.
+    /// Fan the per-round shard tasks out over the persistent worker pool.
+    /// Results are bit-identical to the inline path; use for large active
+    /// sets on multi-core hosts.
     pub parallel: bool,
     /// Keep a per-round [`RoundStats`] log (costs memory on long runs).
     pub record_stats: bool,
     /// Which round engine to run (default: [`Engine::Sparse`]).
     pub engine: Engine,
+    /// Shard-count policy (default: [`Shards::Auto`]).
+    pub shards: Shards,
 }
-
-/// One sender's expanded routes: `(receiver, message, bits)` triples.
-type Routes<M> = Vec<(NodeId, M, u64)>;
 
 /// The simulator: topology + nodes + meters + reusable round scratch.
 pub struct Simulator<N: Node> {
@@ -99,6 +146,8 @@ pub struct Simulator<N: Node> {
     stats: Vec<RoundStats>,
     inconsistent_now: usize,
     last_active: usize,
+    last_shards: usize,
+    shard_peak_active: Vec<usize>,
     buffers: RoundBuffers<N::Msg>,
 }
 
@@ -137,6 +186,8 @@ impl<N: Node> Simulator<N> {
             stats: Vec::new(),
             inconsistent_now: 0,
             last_active: 0,
+            last_shards: 0,
+            shard_peak_active: Vec::new(),
             buffers,
         }
     }
@@ -195,6 +246,18 @@ impl<N: Node> Simulator<N> {
         self.last_active
     }
 
+    /// Shard count used in the most recent round (1 before the first
+    /// `step`).
+    pub fn shards(&self) -> usize {
+        self.last_shards.max(1)
+    }
+
+    /// Per-shard peak receiver-set sizes observed over the whole run,
+    /// indexed by shard (length = the largest shard count any round used).
+    pub fn shard_peak_active(&self) -> &[usize] {
+        &self.shard_peak_active
+    }
+
     /// True when every node reported consistent at the end of the last round.
     pub fn all_consistent(&self) -> bool {
         self.inconsistent_now == 0
@@ -245,158 +308,199 @@ impl<N: Node> Simulator<N> {
             Engine::Sparse => self.buffers.activate_local(),
         }
 
-        // Phase 1: local topology notifications. Nodes outside the active
-        // set have no incident events (batch endpoints are merged in
-        // above) and an empty `on_topology` is a contract no-op.
-        if self.cfg.parallel {
-            let buffers = &self.buffers;
-            select_mut(&mut self.nodes, &buffers.active)
-                .into_par_iter()
-                .for_each(|(i, node)| node.on_topology(round, buffers.local_of(i as usize)));
+        // Partition the active set into K contiguous id ranges. Both the
+        // shard count and the boundaries are pure functions of the active
+        // set (plus config), never of thread schedule.
+        let k = self.effective_shards();
+        self.last_shards = k;
+        self.buffers.ensure_shards(k);
+        let bounds = if k > 1 {
+            shard_ranges(&self.buffers.active, k, n)
         } else {
-            for k in 0..self.buffers.active.len() {
-                let i = self.buffers.active[k] as usize;
-                self.nodes[i].on_topology(round, self.buffers.local_of(i));
-            }
-        }
+            Vec::new()
+        };
 
-        // Phase 2: react & send (active nodes only; a skipped node's send
-        // would have been `Outbox::quiet()` by the `idle` contract).
-        if self.cfg.parallel {
-            let collected: Vec<(u32, Outbox<N::Msg>)> = {
-                let buffers = &self.buffers;
-                select_mut(&mut self.nodes, &buffers.active)
-                    .into_par_iter()
-                    .map(|(i, node)| (i, node.send(round, buffers.neighbors_of(i as usize))))
-                    .collect()
-            };
-            for (i, ob) in collected {
-                self.buffers.outboxes[i as usize] = ob;
-            }
-        } else {
-            for k in 0..self.buffers.active.len() {
-                let i = self.buffers.active[k] as usize;
-                self.buffers.outboxes[i] = self.nodes[i].send(round, self.buffers.neighbors_of(i));
-            }
-        }
-
-        // Routing: expand addressing, charge bandwidth, stage payloads and
-        // flag deliveries. Expansion is node-local and runs in parallel
-        // when configured; bandwidth charging always replays in (sender,
-        // payload) order so both paths are bit-identical.
-        self.bandwidth.begin_round();
-        self.buffers.staged.clear();
-        self.buffers.flag_stage.clear();
-        if self.cfg.parallel {
-            let taken: Vec<(u32, Vec<Addressed<N::Msg>>)> = {
-                let active = &self.buffers.active;
-                let outboxes = &mut self.buffers.outboxes;
-                active
-                    .iter()
-                    .map(|&i| (i, std::mem::take(&mut outboxes[i as usize].payloads)))
-                    .collect()
-            };
-            let expanded: Vec<(u32, Routes<N::Msg>)> = {
-                let buffers = &self.buffers;
-                taken
-                    .into_par_iter()
-                    .map(|(i, payloads)| {
-                        let mut routes = Vec::new();
-                        expand_outbox(
-                            NodeId(i),
-                            payloads,
-                            buffers.neighbors_of(i as usize),
-                            n,
-                            round,
-                            |to, msg, bits| routes.push((to, msg, bits)),
-                        );
-                        (i, routes)
-                    })
-                    .collect()
-            };
-            for (i, routes) in expanded {
-                let from = NodeId(i);
-                charge_flags(
-                    &mut self.bandwidth,
-                    from,
-                    &self.buffers.outboxes[i as usize],
-                    &self.buffers.nbrs[i as usize],
+        // Region A — phases 1–2 plus routing expansion, one task per
+        // shard: each task owns the nodes and flag slots of its id range
+        // and writes traffic + bandwidth charges to its own scratch.
+        {
+            let ShardParts {
+                nbrs,
+                local,
+                active,
+                out_flags,
+                scratch,
+            } = self.buffers.shard_parts(k);
+            if k == 1 {
+                let mut task = TaskA {
+                    lo: 0,
+                    nodes: &mut self.nodes[..],
+                    out_flags,
+                    active,
+                    nbrs,
+                    local,
                     n,
-                    &mut self.buffers.flag_stage,
-                );
-                for (to, msg, bits) in routes {
-                    self.bandwidth.charge(from, to, Edge::new(from, to), bits);
-                    self.buffers.staged.push((to, from, msg));
+                    round,
+                    scratch: &mut scratch[0],
+                };
+                run_region_a(&mut task);
+            } else {
+                let mut tasks: Vec<Mutex<TaskA<'_, N>>> = Vec::with_capacity(k);
+                let mut nodes_rest: &mut [N] = &mut self.nodes;
+                let mut flags_rest = out_flags;
+                let mut active_rest = active;
+                let mut scratch_rest = scratch;
+                let mut base = 0usize;
+                for s in 0..k {
+                    let hi = bounds[s + 1] as usize;
+                    let (node_slice, nr) = nodes_rest.split_at_mut(hi - base);
+                    let (flag_slice, fr) = flags_rest.split_at_mut(hi - base);
+                    let cut = active_rest.partition_point(|&v| (v as usize) < hi);
+                    let (active_slice, ar) = active_rest.split_at(cut);
+                    let (scr, sr) = scratch_rest.split_at_mut(1);
+                    tasks.push(Mutex::new(TaskA {
+                        lo: base,
+                        nodes: node_slice,
+                        out_flags: flag_slice,
+                        active: active_slice,
+                        nbrs,
+                        local,
+                        n,
+                        round,
+                        scratch: &mut scr[0],
+                    }));
+                    nodes_rest = nr;
+                    flags_rest = fr;
+                    active_rest = ar;
+                    scratch_rest = sr;
+                    base = hi;
                 }
-            }
-        } else {
-            for k in 0..self.buffers.active.len() {
-                let i = self.buffers.active[k] as usize;
-                let from = NodeId(i as u32);
-                charge_flags(
-                    &mut self.bandwidth,
-                    from,
-                    &self.buffers.outboxes[i],
-                    &self.buffers.nbrs[i],
-                    n,
-                    &mut self.buffers.flag_stage,
-                );
-                let payloads = std::mem::take(&mut self.buffers.outboxes[i].payloads);
-                let nbrs = &self.buffers.nbrs[i];
-                let bandwidth = &mut self.bandwidth;
-                let staged = &mut self.buffers.staged;
-                expand_outbox(from, payloads, nbrs, n, round, |to, msg, bits| {
-                    bandwidth.charge(from, to, Edge::new(from, to), bits);
-                    staged.push((to, from, msg));
+                run_shards(self.cfg.parallel, k, &|s| {
+                    run_region_a(&mut tasks[s].lock().expect("shard task"));
                 });
             }
         }
 
-        // Phase 3: receive & update. The receiver set is the active set
-        // merged with every payload or flag destination; inboxes are
-        // sparse (one entry per transmitting neighbor, sorted by sender).
+        // Sequential exchange: replay the bandwidth charge logs shard by
+        // shard (= global ascending sender order, so `Enforce` panics and
+        // meter totals are identical to the unsharded engine), then merge
+        // the shards' sorted traffic runs and assemble the sparse inboxes.
+        self.bandwidth.begin_round();
+        for s in 0..k {
+            for ci in 0..self.buffers.shard_scratch[s].charges.len() {
+                let (from, to, bits) = self.buffers.shard_scratch[s].charges[ci];
+                self.bandwidth.charge(from, to, Edge::new(from, to), bits);
+            }
+            self.buffers.shard_scratch[s].charges.clear();
+        }
+        self.buffers.merge_shard_traffic(k);
         self.buffers.assemble_inboxes(round);
 
         let messages_this_round = self.bandwidth.round_messages();
         let bits_this_round = self.bandwidth.round_bits();
 
-        if self.cfg.parallel {
-            let buffers = &self.buffers;
-            select_mut(&mut self.nodes, &buffers.recv_nodes)
-                .into_par_iter()
-                .enumerate()
-                .for_each(|(k, (i, node))| {
-                    node.receive(
-                        round,
-                        buffers.inbox_of_pos(k),
-                        buffers.neighbors_of(i as usize),
-                    )
-                });
-        } else {
-            for k in 0..self.buffers.recv_nodes.len() {
-                let i = self.buffers.recv_nodes[k] as usize;
-                self.nodes[i].receive(
+        // Region B — phases 3–4 plus next-active collection, one task per
+        // shard over the same id ranges: receive, consistency scan, and
+        // survivor collection are all node-local, so each receiver is
+        // visited exactly once, in its owning shard.
+        {
+            let collect_next = self.cfg.engine == Engine::Sparse;
+            let RecvParts {
+                nbrs,
+                recv_nodes,
+                inbox,
+                inbox_off,
+                scratch,
+            } = self.buffers.recv_parts(k);
+            if k == 1 {
+                let mut task = TaskB {
+                    lo: 0,
+                    pos0: 0,
+                    nodes: &mut self.nodes[..],
+                    recv: recv_nodes,
+                    inbox,
+                    inbox_off,
+                    nbrs,
                     round,
-                    self.buffers.inbox_of_pos(k),
-                    self.buffers.neighbors_of(i),
-                );
+                    collect_next,
+                    scratch: &mut scratch[0],
+                };
+                run_region_b(&mut task);
+            } else {
+                let mut tasks: Vec<Mutex<TaskB<'_, N>>> = Vec::with_capacity(k);
+                let mut nodes_rest: &mut [N] = &mut self.nodes;
+                let mut recv_rest = recv_nodes;
+                let mut scratch_rest = scratch;
+                let mut pos0 = 0usize;
+                let mut base = 0usize;
+                for s in 0..k {
+                    let hi = bounds[s + 1] as usize;
+                    let (node_slice, nr) = nodes_rest.split_at_mut(hi - base);
+                    let cut = recv_rest.partition_point(|&v| (v as usize) < hi);
+                    let (recv_slice, rr) = recv_rest.split_at(cut);
+                    let (scr, sr) = scratch_rest.split_at_mut(1);
+                    tasks.push(Mutex::new(TaskB {
+                        lo: base,
+                        pos0,
+                        nodes: node_slice,
+                        recv: recv_slice,
+                        inbox,
+                        inbox_off,
+                        nbrs,
+                        round,
+                        collect_next,
+                        scratch: &mut scr[0],
+                    }));
+                    nodes_rest = nr;
+                    recv_rest = rr;
+                    scratch_rest = sr;
+                    pos0 += recv_slice.len();
+                    base = hi;
+                }
+                run_shards(self.cfg.parallel, k, &|s| {
+                    run_region_b(&mut tasks[s].lock().expect("shard task"));
+                });
             }
         }
 
-        // Phase 4: end-of-round accounting; queries now go to `node()`.
-        // Nodes outside the receiver set were idle (hence consistent) and
-        // received nothing, so scanning the receivers counts every
-        // inconsistent node — while filling, no second pass.
+        // Stitch the shard outputs back together. Shards own disjoint
+        // ascending id ranges, so concatenation in shard order *is* global
+        // ascending order — no sort, no merge.
         self.buffers.inconsistent_idx.clear();
-        for k in 0..self.buffers.recv_nodes.len() {
-            let v = self.buffers.recv_nodes[k];
-            if !self.nodes[v as usize].is_consistent() {
-                self.buffers.inconsistent_idx.push(v);
-            }
+        if self.cfg.engine == Engine::Sparse {
+            self.buffers.active.clear();
         }
+        for s in 0..k {
+            self.buffers
+                .inconsistent_idx
+                .extend_from_slice(&self.buffers.shard_scratch[s].inconsistent);
+            self.buffers.shard_scratch[s].inconsistent.clear();
+            if self.cfg.engine == Engine::Sparse {
+                self.buffers
+                    .active
+                    .extend_from_slice(&self.buffers.shard_scratch[s].next_active);
+            }
+            self.buffers.shard_scratch[s].next_active.clear();
+        }
+
         let inconsistent = self.buffers.inconsistent_idx.len();
         self.inconsistent_now = inconsistent;
         self.last_active = self.buffers.recv_nodes.len();
+        if self.shard_peak_active.len() < k {
+            self.shard_peak_active.resize(k, 0);
+        }
+        if k == 1 {
+            self.shard_peak_active[0] = self.shard_peak_active[0].max(self.last_active);
+        } else {
+            let recv = &self.buffers.recv_nodes;
+            let mut start = 0usize;
+            for s in 0..k {
+                let hi = bounds[s + 1] as usize;
+                let cut = start + recv[start..].partition_point(|&v| (v as usize) < hi);
+                self.shard_peak_active[s] = self.shard_peak_active[s].max(cut - start);
+                start = cut;
+            }
+        }
         self.meter
             .record_round(batch.len() as u64, inconsistent > 0);
         self.per_node.record_round_sparse(
@@ -412,57 +516,170 @@ impl<N: Node> Simulator<N> {
                 messages: messages_this_round,
                 bits: bits_this_round,
                 active_nodes: self.last_active,
+                shards: k,
             });
         }
+    }
 
-        // Next round's active set: the survivors of this round's receiver
-        // set. A node that is idle *and* receives nothing stays idle (node
-        // state only changes through the phase callbacks), so dropping it
-        // here is safe until traffic or an incident event re-activates it.
-        if self.cfg.engine == Engine::Sparse {
-            self.buffers.active.clear();
-            for k in 0..self.buffers.recv_nodes.len() {
-                let v = self.buffers.recv_nodes[k];
-                if !self.nodes[v as usize].idle() {
-                    self.buffers.active.push(v);
+    /// The shard count for this round: a pure function of the config, the
+    /// active-set size and the (fixed) worker-pool size.
+    fn effective_shards(&self) -> usize {
+        let active = self.buffers.active.len();
+        let k = match self.cfg.shards {
+            Shards::Fixed(k) => k.clamp(1, 1024),
+            Shards::Auto => {
+                let workers = Pool::global().workers();
+                if workers == 0 {
+                    1
+                } else {
+                    (active / 1024).clamp(1, workers + 1)
                 }
             }
+        };
+        k.min(active.max(1))
+    }
+}
+
+/// `k + 1` non-decreasing node-id boundaries splitting the active set into
+/// `k` near-equal contiguous-id shards; shard `s` owns node ids
+/// `[bounds[s], bounds[s + 1])`. Requires `1 < k <= active.len()`.
+fn shard_ranges(active: &[u32], k: usize, n: usize) -> Vec<u32> {
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0u32);
+    for s in 1..k {
+        let candidate = active[s * active.len() / k];
+        let prev = *bounds.last().expect("non-empty");
+        bounds.push(candidate.max(prev));
+    }
+    bounds.push(n as u32);
+    bounds
+}
+
+/// Run `f(s)` for every shard `s in 0..k` — over the worker pool when
+/// requested (and the pool is free), inline otherwise. Bit-identical
+/// either way: shard tasks write only disjoint state.
+fn run_shards(parallel: bool, k: usize, f: &(dyn Fn(usize) + Sync)) {
+    if parallel && k > 1 {
+        Pool::global().run(k, 1, k, f);
+    } else {
+        for s in 0..k {
+            f(s);
         }
     }
 }
 
-/// Collect disjoint `&mut` references to `nodes[i]` for every `i` in
-/// `idxs` (ascending, duplicate-free), in O(|idxs|) — the sparse engine's
-/// parallel phases fan these out without touching the other nodes.
-fn select_mut<'a, N>(mut rest: &'a mut [N], idxs: &[u32]) -> Vec<(u32, &'a mut N)> {
-    let mut out = Vec::with_capacity(idxs.len());
-    let mut base = 0usize;
-    for &i in idxs {
-        let (_, tail) = rest.split_at_mut(i as usize - base);
-        let (item, tail) = tail.split_first_mut().expect("index in range");
-        out.push((i, item));
-        base = i as usize + 1;
-        rest = tail;
-    }
-    out
+/// One shard's send-region task: disjoint mutable slices of the node and
+/// flag arrays for its id range `[lo, lo + nodes.len())`, the id-range
+/// slice of the active set, shared read-only round state, and the shard's
+/// private scratch.
+struct TaskA<'a, N: Node> {
+    lo: usize,
+    nodes: &'a mut [N],
+    out_flags: &'a mut [Flags],
+    active: &'a [u32],
+    nbrs: &'a [Vec<NodeId>],
+    local: LocalView<'a>,
+    n: usize,
+    round: Round,
+    scratch: &'a mut ShardScratch<N::Msg>,
 }
 
-/// Charge the per-neighbor flag broadcast for one sender and stage the
-/// deliveries for inbox assembly (a quiet sender's flags cost zero bits,
-/// are not transmitted, and produce no inbox entries).
-fn charge_flags<M>(
-    bandwidth: &mut BandwidthMeter,
-    from: NodeId,
-    outbox: &Outbox<M>,
-    neighbors: &[NodeId],
-    n: usize,
-    flag_stage: &mut Vec<(NodeId, NodeId)>,
-) {
-    if !outbox.flags.is_quiet() {
-        let flag_bits = outbox.flags.bit_size(n);
-        for &peer in neighbors {
-            bandwidth.charge(from, peer, Edge::new(from, peer), flag_bits);
-            flag_stage.push((peer, from));
+/// Phases 1–2 plus routing expansion for one shard, fused per node — the
+/// phases are node-local, so visiting each active node once end-to-end is
+/// bit-identical to the former phase-by-phase sweeps. Leaves the shard's
+/// `staged`/`flag_stage` runs sorted by `(receiver, sender)` and its
+/// charge log in ascending sender order, ready for the sequential merge.
+fn run_region_a<N: Node>(t: &mut TaskA<'_, N>) {
+    let TaskA {
+        lo,
+        nodes,
+        out_flags,
+        active,
+        nbrs,
+        local,
+        n,
+        round,
+        scratch,
+    } = t;
+    let (lo, n, round) = (*lo, *n, *round);
+    for &v in *active {
+        let i = v as usize;
+        let from = NodeId(v);
+        let node = &mut nodes[i - lo];
+        node.on_topology(round, local.of(i));
+        let outbox = node.send(round, &nbrs[i]);
+        out_flags[i - lo] = outbox.flags;
+        if !outbox.flags.is_quiet() {
+            let flag_bits = outbox.flags.bit_size(n);
+            for &peer in &nbrs[i] {
+                scratch.charges.push((from, peer, flag_bits));
+                scratch.flag_stage.push((peer, from));
+            }
+        }
+        let charges = &mut scratch.charges;
+        let staged = &mut scratch.staged;
+        expand_outbox(
+            from,
+            outbox.payloads,
+            &nbrs[i],
+            n,
+            round,
+            |to, msg, bits| {
+                charges.push((from, to, bits));
+                staged.push((to, from, msg));
+            },
+        );
+    }
+    scratch
+        .staged
+        .sort_unstable_by_key(|&(to, from, _)| (to, from));
+    scratch.flag_stage.sort_unstable();
+}
+
+/// One shard's receive-region task: disjoint mutable access to its node
+/// range, the id-range slice of the receiver list (starting at global
+/// position `pos0`), the shared assembled inbox CSR, and private scratch.
+struct TaskB<'a, N: Node> {
+    lo: usize,
+    pos0: usize,
+    nodes: &'a mut [N],
+    recv: &'a [u32],
+    inbox: &'a [Received<N::Msg>],
+    inbox_off: &'a [usize],
+    nbrs: &'a [Vec<NodeId>],
+    round: Round,
+    collect_next: bool,
+    scratch: &'a mut ShardScratch<N::Msg>,
+}
+
+/// Phases 3–4 plus next-active collection for one shard, fused per
+/// receiver. Nodes outside the receiver set were idle (hence consistent)
+/// and received nothing, so scanning the receivers counts every
+/// inconsistent node and every next-round survivor.
+fn run_region_b<N: Node>(t: &mut TaskB<'_, N>) {
+    let TaskB {
+        lo,
+        pos0,
+        nodes,
+        recv,
+        inbox,
+        inbox_off,
+        nbrs,
+        round,
+        collect_next,
+        scratch,
+    } = t;
+    let (lo, pos0, round, collect_next) = (*lo, *pos0, *round, *collect_next);
+    for (off, &v) in recv.iter().enumerate() {
+        let i = v as usize;
+        let node = &mut nodes[i - lo];
+        let pos = pos0 + off;
+        node.receive(round, &inbox[inbox_off[pos]..inbox_off[pos + 1]], &nbrs[i]);
+        if !node.is_consistent() {
+            scratch.inconsistent.push(v);
+        }
+        if collect_next && !node.idle() {
+            scratch.next_active.push(v);
         }
     }
 }
@@ -781,14 +998,16 @@ mod tests {
                 ..SimConfig::default()
             };
             churn_run(cfg, |sim| {
-                // Everything except `active_nodes` (which measures the
-                // engine itself) must agree per round, plus all node state.
+                // Everything except `active_nodes` and `shards` (which
+                // measure the engine itself) must agree per round, plus
+                // all node state.
                 let stats: Vec<String> = sim
                     .stats()
                     .iter()
                     .map(|s| {
                         let mut s = *s;
                         s.active_nodes = 0;
+                        s.shards = 0;
                         format!("{s:?}")
                     })
                     .collect();
@@ -799,6 +1018,65 @@ mod tests {
             })
         };
         assert_eq!(run(Engine::Sparse), run(Engine::Dense));
+    }
+
+    #[test]
+    fn shards_parse_from_str() {
+        assert_eq!("auto".parse::<Shards>(), Ok(Shards::Auto));
+        assert_eq!("4".parse::<Shards>(), Ok(Shards::Fixed(4)));
+        assert!("0".parse::<Shards>().is_err());
+        assert!("many".parse::<Shards>().is_err());
+    }
+
+    /// Structural sharding: `Fixed(K)` must be bit-identical to
+    /// `Fixed(1)` for every `K`, inline and pooled, including per-round
+    /// stats (modulo the `shards` column itself) and all meters.
+    #[test]
+    fn sharded_matches_single_shard_bit_for_bit() {
+        let run = |shards: Shards, parallel: bool| {
+            let cfg = SimConfig {
+                shards,
+                parallel,
+                record_stats: true,
+                ..SimConfig::default()
+            };
+            churn_run(cfg, |sim| {
+                let stats: Vec<String> = sim
+                    .stats()
+                    .iter()
+                    .map(|s| {
+                        let mut s = *s;
+                        s.shards = 0;
+                        format!("{s:?}")
+                    })
+                    .collect();
+                let greeted: Vec<Vec<NodeId>> = (0..sim.n())
+                    .map(|v| sim.node(NodeId(v as u32)).greeted_by.clone())
+                    .collect();
+                (stats, greeted)
+            })
+        };
+        let base = run(Shards::Fixed(1), false);
+        for k in [2, 3, 8] {
+            assert_eq!(base, run(Shards::Fixed(k), false), "k={k} inline");
+            assert_eq!(base, run(Shards::Fixed(k), true), "k={k} pooled");
+        }
+    }
+
+    #[test]
+    fn shard_peaks_are_tracked() {
+        let cfg = SimConfig {
+            shards: Shards::Fixed(2),
+            ..SimConfig::default()
+        };
+        let mut sim: Simulator<Greeter> = Simulator::with_config(8, cfg);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(6, 7));
+        sim.step(&b);
+        assert_eq!(sim.shards(), 2);
+        assert_eq!(sim.shard_peak_active().len(), 2);
+        assert_eq!(sim.shard_peak_active().iter().sum::<usize>(), 8);
     }
 
     #[test]

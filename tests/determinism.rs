@@ -11,8 +11,11 @@
 //!   every registry protocol × er/flicker/sliding/p2p, stepped round by
 //!   round through erased sessions under both engines — meters compared to
 //!   `f64::to_bits` after *every* round, per-round stats (minus the
-//!   engine-measuring `active_nodes` field), and every supported query
-//!   kind answered identically mid-run and at the end.
+//!   engine-measuring `active_nodes`/`shards` fields), and every supported
+//!   query kind answered identically mid-run and at the end.
+//!
+//! Shard-count invariance has its own differential layer in
+//! `tests/shard_invariance.rs`.
 
 use dynamic_subgraphs::net::{
     edge, engine, Engine, NodeId, Query, QueryKind, Session, SimConfig, Simulator, Trace,
@@ -210,13 +213,16 @@ fn assert_engines_identical(protocol: &str, trace: &Trace, label: &str) {
             );
         }
     }
-    // Per-round stats, minus the field that measures the engine itself.
+    // Per-round stats, minus the fields that measure the engine itself
+    // (`shards` under `Shards::Auto` follows the active-set size, which
+    // legitimately differs between the engines on multi-core hosts).
     let scrub = |s: &Session| -> Vec<String> {
         s.stats()
             .iter()
             .map(|st| {
                 let mut st = *st;
                 st.active_nodes = 0;
+                st.shards = 0;
                 format!("{st:?}")
             })
             .collect()

@@ -1,55 +1,52 @@
 //! Offline shim for `rayon`: data-parallel iteration over slices, `Vec`s
-//! and integer ranges, executed on `std::thread::scope` with one chunk per
-//! available core. Only the adapters this workspace uses are provided:
+//! and integer ranges, executed on the persistent worker pool in
+//! [`pool`]. Only the adapters this workspace uses are provided:
 //! `enumerate`, `map`, `for_each`, `collect`.
 //!
 //! Order is preserved: `collect` returns results in input order, exactly
-//! like rayon's indexed parallel iterators.
+//! like rayon's indexed parallel iterators. Unlike the original shim —
+//! which spawned `std::thread::scope` threads and cloned items into
+//! per-chunk `Vec<Vec<T>>`s on every call — all parallel work now runs on
+//! [`pool::Pool::global`], so repeated calls pay neither thread spawns nor
+//! per-chunk allocation churn.
 
 use std::ops::Range;
+use std::sync::Mutex;
 
-fn threads_for(len: usize) -> usize {
-    if len <= 1 {
-        return 1;
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(len)
-}
+pub mod pool;
 
-/// Run `f` over `items` on scoped threads, preserving order.
+/// Run `f` over `items` on the global worker pool, preserving order via
+/// index-addressed slots. Sequential when the pool has no workers (single
+/// core) or the input is trivial.
 fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = threads_for(items.len());
-    if n <= 1 {
+    let n = items.len();
+    let p = pool::Pool::global();
+    if n <= 1 || p.workers() == 0 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(n);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n);
-    let mut iter = items.into_iter();
-    loop {
-        let c: Vec<T> = iter.by_ref().take(chunk_len).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::new();
-        for h in handles {
-            out.extend(h.join().expect("rayon shim worker panicked"));
-        }
-        out
-    })
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let chunk = n.div_ceil((p.workers() + 1) * 4).max(1);
+    p.run(n, chunk, p.workers() + 1, &|i| {
+        let item = slots[i]
+            .lock()
+            .expect("shim slot")
+            .take()
+            .expect("each slot claimed once");
+        *out[i].lock().expect("shim result slot") = Some(f(item));
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("shim result slot")
+                .expect("every index executed")
+        })
+        .collect()
 }
 
 /// An eager "parallel iterator": the items are materialized up front and

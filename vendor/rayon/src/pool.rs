@@ -1,0 +1,341 @@
+//! A persistent worker pool executing index-addressed jobs.
+//!
+//! The original shim spawned fresh `std::thread::scope` threads and cloned
+//! items into per-chunk `Vec<Vec<T>>`s on every call. This module is the
+//! replacement substrate: a fixed set of daemon workers parks on a condvar
+//! and executes **index-addressed jobs** — a job is a closure `f(i)` for
+//! `i in 0..end`, claimed in chunks from a shared atomic cursor. There is
+//! no per-call thread spawn and no per-chunk clone; results go wherever
+//! the closure writes them (slot buffers, disjoint sub-slices).
+//!
+//! # Determinism contract
+//!
+//! The pool guarantees only that every index in `0..end` executes exactly
+//! once before [`Pool::run`] returns. Callers needing deterministic output
+//! must make `f(i)` write to index-addressed locations so the thread
+//! interleaving cannot be observed — the workspace's `map_ordered` and the
+//! sharded round engine both do.
+//!
+//! # Nesting and concurrency
+//!
+//! The pool runs one job at a time. When [`Pool::run`] is called while
+//! another job is in flight — a nested call from inside a task, or a call
+//! from a second thread — the caller executes its whole job inline on its
+//! own thread: sequential, deadlock-free, and bit-identical for
+//! index-addressed writers. The same inline path serves single-core hosts
+//! (zero workers) and trivially small jobs.
+//!
+//! # Panics
+//!
+//! A panic inside `f(i)` is caught on the executing thread, remaining
+//! chunks are drained without running, and the original payload is
+//! re-raised from [`Pool::run`] on the submitting thread — so
+//! `#[should_panic(expected = …)]` tests observe the exact message
+//! regardless of which thread hit it.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One in-flight job: the task pointer plus claim/completion accounting.
+struct Job {
+    /// Type-erased pointer to the submitter's `&(dyn Fn(usize) + Sync)`.
+    ///
+    /// The pointee lives on the submitting thread's stack; see the
+    /// `unsafe impl` safety argument below for why dereferencing it from
+    /// worker threads is sound.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Claim cursor: `fetch_add(chunk)` hands out `[i, i + chunk)`.
+    next: AtomicUsize,
+    /// One past the last index.
+    end: usize,
+    /// Indices claimed per cursor bump.
+    chunk: usize,
+    /// Completed (or drained-after-panic) index count; the job is finished
+    /// when this reaches `end`.
+    done: AtomicUsize,
+    /// Worker entry tickets: how many daemon workers may still join this
+    /// job (the submitting thread always participates on top).
+    tickets: AtomicUsize,
+    /// Set after the first caught panic: later chunks drain without
+    /// executing so `done` still reaches `end`.
+    poisoned: AtomicBool,
+    /// The first caught panic payload, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: the raw `task` pointer is dereferenced only between a successful
+// cursor claim and the matching `done` bump, and `Pool::run` does not
+// return (and thus the pointee does not go out of scope) until
+// `done == end`. The pointee is `Sync`, so shared calls from several
+// threads are fine.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct State {
+    job: Option<Arc<Job>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a claimable job.
+    work_cv: Condvar,
+    /// The submitter waits here for `done == end`.
+    done_cv: Condvar,
+}
+
+/// A fixed-size persistent worker pool. See the module docs for the
+/// execution, nesting and panic contracts.
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Held (non-blockingly) for the duration of one `run`; a failed
+    /// `try_lock` is the nesting/concurrency signal that routes the caller
+    /// to the inline path.
+    submit: Mutex<()>,
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` daemon worker threads. The thread
+    /// calling [`Pool::run`] always participates too, so peak parallelism
+    /// is `workers + 1`. With `workers == 0` every job runs inline.
+    pub fn new(workers: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        for w in 0..workers {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("dds-pool-{w}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn pool worker");
+        }
+        Pool {
+            shared,
+            submit: Mutex::new(()),
+            workers,
+        }
+    }
+
+    /// The process-wide pool: `available_parallelism - 1` daemon workers
+    /// (0 on single-core hosts — everything then runs inline).
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            Pool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Daemon worker-thread count (0 means every job runs inline).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `task(i)` for every `i in 0..end`, claiming `chunk` indices
+    /// per cursor bump, on up to `max_threads` threads total (the caller
+    /// plus at most `max_threads - 1` workers). Blocks until every index
+    /// has executed; panics are re-raised here with their original
+    /// payload. Runs inline when the pool has no workers, `max_threads`
+    /// permits only the caller, the job fits in one chunk, or another job
+    /// is already in flight.
+    pub fn run(&self, end: usize, chunk: usize, max_threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        if end == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        if self.workers == 0 || max_threads <= 1 || end <= chunk {
+            for i in 0..end {
+                task(i);
+            }
+            return;
+        }
+        let Ok(_submit) = self.submit.try_lock() else {
+            for i in 0..end {
+                task(i);
+            }
+            return;
+        };
+        // Erase the borrow lifetime: sound because this function does not
+        // return until `done == end` (see the `Job` safety comment).
+        #[allow(clippy::missing_transmute_annotations)]
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job {
+            task: erased,
+            next: AtomicUsize::new(0),
+            end,
+            chunk,
+            done: AtomicUsize::new(0),
+            tickets: AtomicUsize::new(max_threads.saturating_sub(1).min(self.workers)),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.job = Some(Arc::clone(&job));
+            self.shared.work_cv.notify_all();
+        }
+        // Help until the cursor is exhausted, then wait for stragglers.
+        work_on(&self.shared, &job);
+        let mut st = self.shared.state.lock().expect("pool state");
+        while job.done.load(Ordering::Acquire) < job.end {
+            st = self.shared.done_cv.wait(st).expect("pool state");
+        }
+        st.job = None;
+        drop(st);
+        drop(_submit);
+        let payload = job.panic.lock().expect("pool panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Claim and execute chunks of `job` until the cursor is exhausted.
+fn work_on(shared: &Shared, job: &Job) {
+    loop {
+        let i = job.next.fetch_add(job.chunk, Ordering::Relaxed);
+        if i >= job.end {
+            break;
+        }
+        let hi = (i + job.chunk).min(job.end);
+        if !job.poisoned.load(Ordering::Acquire) {
+            // SAFETY: claim made above, `done` bumped below — inside the
+            // window where the submitter keeps the closure alive.
+            let task = unsafe { &*job.task };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for k in i..hi {
+                    task(k);
+                }
+            }));
+            if let Err(payload) = result {
+                let mut slot = job.panic.lock().expect("pool panic slot");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                job.poisoned.store(true, Ordering::Release);
+            }
+        }
+        let before = job.done.fetch_add(hi - i, Ordering::AcqRel);
+        if before + (hi - i) == job.end {
+            // All indices accounted for: wake the submitter. Taking the
+            // state lock orders this notify with the submitter's wait.
+            let _st = shared.state.lock().expect("pool state");
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if let Some(j) = st.job.as_ref() {
+                    let claimable = j.next.load(Ordering::Relaxed) < j.end
+                        && j.tickets
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                                t.checked_sub(1)
+                            })
+                            .is_ok();
+                    if claimable {
+                        break Arc::clone(j);
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("pool state");
+            }
+        };
+        work_on(shared, &job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, 7, 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool::new(0);
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(32, 1, 8, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_runs_fall_back_inline_without_deadlock() {
+        let pool = Pool::new(2);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let hits_ref = &hits;
+        let pool_ref = &pool;
+        pool.run(8, 1, 3, &move |i| {
+            pool_ref.run(8, 1, 3, &|j| {
+                hits_ref[i * 8 + j].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panics_propagate_with_payload_and_pool_survives() {
+        let pool = Pool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(200, 1, 3, &|i| {
+                if i == 37 {
+                    panic!("boom at index {i}");
+                }
+            });
+        }))
+        .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .expect("string payload");
+        assert!(msg.contains("boom at index 37"), "payload was {msg:?}");
+        // The pool must remain fully usable after a panicked job.
+        let count = AtomicUsize::new(0);
+        pool.run(50, 4, 3, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_the_same_workers() {
+        let pool = Pool::new(2);
+        for round in 0..20usize {
+            let sum = AtomicUsize::new(0);
+            pool.run(100, 5, 3, &|i| {
+                sum.fetch_add(i + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 4950 + 100 * round);
+        }
+    }
+}

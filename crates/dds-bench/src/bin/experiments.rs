@@ -1,9 +1,9 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|all]
-//!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--json FILE]
-//!             [--check-schema BASELINE.json]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|s4|all]
+//!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--repeat R]
+//!             [--json FILE] [--check-schema BASELINE.json]
 //! ```
 //!
 //! With no arguments, runs everything. `--csv` additionally writes each
@@ -13,39 +13,31 @@
 //! recorded trajectory to beat). `--max-n` caps the size sweeps (reduced
 //! configs for CI smoke runs), `--jobs N` fans the independent tables out
 //! over N scheduler workers (results are bit-identical for any N — the
-//! batch scheduler aggregates in input order), and `--check-schema`
-//! verifies that every produced table id + header row matches the named
-//! baseline report, exiting non-zero on drift. `s1` is the streamed
-//! scenario tier (n = 100 000 by default, capped by `--max-n`): runs
-//! driven from lazy trace sources that the materialized path could not
-//! hold in memory. `s2` is the large-n/low-churn tier: the same streamed
-//! schedule under the sparse and the dense round engine, recording the
-//! activity-proportionality speedup. `s3` is the sharded million-node
-//! tier (n = 1 000 000 by default, capped by `--max-n`): the same
-//! streamed schedule single-shard sequential vs multi-shard on the worker
-//! pool, with every deterministic column asserted bit-identical in the
-//! runner and the multi-core speedup recorded.
+//! batch scheduler aggregates in input order), `--repeat R` rebuilds every
+//! table R times so the report carries per-table samples with median and
+//! MAD (`dds bench diff` uses them as its noise band; the tables
+//! themselves are deterministic, so only the timings vary), and
+//! `--check-schema` verifies that every produced table id + header row
+//! matches the named baseline report, exiting non-zero on drift. `s1` is
+//! the streamed scenario tier (n = 100 000 by default, capped by
+//! `--max-n`): runs driven from lazy trace sources that the materialized
+//! path could not hold in memory. `s2` is the large-n/low-churn tier: the
+//! same streamed schedule under the sparse and the dense round engine,
+//! recording the activity-proportionality speedup. `s3` is the sharded
+//! million-node tier (n = 1 000 000 by default, capped by `--max-n`): the
+//! same streamed schedule single-shard sequential vs multi-shard on the
+//! worker pool, with every deterministic column asserted bit-identical in
+//! the runner and the multi-core speedup recorded. `s4` is the
+//! skewed-activity tier (hotspot/hub workloads, n = 100 000–1 000 000
+//! capped by `--max-n`, ≥ 60 % of the activity in one id decile): balanced
+//! weighted shard boundaries plus the work-stealing pool vs the chunked
+//! PR 6 configuration, bit-identity asserted in the runner, speedup
+//! recorded.
 
 use dds_bench::runners;
 use dds_bench::Table;
+use dds_bench::{Report, TimedTable};
 use std::time::Instant;
-
-/// One experiment's table plus the wall-clock cost of producing it.
-#[derive(serde::Serialize)]
-struct TimedTable {
-    id: String,
-    seconds: f64,
-    table: Table,
-}
-
-/// Full JSON report written by `--json`.
-#[derive(serde::Serialize)]
-struct Report {
-    version: String,
-    rounds: usize,
-    total_seconds: f64,
-    tables: Vec<TimedTable>,
-}
 
 /// Value of a `--flag FILE` option, exiting when the value is missing.
 fn file_option(args: &[String], flag: &str) -> Option<String> {
@@ -92,6 +84,16 @@ fn main() {
             }
         },
     };
+    let repeat = match args.iter().position(|a| a == "--repeat") {
+        None => 1,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(r) if r >= 1 => r,
+            _ => {
+                eprintln!("error: --repeat needs a sample count >= 1");
+                std::process::exit(2);
+            }
+        },
+    };
     let skip_values: Vec<usize> = args
         .iter()
         .enumerate()
@@ -100,6 +102,7 @@ fn main() {
                 || *a == "--json"
                 || *a == "--max-n"
                 || *a == "--jobs"
+                || *a == "--repeat"
                 || *a == "--check-schema"
         })
         .map(|(i, _)| i + 1)
@@ -233,21 +236,31 @@ fn main() {
             Box::new(move || runners::s3_sharded_tier(s3_n, rounds)),
         );
     }
+    if want("s4") {
+        let s4_n = 1_000_000.min(max_n.max(2));
+        run(
+            "s4",
+            Box::new(move || runners::s4_skewed_tier(s4_n, rounds)),
+        );
+    }
 
     // Execute the plan: every table is an independent job; the scheduler
     // returns them in plan order, so the report is identical for any
-    // --jobs value.
+    // --jobs value. With --repeat R each builder runs R times; the table
+    // is deterministic (identical across repeats), only the per-repeat
+    // seconds differ and become the sample set behind median/MAD.
     let tables: Vec<TimedTable> = dds_bench::scheduler::map_ordered(
         jobs,
         planned,
         |_, (id, build): (&'static str, Box<dyn Fn() -> Table + Send + Sync>)| {
-            let t = Instant::now();
-            let table = build();
-            TimedTable {
-                id: id.to_string(),
-                seconds: t.elapsed().as_secs_f64(),
-                table,
+            let mut samples = Vec::with_capacity(repeat);
+            let mut table = None;
+            for _ in 0..repeat {
+                let t = Instant::now();
+                table = Some(build());
+                samples.push(t.elapsed().as_secs_f64());
             }
+            TimedTable::from_samples(id, samples, table.expect("repeat >= 1"))
         },
     );
 

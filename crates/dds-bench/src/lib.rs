@@ -8,13 +8,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff;
 pub mod driver;
+pub mod report;
 pub mod runners;
 pub mod scheduler;
 pub mod sweep;
 pub mod table;
 
+pub use diff::{diff_reports, DiffReport, Thresholds};
 pub use driver::protocols;
+pub use report::{Report, TimedTable};
 pub use scheduler::{available_jobs, map_ordered, SweepPoint};
 pub use sweep::{sweep, sweep_jobs, Stats};
 pub use table::Table;

@@ -1,0 +1,193 @@
+//! The `BENCH_*.json` report schema, shared by the `experiments` binary
+//! (which writes it) and `dds bench diff` (which reads two of them).
+//!
+//! Since PR 7 each table carries its repeated wall-clock samples plus
+//! their median and MAD (median absolute deviation) — the robust
+//! location/spread pair the diff thresholds are built on. Reports written
+//! before that (single-sample files like `BENCH_baseline.json` …
+//! `BENCH_pr6.json`) lack those fields; [`TimedTable`] deserialization
+//! fills them from the single `seconds` value (`median = seconds`,
+//! `mad = 0`), so old and new files diff through one code path.
+
+use crate::table::Table;
+
+/// One experiment's table plus the wall-clock cost of producing it.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TimedTable {
+    /// Table id (`e1`, `s3`, …).
+    pub id: String,
+    /// Total wall-clock seconds across all samples (the table's share of
+    /// the report's production cost; equals the one sample when
+    /// `samples.len() == 1`).
+    pub seconds: f64,
+    /// Per-repeat production seconds (length = the `--repeat` count).
+    pub samples: Vec<f64>,
+    /// Median of `samples`.
+    pub median: f64,
+    /// Median absolute deviation of `samples` (0 for a single sample).
+    pub mad: f64,
+    /// The table itself.
+    pub table: Table,
+}
+
+impl TimedTable {
+    /// Build from per-repeat samples, deriving `seconds`/`median`/`mad`.
+    pub fn from_samples(id: impl Into<String>, samples: Vec<f64>, table: Table) -> Self {
+        TimedTable {
+            id: id.into(),
+            seconds: samples.iter().sum(),
+            median: median(&samples),
+            mad: mad(&samples),
+            samples,
+            table,
+        }
+    }
+}
+
+impl serde::Deserialize for TimedTable {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("TimedTable: missing `{k}`"));
+        let seconds = f64::from_value(field("seconds")?)?;
+        // Pre-PR-7 reports have no samples/median/mad: treat the single
+        // recorded `seconds` as the one sample.
+        let samples = match v.get("samples") {
+            Some(s) => Vec::<f64>::from_value(s)?,
+            None => vec![seconds],
+        };
+        Ok(TimedTable {
+            id: String::from_value(field("id")?)?,
+            seconds,
+            median: match v.get("median") {
+                Some(m) => f64::from_value(m)?,
+                None => median(&samples),
+            },
+            mad: match v.get("mad") {
+                Some(m) => f64::from_value(m)?,
+                None => mad(&samples),
+            },
+            samples,
+            table: Table::from_value(field("table")?)?,
+        })
+    }
+}
+
+/// Full JSON report written by `experiments --json`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Report {
+    /// Workspace version that produced the report.
+    pub version: String,
+    /// The `--rounds` setting of the run.
+    pub rounds: usize,
+    /// Whole-suite wall-clock seconds.
+    pub total_seconds: f64,
+    /// One entry per produced table, in plan order.
+    pub tables: Vec<TimedTable>,
+}
+
+impl serde::Deserialize for Report {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("Report: missing `{k}`"));
+        Ok(Report {
+            version: String::from_value(field("version")?)?,
+            rounds: usize::from_value(field("rounds")?)?,
+            total_seconds: f64::from_value(field("total_seconds")?)?,
+            tables: Vec::<TimedTable>::from_value(field("tables")?)?,
+        })
+    }
+}
+
+impl Report {
+    /// Load a report from a `BENCH_*.json` file (old or new schema).
+    pub fn load(path: &str) -> Result<Report, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// The table with the given id, if present.
+    pub fn table(&self, id: &str) -> Option<&TimedTable> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+}
+
+/// Median of a sample set (averaging the middle pair for even lengths);
+/// 0.0 on empty input.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Median absolute deviation from the median; 0.0 for fewer than two
+/// samples (a single measurement carries no spread information).
+pub fn mad(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let med = median(samples);
+    median(&samples.iter().map(|s| (s - med).abs()).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let report = Report {
+            version: "0.1.0".into(),
+            rounds: 300,
+            total_seconds: 1.5,
+            tables: vec![TimedTable::from_samples("e1", vec![0.5, 0.4, 0.6], table())],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tables.len(), 1);
+        let t = back.table("e1").unwrap();
+        assert_eq!(t.samples, vec![0.5, 0.4, 0.6]);
+        assert_eq!(t.median, 0.5);
+        assert!((t.mad - 0.1).abs() < 1e-12);
+        assert!((t.seconds - 1.5).abs() < 1e-12);
+        assert_eq!(t.table.rows, vec![vec!["1".to_string(), "2".to_string()]]);
+    }
+
+    #[test]
+    fn old_single_sample_reports_deserialize_with_derived_stats() {
+        // The exact shape BENCH_baseline.json .. BENCH_pr6.json use: no
+        // samples/median/mad fields.
+        let old = r#"{
+            "version": "0.1.0", "rounds": 300, "total_seconds": 2.0,
+            "tables": [{"id": "e1", "seconds": 0.25,
+                        "table": {"title": "T", "headers": ["a"],
+                                  "rows": [["1"]], "notes": []}}]
+        }"#;
+        let report: Report = serde_json::from_str(old).unwrap();
+        let t = report.table("e1").unwrap();
+        assert_eq!(t.samples, vec![0.25]);
+        assert_eq!(t.median, 0.25);
+        assert_eq!(t.mad, 0.0);
+    }
+
+    #[test]
+    fn median_and_mad_match_definitions() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad(&[5.0]), 0.0);
+        assert_eq!(mad(&[1.0, 1.0, 5.0]), 0.0);
+        assert_eq!(mad(&[1.0, 2.0, 4.0]), 1.0);
+    }
+}

@@ -20,12 +20,13 @@ use dds_workloads::{registry, Params};
 use rayon::pool::Pool;
 use std::sync::Mutex;
 
-/// Worker count to use when the caller does not care: the machine's
-/// available parallelism (≥ 1).
+/// Worker count to use when the caller does not care: the persistent
+/// pool's worker threads plus the submitting thread. The pool reads
+/// `available_parallelism` exactly once at first use and caches it, so
+/// repeated calls here (one per sweep, several per `experiments` run)
+/// never re-query the OS.
 pub fn available_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    Pool::global().workers() + 1
 }
 
 /// Run `f` over every item on up to `jobs` threads of the workspace's

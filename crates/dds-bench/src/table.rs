@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 
 /// A simple aligned table: header row plus data rows of strings.
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Table {
     /// Table title (printed above).
     pub title: String,

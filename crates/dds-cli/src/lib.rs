@@ -33,7 +33,8 @@ pub const USAGE: &str = "\
 usage:
   dds simulate --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
                [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats]
-               [--engine sparse|dense] [--shards auto|K] [--sample-queries K]
+               [--engine sparse|dense] [--shards auto|K]
+               [--scheduling balanced|chunked] [--sample-queries K]
                [--json]
                (--stream drives the run from a lazy trace source: one batch in
                 memory at a time; --seeds K runs K seeded replicas on J scheduler
@@ -44,12 +45,17 @@ usage:
                 round into K node-id-range tasks (auto [default] scales with
                 activity and the worker pool; results are bit-identical for
                 every K) and --parallel fans them out over the worker pool;
+                --scheduling balanced [default] splits shard boundaries by
+                per-node activity weight and runs them on the work-stealing
+                pool; chunked keeps fixed quantile boundaries + a single
+                shared queue (bit-identical either way, for A/B timing);
                 --record-stats also reports per-round active-node counts and
                 per-shard peaks; --sample-queries K probes an edge query
                 mid-run every K rounds and reports the answered/inconsistent
                 split)
   dds query    --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
                [--at ROUND] [--settle MAX] [--shards auto|K]
+               [--scheduling balanced|chunked]
                --query \"SPEC[; SPEC...]\" [--json]
                (runs the workload to --at (default: all rounds), optionally
                 settles, then answers each query spec with zero communication.
@@ -60,6 +66,13 @@ usage:
   dds trace generate --workload <name> [--n N] [--rounds R] [--seed S] --out FILE
   dds trace info FILE
   dds trace validate FILE
+  dds bench diff OLD.json NEW.json [--fail-on-regression]
+               (compares two experiment reports written by `experiments
+                --json`: deterministic table cells must match row-for-row
+                [wall-clock columns excluded], and per-table timings are
+                compared median-vs-median against a MAD noise band;
+                --fail-on-regression exits non-zero on row drift or on a
+                statistically significant slowdown)
   dds bounds [--n N]
   dds list";
 
@@ -82,6 +95,7 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
         Some("simulate") => cmd_simulate(&args),
         Some("query") => cmd_query(&args),
         Some("trace") => cmd_trace(&args),
+        Some("bench") => cmd_bench(&args),
         Some("bounds") => cmd_bounds(&args),
         Some("list") => {
             println!("protocols:");
@@ -97,16 +111,28 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
                     println!("      --{:<18} {} (default {})", p.key, p.help, p.default);
                 }
             }
-            let workers = rayon::pool::Pool::global().workers();
+            let pool = rayon::pool::Pool::global();
+            let workers = pool.workers();
             println!("engine:");
             println!(
                 "  worker pool:   {workers} daemon worker(s) + the driving thread \
                  (--parallel fans shards out over them)"
             );
             println!(
+                "  scheduling:    balanced [default] — activity-weighted shard \
+                 boundaries on the work-stealing pool; chunked — fixed quantile \
+                 boundaries + a shared queue (bit-identical, for A/B timing)"
+            );
+            println!(
                 "  shards:        auto scales 1..={} with round activity; \
                  --shards K pins the count (bit-identical for every K)",
                 (workers + 1).max(1)
+            );
+            println!(
+                "  pool counters: {} job(s) submitted, {} range(s) stolen so far \
+                 in this process",
+                pool.jobs(),
+                pool.steals()
             );
             Ok(())
         }
@@ -121,6 +147,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         record_stats: args.flag("record-stats"),
         engine: run::engine_from(args)?,
         shards: run::shards_from(args)?,
+        scheduling: run::scheduling_from(args)?,
         ..dds_net::SimConfig::default()
     };
     let seeds: usize = args.num_or("seeds", 1)?;
@@ -339,6 +366,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         parallel: args.flag("parallel"),
         engine: run::engine_from(args)?,
         shards: run::shards_from(args)?,
+        scheduling: run::scheduling_from(args)?,
         ..dds_net::SimConfig::default()
     };
     let mut src = run::build_workload_source(args)?;
@@ -542,6 +570,46 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
             Ok(())
         }
         _ => Err("trace subcommand: generate | validate | info".into()),
+    }
+}
+
+/// `dds bench diff OLD NEW`: compare two `experiments --json` reports —
+/// row-for-row identity on deterministic cells (wall-clock columns
+/// excluded) and median-vs-median timing against a MAD noise band. With
+/// `--fail-on-regression`, row drift or a significant slowdown errors, so
+/// CI can gate on the recorded trajectory instead of eyeballing tables.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    match args.positional.get(1).map(String::as_str) {
+        Some("diff") => {
+            let old_path = args
+                .positional
+                .get(2)
+                .ok_or("bench diff needs OLD.json NEW.json")?;
+            let new_path = args
+                .positional
+                .get(3)
+                .ok_or("bench diff needs OLD.json NEW.json")?;
+            let old = dds_bench::Report::load(old_path)?;
+            let new = dds_bench::Report::load(new_path)?;
+            let d = dds_bench::diff_reports(&old, &new, dds_bench::Thresholds::default());
+            print!("{}", d.render());
+            if args.flag("fail-on-regression") {
+                if d.has_row_drift() {
+                    return Err(format!(
+                        "bench diff: deterministic table cells drifted between \
+                         {old_path} and {new_path} (see the DRIFTED rows above)"
+                    ));
+                }
+                if d.has_regression() {
+                    return Err(format!(
+                        "bench diff: statistically significant timing regression \
+                         between {old_path} and {new_path} (see REGRESSION above)"
+                    ));
+                }
+            }
+            Ok(())
+        }
+        _ => Err("bench subcommand: diff OLD.json NEW.json [--fail-on-regression]".into()),
     }
 }
 

@@ -469,3 +469,154 @@ fn bounds_prints_lower_bound_curves() {
     assert!(stdout.contains("Theorem 2"), "bounds output: {stdout}");
     assert!(stdout.contains("Theorem 4"), "bounds output: {stdout}");
 }
+
+#[test]
+fn bench_diff_compares_reports_and_gates_on_regression() {
+    let dir = std::env::temp_dir().join(format!("dds-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Old schema (single `seconds`, no samples/median/mad) on purpose: the
+    // diff must accept every pre-existing BENCH_*.json as the OLD side.
+    let table = r#""table": {"title": "T", "headers": ["n", "changes", "rounds/s"],
+                             "rows": [["64", "120", "5000"]], "notes": []}"#;
+    let old = format!(
+        r#"{{"version": "0.1.0", "rounds": 300, "total_seconds": 1.0,
+            "tables": [{{"id": "e1", "seconds": 1.0, {table}}}]}}"#
+    );
+    // Same deterministic cells, different rounds/s (volatile), 3x slower.
+    let slow = r#"{"version": "0.1.0", "rounds": 300, "total_seconds": 3.0,
+        "tables": [{"id": "e1", "seconds": 3.0, "samples": [3.0, 3.0, 3.0],
+                    "median": 3.0, "mad": 0.0,
+                    "table": {"title": "T", "headers": ["n", "changes", "rounds/s"],
+                              "rows": [["64", "120", "1700"]], "notes": []}}]}"#;
+    // Deterministic cell drifted (changes 120 -> 121), timing unchanged.
+    let drifted = old.replace("120", "121");
+    let old_p = dir.join("old.json");
+    let slow_p = dir.join("slow.json");
+    let drift_p = dir.join("drift.json");
+    std::fs::write(&old_p, &old).unwrap();
+    std::fs::write(&slow_p, slow).unwrap();
+    std::fs::write(&drift_p, &drifted).unwrap();
+    let (old_s, slow_s, drift_s) = (
+        old_p.to_str().unwrap(),
+        slow_p.to_str().unwrap(),
+        drift_p.to_str().unwrap(),
+    );
+
+    // Identical reports: clean under the gate.
+    assert!(dds_cli::real_main(argv(&[
+        "bench",
+        "diff",
+        old_s,
+        old_s,
+        "--fail-on-regression"
+    ]))
+    .is_ok());
+    // Slowdown: reported always, fatal only under the gate.
+    assert!(dds_cli::real_main(argv(&["bench", "diff", old_s, slow_s])).is_ok());
+    let err = dds_cli::real_main(argv(&[
+        "bench",
+        "diff",
+        old_s,
+        slow_s,
+        "--fail-on-regression",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("regression"), "{err}");
+    // Deterministic-cell drift: fatal under the gate even with no slowdown.
+    let err = dds_cli::real_main(argv(&[
+        "bench",
+        "diff",
+        old_s,
+        drift_s,
+        "--fail-on-regression",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("drifted"), "{err}");
+    // The binary renders the comparison table.
+    let (ok, stdout, _) = run_bin(&["bench", "diff", old_s, slow_s]);
+    assert!(ok, "un-gated diff exits zero");
+    assert!(stdout.contains("REGRESSION"), "diff output: {stdout}");
+    let (ok, _, _) = run_bin(&["bench", "diff", old_s, slow_s, "--fail-on-regression"]);
+    assert!(!ok, "gated diff exits non-zero on regression");
+    // Malformed invocations error out.
+    assert!(dds_cli::real_main(argv(&["bench", "diff", old_s])).is_err());
+    assert!(dds_cli::real_main(argv(&["bench", "nope"])).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_scheduling_modes_are_bit_identical() {
+    let (ok, chunked, _) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "hotspot",
+        "--n",
+        "400",
+        "--rounds",
+        "80",
+        "--shards",
+        "4",
+        "--parallel",
+        "--scheduling",
+        "chunked",
+        "--json",
+    ]);
+    assert!(ok, "chunked run failed");
+    let (ok, balanced, _) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "hotspot",
+        "--n",
+        "400",
+        "--rounds",
+        "80",
+        "--shards",
+        "4",
+        "--parallel",
+        "--scheduling",
+        "balanced",
+        "--json",
+    ]);
+    assert!(ok, "balanced run failed");
+    // Same run, same outputs: every deterministic *output* field agrees.
+    // (Wall-clock fields differ by nature; per_shard_peak_active differs
+    // by design — balanced scheduling moves the shard boundaries.)
+    let keep = |s: &str| -> Vec<String> {
+        const FIELDS: [&str; 9] = [
+            "\"changes\"",
+            "\"inconsistent_rounds\"",
+            "\"amortized\"",
+            "\"footnote_amortized\"",
+            "\"messages\"",
+            "\"bits\"",
+            "\"violations\"",
+            "\"final_edges\"",
+            "\"shards\"",
+        ];
+        s.lines()
+            .filter(|l| FIELDS.iter().any(|f| l.contains(f)))
+            .map(str::to_string)
+            .collect()
+    };
+    let kept = keep(&chunked);
+    assert_eq!(kept.len(), 9, "all expected fields present: {kept:?}");
+    assert_eq!(kept, keep(&balanced));
+    // Unknown scheduling names are rejected.
+    assert!(dds_cli::real_main(argv(&[
+        "simulate",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "10",
+        "--scheduling",
+        "lifo"
+    ]))
+    .is_err());
+}

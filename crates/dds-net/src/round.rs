@@ -169,7 +169,9 @@ pub(crate) struct RoundBuffers<M> {
     /// Assembled sparse inboxes, CSR data (invariant 6).
     inbox: Vec<Received<M>>,
     /// Inbox offsets, parallel to `recv_nodes` (length `recv + 1`).
-    inbox_off: Vec<usize>,
+    /// Crate-visible so the simulator can weight Region B's balanced
+    /// shard cuts by per-receiver inbox size.
+    pub(crate) inbox_off: Vec<usize>,
     /// Nodes processed in phase 3 this round, ascending (invariant 6).
     pub(crate) recv_nodes: Vec<u32>,
     /// Nodes inconsistent at the end of the round, ascending (invariant 7).

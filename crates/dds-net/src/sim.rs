@@ -42,6 +42,17 @@
 //! `K`. With `SimConfig::parallel = true` the shard tasks fan out over the
 //! persistent worker pool; with `parallel = false` the same shard
 //! structure runs inline on one thread — same results either way.
+//!
+//! Under the default [`Scheduling::Balanced`] policy the cut points are
+//! **activity-proportional**: Region A splits the active set by a
+//! deterministic prefix-sum over `1 + degree` weights, and Region B
+//! independently splits the receiver list by `1 + inbox-size` weights —
+//! both pure functions of round data, so skewed (hub/hotspot) workloads
+//! get weight-balanced shards without any new synchronization.
+//! [`Scheduling::Chunked`] keeps the PR 6 behavior (equal-count cuts of
+//! the active set shared by both regions, single-cursor pool scheduling)
+//! as the measured baseline. The partition never affects results — only
+//! which task computes them.
 
 use crate::bandwidth::{BandwidthConfig, BandwidthMeter};
 use crate::event::EventBatch;
@@ -91,13 +102,17 @@ impl std::str::FromStr for Engine {
 pub enum Shards {
     /// Scale the shard count with the round's active-set size and the
     /// worker pool: 1 on single-core hosts, otherwise roughly one shard
-    /// per 1024 active nodes, capped at `pool workers + 1`. Never a
-    /// function of [`SimConfig::parallel`], so flipping `parallel` cannot
-    /// change per-round stats.
+    /// per 1024 active nodes, capped at `pool workers + 1`. Re-evaluated
+    /// from the **current round's** active set on every `step`, so a run
+    /// that goes quiet drops back to the `k = 1` no-alloc path instead of
+    /// keeping the shard count of its busiest round. Never a function of
+    /// [`SimConfig::parallel`], so flipping `parallel` cannot change
+    /// per-round stats.
     #[default]
     Auto,
     /// Exactly `K` shards per round (clamped to `1..=1024` and to the
-    /// active-set size).
+    /// active-set size — so this too collapses to one shard on a quiet
+    /// round).
     Fixed(usize),
 }
 
@@ -112,6 +127,37 @@ impl std::str::FromStr for Shards {
             Ok(k) if k >= 1 => Ok(Shards::Fixed(k)),
             _ => Err(format!(
                 "unknown shard count {s:?}; expected \"auto\" or an integer >= 1"
+            )),
+        }
+    }
+}
+
+/// How shard boundaries are cut and how shard tasks are scheduled on the
+/// pool. Either policy is bit-identical to the other (and to `shards = 1`)
+/// — this knob only moves wall-clock, which is exactly why the `s4` bench
+/// tier can A/B it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Activity-proportional boundaries (Region A weighted by `1 +
+    /// degree`, Region B independently weighted by `1 + inbox size`) and
+    /// work-stealing pool scheduling. The default.
+    #[default]
+    Balanced,
+    /// The PR 6 configuration, kept as a measurable baseline: equal-count
+    /// cuts of the active set, shared by both regions, scheduled through
+    /// the pool's single chunked cursor.
+    Chunked,
+}
+
+impl std::str::FromStr for Scheduling {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "balanced" => Ok(Scheduling::Balanced),
+            "chunked" => Ok(Scheduling::Chunked),
+            other => Err(format!(
+                "unknown scheduling {other:?}; expected \"balanced\" or \"chunked\""
             )),
         }
     }
@@ -132,6 +178,9 @@ pub struct SimConfig {
     pub engine: Engine,
     /// Shard-count policy (default: [`Shards::Auto`]).
     pub shards: Shards,
+    /// Shard-boundary and pool-scheduling policy (default:
+    /// [`Scheduling::Balanced`]). Bit-identical either way.
+    pub scheduling: Scheduling,
 }
 
 /// The simulator: topology + nodes + meters + reusable round scratch.
@@ -309,13 +358,25 @@ impl<N: Node> Simulator<N> {
         }
 
         // Partition the active set into K contiguous id ranges. Both the
-        // shard count and the boundaries are pure functions of the active
-        // set (plus config), never of thread schedule.
+        // shard count and the boundaries are pure functions of the round's
+        // data (plus config), never of thread schedule. Under `Balanced`
+        // the cuts are weighted by `1 + degree` so a hub decile does not
+        // pile into one shard; under `Chunked` they are the PR 6
+        // equal-count cuts.
+        let scheduling = self.cfg.scheduling;
         let k = self.effective_shards();
         self.last_shards = k;
         self.buffers.ensure_shards(k);
         let bounds = if k > 1 {
-            shard_ranges(&self.buffers.active, k, n)
+            match scheduling {
+                Scheduling::Balanced => {
+                    let nbrs = &self.buffers.nbrs;
+                    weighted_ranges(&self.buffers.active, k, n, |_, id| {
+                        1 + nbrs[id as usize].len() as u64
+                    })
+                }
+                Scheduling::Chunked => shard_ranges(&self.buffers.active, k, n),
+            }
         } else {
             Vec::new()
         };
@@ -375,7 +436,7 @@ impl<N: Node> Simulator<N> {
                     scratch_rest = sr;
                     base = hi;
                 }
-                run_shards(self.cfg.parallel, k, &|s| {
+                run_shards(self.cfg.parallel, scheduling, k, &|s| {
                     run_region_a(&mut tasks[s].lock().expect("shard task"));
                 });
             }
@@ -399,8 +460,29 @@ impl<N: Node> Simulator<N> {
         let messages_this_round = self.bandwidth.round_messages();
         let bits_this_round = self.bandwidth.round_bits();
 
+        // Region B boundaries. The receiver list and its inbox CSR exist
+        // now, so `Balanced` cuts *them* directly — weighted by `1 +
+        // inbox size` — rather than reusing Region A's sender-side cuts,
+        // which skew badly when a hub's receivers span the whole id space.
+        // `Chunked` shares Region A's bounds, as PR 6 did. Receivers are
+        // partitioned by disjoint ascending id ranges either way, so the
+        // stitch order (= global ascending order) is unchanged.
+        let bounds_b = if k > 1 {
+            match scheduling {
+                Scheduling::Balanced => {
+                    let off = &self.buffers.inbox_off;
+                    weighted_ranges(&self.buffers.recv_nodes, k, n, |pos, _| {
+                        1 + (off[pos + 1] - off[pos]) as u64
+                    })
+                }
+                Scheduling::Chunked => bounds.clone(),
+            }
+        } else {
+            Vec::new()
+        };
+
         // Region B — phases 3–4 plus next-active collection, one task per
-        // shard over the same id ranges: receive, consistency scan, and
+        // shard of the receiver list: receive, consistency scan, and
         // survivor collection are all node-local, so each receiver is
         // visited exactly once, in its owning shard.
         {
@@ -434,7 +516,7 @@ impl<N: Node> Simulator<N> {
                 let mut pos0 = 0usize;
                 let mut base = 0usize;
                 for s in 0..k {
-                    let hi = bounds[s + 1] as usize;
+                    let hi = bounds_b[s + 1] as usize;
                     let (node_slice, nr) = nodes_rest.split_at_mut(hi - base);
                     let cut = recv_rest.partition_point(|&v| (v as usize) < hi);
                     let (recv_slice, rr) = recv_rest.split_at(cut);
@@ -457,7 +539,7 @@ impl<N: Node> Simulator<N> {
                     pos0 += recv_slice.len();
                     base = hi;
                 }
-                run_shards(self.cfg.parallel, k, &|s| {
+                run_shards(self.cfg.parallel, scheduling, k, &|s| {
                     run_region_b(&mut tasks[s].lock().expect("shard task"));
                 });
             }
@@ -495,7 +577,7 @@ impl<N: Node> Simulator<N> {
             let recv = &self.buffers.recv_nodes;
             let mut start = 0usize;
             for s in 0..k {
-                let hi = bounds[s + 1] as usize;
+                let hi = bounds_b[s + 1] as usize;
                 let cut = start + recv[start..].partition_point(|&v| (v as usize) < hi);
                 self.shard_peak_active[s] = self.shard_peak_active[s].max(cut - start);
                 start = cut;
@@ -542,7 +624,8 @@ impl<N: Node> Simulator<N> {
 
 /// `k + 1` non-decreasing node-id boundaries splitting the active set into
 /// `k` near-equal contiguous-id shards; shard `s` owns node ids
-/// `[bounds[s], bounds[s + 1])`. Requires `1 < k <= active.len()`.
+/// `[bounds[s], bounds[s + 1])`. Requires `1 < k <= active.len()`. The
+/// [`Scheduling::Chunked`] (PR 6 compatibility) cut policy.
 fn shard_ranges(active: &[u32], k: usize, n: usize) -> Vec<u32> {
     let mut bounds = Vec::with_capacity(k + 1);
     bounds.push(0u32);
@@ -555,12 +638,50 @@ fn shard_ranges(active: &[u32], k: usize, n: usize) -> Vec<u32> {
     bounds
 }
 
+/// `k + 1` non-decreasing node-id boundaries splitting the ascending id
+/// list `ids` into `k` contiguous-id shards of near-equal total
+/// `weight(position, id)` — a deterministic prefix-sum split: cut `s`
+/// lands on the first id whose weight prefix reaches `s/k` of the total.
+/// A pure function of `(ids, k, weight)`, so boundaries can never depend
+/// on thread schedule. Requires `1 < k` and `ids` non-empty.
+fn weighted_ranges(
+    ids: &[u32],
+    k: usize,
+    n: usize,
+    mut weight: impl FnMut(usize, u32) -> u64,
+) -> Vec<u32> {
+    let mut total: u64 = 0;
+    for (pos, &id) in ids.iter().enumerate() {
+        total += weight(pos, id);
+    }
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0u32);
+    let mut prefix: u64 = 0;
+    let mut pos = 0usize;
+    for s in 1..k {
+        let target = ((total as u128 * s as u128) / k as u128) as u64;
+        while pos < ids.len() && prefix < target {
+            prefix += weight(pos, ids[pos]);
+            pos += 1;
+        }
+        let candidate = if pos < ids.len() { ids[pos] } else { n as u32 };
+        let prev = *bounds.last().expect("non-empty");
+        bounds.push(candidate.max(prev));
+    }
+    bounds.push(n as u32);
+    bounds
+}
+
 /// Run `f(s)` for every shard `s in 0..k` — over the worker pool when
-/// requested (and the pool is free), inline otherwise. Bit-identical
-/// either way: shard tasks write only disjoint state.
-fn run_shards(parallel: bool, k: usize, f: &(dyn Fn(usize) + Sync)) {
+/// requested (and the pool is free), inline otherwise. `Balanced` submits
+/// to the work-stealing scheduler; `Chunked` to the legacy single-cursor
+/// path. Bit-identical every way: shard tasks write only disjoint state.
+fn run_shards(parallel: bool, scheduling: Scheduling, k: usize, f: &(dyn Fn(usize) + Sync)) {
     if parallel && k > 1 {
-        Pool::global().run(k, 1, k, f);
+        match scheduling {
+            Scheduling::Balanced => Pool::global().run(k, 1, k, f),
+            Scheduling::Chunked => Pool::global().run_chunked(k, 1, k, f),
+        }
     } else {
         for s in 0..k {
             f(s);
@@ -1026,6 +1147,106 @@ mod tests {
         assert_eq!("4".parse::<Shards>(), Ok(Shards::Fixed(4)));
         assert!("0".parse::<Shards>().is_err());
         assert!("many".parse::<Shards>().is_err());
+    }
+
+    #[test]
+    fn scheduling_parses_from_str() {
+        assert_eq!("balanced".parse::<Scheduling>(), Ok(Scheduling::Balanced));
+        assert_eq!("chunked".parse::<Scheduling>(), Ok(Scheduling::Chunked));
+        assert!("stolen".parse::<Scheduling>().is_err());
+        assert_eq!(SimConfig::default().scheduling, Scheduling::Balanced);
+    }
+
+    /// The scheduling policy moves boundaries and pool queues, never bits:
+    /// `Balanced` and `Chunked` must agree with each other and with
+    /// `shards = 1`, inline and pooled.
+    #[test]
+    fn balanced_and_chunked_scheduling_are_bit_identical() {
+        let run = |shards: Shards, scheduling: Scheduling, parallel: bool| {
+            let cfg = SimConfig {
+                shards,
+                scheduling,
+                parallel,
+                record_stats: true,
+                ..SimConfig::default()
+            };
+            churn_run(cfg, |sim| {
+                let stats: Vec<String> = sim
+                    .stats()
+                    .iter()
+                    .map(|s| {
+                        let mut s = *s;
+                        s.shards = 0;
+                        format!("{s:?}")
+                    })
+                    .collect();
+                let greeted: Vec<Vec<NodeId>> = (0..sim.n())
+                    .map(|v| sim.node(NodeId(v as u32)).greeted_by.clone())
+                    .collect();
+                (stats, greeted)
+            })
+        };
+        let base = run(Shards::Fixed(1), Scheduling::Balanced, false);
+        for k in [2, 3, 8] {
+            for scheduling in [Scheduling::Balanced, Scheduling::Chunked] {
+                for parallel in [false, true] {
+                    assert_eq!(
+                        base,
+                        run(Shards::Fixed(k), scheduling, parallel),
+                        "k={k} {scheduling:?} parallel={parallel}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Weighted cuts are a partition for any weight profile: ascending,
+    /// bracketed by 0 and n, and heavy ids pull boundaries toward
+    /// themselves without ever crossing.
+    #[test]
+    fn weighted_ranges_form_a_partition() {
+        let ids: Vec<u32> = (0..100u32).collect();
+        // Uniform weights reduce to near-equal-count cuts.
+        let b = weighted_ranges(&ids, 4, 128, |_, _| 1);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&128));
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "{b:?}");
+        assert_eq!(b, vec![0, 25, 50, 75, 128]);
+        // A hot first decile (like a hub workload) pushes every cut left.
+        let hot = weighted_ranges(&ids, 4, 128, |_, id| if id < 10 { 100 } else { 1 });
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "{hot:?}");
+        assert!(
+            hot[1] < 10,
+            "first cut must land inside the hot decile: {hot:?}"
+        );
+        // Degenerate: all weight on one id still yields a valid partition.
+        let one = weighted_ranges(&ids, 4, 128, |_, id| u64::from(id == 7));
+        assert_eq!(one.first(), Some(&0));
+        assert_eq!(one.last(), Some(&128));
+        assert!(one.windows(2).all(|w| w[0] <= w[1]), "{one:?}");
+    }
+
+    /// `Shards` policies are re-evaluated from the *current* round's
+    /// active set: a run that goes quiet collapses back to one shard (the
+    /// no-alloc path) instead of keeping its busiest round's count.
+    #[test]
+    fn quiet_rounds_collapse_to_one_shard() {
+        let cfg = SimConfig {
+            shards: Shards::Fixed(8),
+            record_stats: true,
+            ..SimConfig::default()
+        };
+        let mut sim: Simulator<NeighborSet> = Simulator::with_config(32, cfg);
+        let mut b = EventBatch::new();
+        for v in 0..16u32 {
+            b.push_insert(edge(v, v + 16));
+        }
+        sim.step(&b);
+        assert_eq!(sim.stats()[0].shards, 8, "busy round shards out");
+        sim.step_quiet();
+        let last = sim.stats().last().expect("recorded");
+        assert_eq!(last.active_nodes, 0, "run went quiet");
+        assert_eq!(last.shards, 1, "quiet round must collapse to one shard");
     }
 
     /// Structural sharding: `Fixed(K)` must be bit-identical to

@@ -8,6 +8,8 @@
 //!   scenario;
 //! - [`flicker`]: the §1.3 flicker counterexample and a repeating
 //!   adversarial flicker stress;
+//! - [`hotspot`]: skewed-activity churn (hot id decile / hub modes) for
+//!   load-balance stress;
 //! - [`planted`]: planted k-cliques / k-cycles for correctness-vs-oracle
 //!   experiments;
 //! - [`preferential`]: scale-free preferential-attachment churn (hub
@@ -30,6 +32,7 @@ pub mod bounds;
 pub mod churn;
 pub mod erdos;
 pub mod flicker;
+pub mod hotspot;
 pub mod planted;
 pub mod preferential;
 pub mod registry;
@@ -40,6 +43,7 @@ pub use adversary::{HSpec, Remark1Adversary, Thm2Adversary, Thm4Adversary};
 pub use churn::{P2pChurn, P2pChurnConfig};
 pub use erdos::{ErChurn, ErChurnConfig};
 pub use flicker::{staggered_flicker_trace, Flicker, FlickerConfig};
+pub use hotspot::{Hotspot, HotspotConfig};
 pub use planted::{Planted, PlantedConfig, Shape};
 pub use preferential::{Preferential, PreferentialConfig};
 pub use registry::{build_source, build_trace, ParamSpec, Params, WorkloadSpec};

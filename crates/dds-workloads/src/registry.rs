@@ -17,6 +17,7 @@ use crate::adversary::{HSpec, Remark1Adversary, Thm2Adversary, Thm4Adversary};
 use crate::churn::{P2pChurn, P2pChurnConfig};
 use crate::erdos::{ErChurn, ErChurnConfig};
 use crate::flicker::{Flicker, FlickerConfig};
+use crate::hotspot::{Hotspot, HotspotConfig};
 use crate::planted::{Planted, PlantedConfig, Shape};
 use crate::preferential::{Preferential, PreferentialConfig};
 use crate::sliding::{SlidingWindow, SlidingWindowConfig};
@@ -210,6 +211,19 @@ fn source_sliding(p: &Params) -> Result<BoxedSource, String> {
     })))
 }
 
+fn source_hotspot(p: &Params) -> Result<BoxedSource, String> {
+    let (n, rounds, seed) = common(p)?;
+    Ok(Box::new(Hotspot::new(HotspotConfig {
+        n,
+        hot_ids: p.num_or("hot-ids", (n / 10).max(1))?,
+        hot: p.num_or("hot", 0.7)?,
+        target_edges: p.num_or("target-edges", 2 * n)?,
+        changes_per_round: p.num_or("changes-per-round", 4)?,
+        rounds,
+        seed,
+    })))
+}
+
 fn source_preferential(p: &Params) -> Result<BoxedSource, String> {
     let (n, rounds, seed) = common(p)?;
     Ok(Box::new(Preferential::new(PreferentialConfig {
@@ -337,6 +351,33 @@ static WORKLOADS: &[WorkloadSpec] = &[
             },
         ],
         source: source_sliding,
+    },
+    WorkloadSpec {
+        name: "hotspot",
+        summary: "skewed-activity churn concentrated on a hot id range",
+        params: &[
+            ParamSpec {
+                key: "hot-ids",
+                default: "n/10",
+                help: "size of the hot id range 0..hot-ids",
+            },
+            ParamSpec {
+                key: "hot",
+                default: "0.7",
+                help: "probability an endpoint is drawn hot",
+            },
+            ParamSpec {
+                key: "target-edges",
+                default: "2·n",
+                help: "equilibrium edge count",
+            },
+            ParamSpec {
+                key: "changes-per-round",
+                default: "4",
+                help: "topology changes per round",
+            },
+        ],
+        source: source_hotspot,
     },
     WorkloadSpec {
         name: "preferential",

@@ -5,24 +5,28 @@
 //!
 //! Two differential layers:
 //!
-//! - **Fixed(K) vs Fixed(1)** for K ∈ {2, 3, 8}, inline and pooled:
-//!   every registry protocol × er/flicker/sliding/p2p, stepped round by
-//!   round through erased sessions — meters compared to `f64::to_bits`
-//!   after *every* round, per-round stats (minus the engine-measuring
-//!   `shards` field), and every supported query kind answered identically
-//!   mid-run and after settling. A heavy-batch flicker variant stresses
-//!   the cross-shard merge with large simultaneous event sets.
-//! - **proptests**: random (workload, n, rounds, seed, K) tuples through
-//!   the robust 2-hop protocol, full-fingerprint compared.
+//! - **Fixed(K) vs Fixed(1)** for K ∈ {2, 3, 8} × scheduling ∈
+//!   {balanced, chunked}, inline and pooled: every registry protocol ×
+//!   er/flicker/sliding/p2p/hotspot, stepped round by round through
+//!   erased sessions — meters compared to `f64::to_bits` after *every*
+//!   round, per-round stats (minus the engine-measuring `shards` field),
+//!   and every supported query kind answered identically mid-run and
+//!   after settling. A heavy-batch flicker variant stresses the
+//!   cross-shard merge with large simultaneous event sets; the
+//!   skewed-activity hotspot workload stresses the activity-weighted
+//!   boundary computation of balanced scheduling.
+//! - **proptests**: random (workload, n, rounds, seed, K, scheduling)
+//!   tuples through the robust 2-hop protocol, full-fingerprint compared.
 
 use dynamic_subgraphs::net::{
-    edge, engine, NodeId, Query, QueryKind, Session, Shards, SimConfig, Simulator, Trace,
+    edge, engine, NodeId, Query, QueryKind, Scheduling, Session, Shards, SimConfig, Simulator,
+    Trace,
 };
 use dynamic_subgraphs::robust::TwoHopNode;
 use dynamic_subgraphs::workloads::{registry, Params};
 use proptest::prelude::*;
 
-const WORKLOADS: [&str; 4] = ["er", "flicker", "sliding", "p2p"];
+const WORKLOADS: [&str; 5] = ["er", "flicker", "sliding", "p2p", "hotspot"];
 
 fn build(workload: &str, n: usize, rounds: usize, seed: u64) -> Trace {
     registry::build_trace(
@@ -35,10 +39,11 @@ fn build(workload: &str, n: usize, rounds: usize, seed: u64) -> Trace {
     .expect("registered workload")
 }
 
-fn cfg(shards: Shards, parallel: bool) -> SimConfig {
+fn cfg(shards: Shards, parallel: bool, scheduling: Scheduling) -> SimConfig {
     SimConfig {
         shards,
         parallel,
+        scheduling,
         record_stats: true,
         ..SimConfig::default()
     }
@@ -102,16 +107,18 @@ fn scrubbed_stats(s: &Session) -> Vec<String> {
 /// Step a trace through one session per shard configuration, comparing
 /// everything observable after every round against the single-shard run.
 fn assert_shard_counts_identical(protocol: &str, trace: &Trace, parallel: bool, label: &str) {
-    let open = |shards: Shards| {
+    let open = |shards: Shards, scheduling: Scheduling| {
         dds_bench::protocols()
-            .open(protocol, trace.n, cfg(shards, parallel))
+            .open(protocol, trace.n, cfg(shards, parallel, scheduling))
             .expect("registered protocol")
     };
-    let mut base = open(Shards::Fixed(1));
-    let mut sharded: Vec<(usize, Session)> = [2usize, 3, 8]
-        .iter()
-        .map(|&k| (k, open(Shards::Fixed(k))))
-        .collect();
+    let mut base = open(Shards::Fixed(1), Scheduling::Balanced);
+    let mut sharded: Vec<(String, Session)> = Vec::new();
+    for &k in &[2usize, 3, 8] {
+        for sched in [Scheduling::Balanced, Scheduling::Chunked] {
+            sharded.push((format!("{k}/{sched:?}"), open(Shards::Fixed(k), sched)));
+        }
+    }
     for (i, b) in trace.batches.iter().enumerate() {
         base.step(b);
         let round = i + 1;
@@ -289,23 +296,29 @@ proptest! {
 
     #[test]
     fn two_hop_any_shard_count_matches_single(
-        w in 0usize..4,
+        w in 0usize..5,
         n in 6usize..24,
         rounds in 20usize..50,
         seed in 0u64..1_000,
         k in 2usize..10,
         par in 0u32..2,
+        sched in 0u32..2,
     ) {
         let parallel = par == 1;
+        let scheduling = if sched == 1 {
+            Scheduling::Chunked
+        } else {
+            Scheduling::Balanced
+        };
         let trace = build(WORKLOADS[w], n, rounds, seed);
         let one: Simulator<TwoHopNode> =
-            engine::drive(&trace, cfg(Shards::Fixed(1), false));
+            engine::drive(&trace, cfg(Shards::Fixed(1), false, Scheduling::Balanced));
         let many: Simulator<TwoHopNode> =
-            engine::drive(&trace, cfg(Shards::Fixed(k), parallel));
+            engine::drive(&trace, cfg(Shards::Fixed(k), parallel, scheduling));
         let a = fingerprint(&one, n);
         let b = fingerprint(&many, n);
-        prop_assert_eq!(&a.0, &b.0, "meters diverged (k={})", k);
-        prop_assert_eq!(&a.1, &b.1, "per-round stats diverged (k={})", k);
-        prop_assert_eq!(&a.2, &b.2, "query responses diverged (k={})", k);
+        prop_assert_eq!(&a.0, &b.0, "meters diverged (k={}, {:?})", k, scheduling);
+        prop_assert_eq!(&a.1, &b.1, "per-round stats diverged (k={}, {:?})", k, scheduling);
+        prop_assert_eq!(&a.2, &b.2, "query responses diverged (k={}, {:?})", k, scheduling);
     }
 }

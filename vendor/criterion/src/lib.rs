@@ -1,6 +1,9 @@
 //! Offline shim for `criterion`: wall-clock micro-benchmarking with the
-//! `criterion_group!` / `criterion_main!` surface. Reports mean / min /
-//! max per benchmark to stdout; no statistical modeling or HTML output.
+//! `criterion_group!` / `criterion_main!` surface. Reports median ± MAD
+//! plus mean / min / max per benchmark to stdout; no statistical modeling
+//! or HTML output. The median/MAD pair is the robust location/spread
+//! summary the workspace's `dds bench diff` thresholds are built on —
+//! a single slow outlier sample moves neither.
 //!
 //! `CRITERION_SAMPLE_OVERRIDE=<n>` caps the per-benchmark sample count —
 //! useful to smoke-run every bench quickly in CI.
@@ -125,7 +128,36 @@ struct Stats {
     mean: Duration,
     min: Duration,
     max: Duration,
+    median: Duration,
+    mad: Duration,
     samples: usize,
+}
+
+/// Median of a sample set, in seconds. Even-length sets average the two
+/// middle order statistics. Returns 0.0 on empty input.
+pub fn median_secs(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Median absolute deviation from the median, in seconds — the robust
+/// spread companion of [`median_secs`]. 0.0 for fewer than two samples.
+pub fn mad_secs(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let med = median_secs(samples);
+    let deviations: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+    median_secs(&deviations)
 }
 
 fn run_bench<F>(sample_size: usize, f: &mut F) -> Stats
@@ -147,18 +179,21 @@ where
         b.samples.push(Duration::ZERO);
     }
     let total: Duration = b.samples.iter().sum();
+    let secs: Vec<f64> = b.samples.iter().map(Duration::as_secs_f64).collect();
     Stats {
         mean: total / b.samples.len() as u32,
         min: b.samples.iter().min().copied().unwrap_or_default(),
         max: b.samples.iter().max().copied().unwrap_or_default(),
+        median: Duration::from_secs_f64(median_secs(&secs)),
+        mad: Duration::from_secs_f64(mad_secs(&secs)),
         samples: b.samples.len(),
     }
 }
 
 fn print_stats(id: &str, s: &Stats) {
     println!(
-        "{id:<48} mean {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
-        s.mean, s.min, s.max, s.samples
+        "{id:<48} median {:>12?} ± {:<12?} mean {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+        s.median, s.mad, s.mean, s.min, s.max, s.samples
     );
 }
 
@@ -201,5 +236,20 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        let clean = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let spiked = [1.0, 1.1, 0.9, 1.05, 100.0];
+        assert_eq!(median_secs(&clean), 1.0);
+        assert_eq!(median_secs(&spiked), 1.05);
+        assert!(mad_secs(&clean) <= 0.1);
+        assert!(mad_secs(&spiked) <= 0.15, "one outlier must not blow MAD");
+        // Even-length median averages the middle pair.
+        assert_eq!(median_secs(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        // Degenerate inputs.
+        assert_eq!(median_secs(&[]), 0.0);
+        assert_eq!(mad_secs(&[42.0]), 0.0);
     }
 }

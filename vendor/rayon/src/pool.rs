@@ -1,12 +1,19 @@
-//! A persistent worker pool executing index-addressed jobs.
+//! A persistent worker pool executing index-addressed jobs with
+//! work stealing.
 //!
 //! The original shim spawned fresh `std::thread::scope` threads and cloned
-//! items into per-chunk `Vec<Vec<T>>`s on every call. This module is the
-//! replacement substrate: a fixed set of daemon workers parks on a condvar
-//! and executes **index-addressed jobs** — a job is a closure `f(i)` for
-//! `i in 0..end`, claimed in chunks from a shared atomic cursor. There is
-//! no per-call thread spawn and no per-chunk clone; results go wherever
-//! the closure writes them (slot buffers, disjoint sub-slices).
+//! items into per-chunk `Vec<Vec<T>>`s on every call; PR 6 replaced that
+//! with a fixed set of daemon workers pulling chunks off one global atomic
+//! cursor. This revision replaces the single queue with a **work-stealing
+//! scheduler**: a job's index range `0..end` is split into one contiguous
+//! piece per participant (the submitter plus each joining worker), each
+//! participant owns a deque of ranges and pops from its back (LIFO, cache
+//! warm), and a participant whose deque runs dry steals the oldest range
+//! half from a randomized victim (FIFO), so one hot piece no longer
+//! serializes the job while the other threads idle. Victim order is driven
+//! by a deterministic per-(job, participant) xorshift seed — no global RNG,
+//! no platform entropy. The previous single-cursor algorithm is kept as
+//! [`Pool::run_chunked`] so benchmarks can measure stealing against it.
 //!
 //! # Determinism contract
 //!
@@ -14,7 +21,8 @@
 //! once before [`Pool::run`] returns. Callers needing deterministic output
 //! must make `f(i)` write to index-addressed locations so the thread
 //! interleaving cannot be observed — the workspace's `map_ordered` and the
-//! sharded round engine both do.
+//! sharded round engine both do. Which thread executes which index (and
+//! how many steals happen) varies run to run; what `f` writes must not.
 //!
 //! # Nesting and concurrency
 //!
@@ -28,17 +36,29 @@
 //! # Panics
 //!
 //! A panic inside `f(i)` is caught on the executing thread, remaining
-//! chunks are drained without running, and the original payload is
+//! ranges are drained without running, and the original payload is
 //! re-raised from [`Pool::run`] on the submitting thread — so
 //! `#[should_panic(expected = …)]` tests observe the exact message
 //! regardless of which thread hit it.
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// One in-flight job: the task pointer plus claim/completion accounting.
+/// How a job's indices are scheduled across participants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// Per-participant range deques, LIFO owner pops, randomized-victim
+    /// FIFO steals. The default for [`Pool::run`].
+    Stealing,
+    /// The PR 6 algorithm: one global atomic cursor, `fetch_add(chunk)`
+    /// claims. Kept as the baseline the `s4` bench tier compares against.
+    Chunked,
+}
+
+/// One in-flight job: the task pointer plus scheduling state.
 struct Job {
     /// Type-erased pointer to the submitter's `&(dyn Fn(usize) + Sync)`.
     ///
@@ -46,30 +66,39 @@ struct Job {
     /// `unsafe impl` safety argument below for why dereferencing it from
     /// worker threads is sound.
     task: *const (dyn Fn(usize) + Sync),
-    /// Claim cursor: `fetch_add(chunk)` hands out `[i, i + chunk)`.
-    next: AtomicUsize,
     /// One past the last index.
     end: usize,
-    /// Indices claimed per cursor bump.
+    /// Execution granularity: an owner pops its range, runs `chunk`
+    /// indices, and pushes the remainder back for thieves to find.
     chunk: usize,
-    /// Completed (or drained-after-panic) index count; the job is finished
-    /// when this reaches `end`.
-    done: AtomicUsize,
-    /// Worker entry tickets: how many daemon workers may still join this
-    /// job (the submitting thread always participates on top).
-    tickets: AtomicUsize,
-    /// Set after the first caught panic: later chunks drain without
-    /// executing so `done` still reaches `end`.
+    mode: Mode,
+    /// Per-participant range deques (`Stealing` mode). Slot 0 is the
+    /// submitter; slots `1..` are claimed by joining workers.
+    deques: Vec<Mutex<VecDeque<(usize, usize)>>>,
+    /// Claim cursor (`Chunked` mode): `fetch_add(chunk)` hands out
+    /// `[i, i + chunk)`.
+    next: AtomicUsize,
+    /// How many worker slots have been claimed; bounded by
+    /// `deques.len() - 1` so at most `max_threads - 1` workers join.
+    joiners: AtomicUsize,
+    /// Un-executed index count. The job is finished when this reaches 0;
+    /// the submitter loops (helping and stealing) until then, which is
+    /// what keeps the erased `task` borrow alive long enough.
+    pending: AtomicUsize,
+    /// Job sequence number: the deterministic steal-order seed.
+    seq: u64,
+    /// Set after the first caught panic: later ranges drain without
+    /// executing so `pending` still reaches 0.
     poisoned: AtomicBool,
     /// The first caught panic payload, re-raised by the submitter.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-// SAFETY: the raw `task` pointer is dereferenced only between a successful
-// cursor claim and the matching `done` bump, and `Pool::run` does not
-// return (and thus the pointee does not go out of scope) until
-// `done == end`. The pointee is `Sync`, so shared calls from several
-// threads are fine.
+// SAFETY: the raw `task` pointer is dereferenced only while executing a
+// claimed range, every claimed range decrements `pending` after it runs
+// (or drains), and `Pool::run` does not return (and thus the pointee does
+// not go out of scope) until `pending == 0`. The pointee is `Sync`, so
+// shared calls from several threads are fine.
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
@@ -79,10 +108,14 @@ struct State {
 
 struct Shared {
     state: Mutex<State>,
-    /// Workers wait here for a claimable job.
+    /// Workers wait here for a joinable job.
     work_cv: Condvar,
-    /// The submitter waits here for `done == end`.
-    done_cv: Condvar,
+    /// Lifetime count of successful steals, across all jobs. Telemetry
+    /// only — never read for scheduling decisions.
+    steals: AtomicU64,
+    /// Lifetime job counter; each submission takes the next value as its
+    /// deterministic steal-seed.
+    jobs: AtomicU64,
 }
 
 /// A fixed-size persistent worker pool. See the module docs for the
@@ -104,7 +137,8 @@ impl Pool {
         let shared = Arc::new(Shared {
             state: Mutex::new(State { job: None }),
             work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            steals: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
         });
         for w in 0..workers {
             let sh = Arc::clone(&shared);
@@ -121,7 +155,9 @@ impl Pool {
     }
 
     /// The process-wide pool: `available_parallelism - 1` daemon workers
-    /// (0 on single-core hosts — everything then runs inline).
+    /// (0 on single-core hosts — everything then runs inline). The core
+    /// count is read exactly once, on first use; every later call reuses
+    /// the cached sizing.
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
@@ -137,14 +173,52 @@ impl Pool {
         self.workers
     }
 
-    /// Execute `task(i)` for every `i in 0..end`, claiming `chunk` indices
-    /// per cursor bump, on up to `max_threads` threads total (the caller
-    /// plus at most `max_threads - 1` workers). Blocks until every index
-    /// has executed; panics are re-raised here with their original
-    /// payload. Runs inline when the pool has no workers, `max_threads`
-    /// permits only the caller, the job fits in one chunk, or another job
-    /// is already in flight.
+    /// Lifetime count of successful steals across all jobs this pool has
+    /// run. 0 on a pool that has only run inline (no workers, small jobs)
+    /// or whose jobs never went imbalanced.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of jobs actually scheduled on the pool (inline
+    /// fallbacks are not counted).
+    pub fn jobs(&self) -> u64 {
+        self.shared.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Execute `task(i)` for every `i in 0..end` on up to `max_threads`
+    /// threads total (the caller plus at most `max_threads - 1` workers),
+    /// scheduling ranges by work stealing with `chunk`-index execution
+    /// granularity. Blocks until every index has executed; panics are
+    /// re-raised here with their original payload. Runs inline when the
+    /// pool has no workers, `max_threads` permits only the caller, the job
+    /// fits in one chunk, or another job is already in flight.
     pub fn run(&self, end: usize, chunk: usize, max_threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_with(Mode::Stealing, end, chunk, max_threads, task);
+    }
+
+    /// [`Pool::run`], but scheduled the pre-work-stealing way: one global
+    /// cursor, fixed `chunk` claims, no stealing. Same completion, inline
+    /// and panic contracts. Exists so `s4` can measure the stealing
+    /// scheduler against the configuration it replaced.
+    pub fn run_chunked(
+        &self,
+        end: usize,
+        chunk: usize,
+        max_threads: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        self.run_with(Mode::Chunked, end, chunk, max_threads, task);
+    }
+
+    fn run_with(
+        &self,
+        mode: Mode,
+        end: usize,
+        chunk: usize,
+        max_threads: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) {
         if end == 0 {
             return;
         }
@@ -162,16 +236,36 @@ impl Pool {
             return;
         };
         // Erase the borrow lifetime: sound because this function does not
-        // return until `done == end` (see the `Job` safety comment).
+        // return until `pending == 0` (see the `Job` safety comment).
         #[allow(clippy::missing_transmute_annotations)]
         let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let slots = 1 + max_threads.saturating_sub(1).min(self.workers);
+        let seq = self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        // Pre-split the range into one contiguous piece per participant:
+        // everyone starts on local work and stealing only happens once a
+        // piece is imbalanced or a worker joins late.
+        let deques = (0..slots)
+            .map(|p| {
+                let mut dq = VecDeque::new();
+                if mode == Mode::Stealing {
+                    let (lo, hi) = (p * end / slots, (p + 1) * end / slots);
+                    if lo < hi {
+                        dq.push_back((lo, hi));
+                    }
+                }
+                Mutex::new(dq)
+            })
+            .collect();
         let job = Arc::new(Job {
             task: erased,
-            next: AtomicUsize::new(0),
             end,
             chunk,
-            done: AtomicUsize::new(0),
-            tickets: AtomicUsize::new(max_threads.saturating_sub(1).min(self.workers)),
+            mode,
+            deques,
+            next: AtomicUsize::new(0),
+            joiners: AtomicUsize::new(0),
+            pending: AtomicUsize::new(end),
+            seq,
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
         });
@@ -180,14 +274,12 @@ impl Pool {
             st.job = Some(Arc::clone(&job));
             self.shared.work_cv.notify_all();
         }
-        // Help until the cursor is exhausted, then wait for stragglers.
-        work_on(&self.shared, &job);
-        let mut st = self.shared.state.lock().expect("pool state");
-        while job.done.load(Ordering::Acquire) < job.end {
-            st = self.shared.done_cv.wait(st).expect("pool state");
+        // Help as participant 0 until every index has executed.
+        participate(&self.shared, &job, 0, true);
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.job = None;
         }
-        st.job = None;
-        drop(st);
         drop(_submit);
         let payload = job.panic.lock().expect("pool panic slot").take();
         if let Some(payload) = payload {
@@ -200,65 +292,155 @@ impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
             .field("workers", &self.workers)
+            .field("steals", &self.steals())
             .finish_non_exhaustive()
     }
 }
 
-/// Claim and execute chunks of `job` until the cursor is exhausted.
-fn work_on(shared: &Shared, job: &Job) {
-    loop {
-        let i = job.next.fetch_add(job.chunk, Ordering::Relaxed);
-        if i >= job.end {
-            break;
+/// SplitMix64: turns (job seq, participant slot) into a well-mixed
+/// per-participant steal-order seed.
+fn mix_seed(seq: u64, slot: usize) -> u64 {
+    let mut z = seq
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(slot as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Xorshift64 step — the victim-order generator. Deterministic per
+/// participant; never 0 because the seed is splitmix-whitened.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Run one claimed range, or drain it if a panic already poisoned the job,
+/// then account for it.
+fn execute(job: &Job, lo: usize, hi: usize) {
+    if !job.poisoned.load(Ordering::Acquire) {
+        // SAFETY: range claimed, `pending` decremented below — inside the
+        // window where the submitter keeps the closure alive.
+        let task = unsafe { &*job.task };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for k in lo..hi {
+                task(k);
+            }
+        }));
+        if let Err(payload) = result {
+            let mut slot = job.panic.lock().expect("pool panic slot");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            job.poisoned.store(true, Ordering::Release);
         }
-        let hi = (i + job.chunk).min(job.end);
-        if !job.poisoned.load(Ordering::Acquire) {
-            // SAFETY: claim made above, `done` bumped below — inside the
-            // window where the submitter keeps the closure alive.
-            let task = unsafe { &*job.task };
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                for k in i..hi {
-                    task(k);
+    }
+    job.pending.fetch_sub(hi - lo, Ordering::AcqRel);
+}
+
+/// Work on `job` as participant `slot` until there is nothing left to
+/// claim. The submitter additionally persists until `pending == 0` — it
+/// must outlive every in-flight range because it owns the task borrow.
+fn participate(shared: &Shared, job: &Job, slot: usize, is_submitter: bool) {
+    let mut rng = mix_seed(job.seq, slot);
+    let slots = job.deques.len();
+    loop {
+        match job.mode {
+            Mode::Chunked => {
+                let i = job.next.fetch_add(job.chunk, Ordering::Relaxed);
+                if i < job.end {
+                    execute(job, i, (i + job.chunk).min(job.end));
+                    continue;
                 }
-            }));
-            if let Err(payload) = result {
-                let mut slot = job.panic.lock().expect("pool panic slot");
-                if slot.is_none() {
-                    *slot = Some(payload);
+            }
+            Mode::Stealing => {
+                // Own deque first: newest range, LIFO, cache warm.
+                let own = job.deques[slot].lock().expect("pool deque").pop_back();
+                if let Some((lo, hi)) = own {
+                    let mid = (lo + job.chunk).min(hi);
+                    if mid < hi {
+                        // Remainder goes back *before* executing so
+                        // thieves can take it while we run this chunk.
+                        job.deques[slot]
+                            .lock()
+                            .expect("pool deque")
+                            .push_back((mid, hi));
+                    }
+                    execute(job, lo, mid);
+                    continue;
                 }
-                job.poisoned.store(true, Ordering::Release);
+                // Steal sweep: victims in deterministically seeded random
+                // order, oldest range first (FIFO end), taking the low
+                // half of anything bigger than one chunk.
+                let mut stolen = None;
+                let start = next_rand(&mut rng) as usize % slots;
+                for off in 0..slots {
+                    let victim = (start + off) % slots;
+                    if victim == slot {
+                        continue;
+                    }
+                    let mut dq = job.deques[victim].lock().expect("pool deque");
+                    if let Some((lo, hi)) = dq.pop_front() {
+                        if hi - lo > job.chunk {
+                            let mid = lo + (hi - lo) / 2;
+                            dq.push_front((mid, hi));
+                            stolen = Some((lo, mid));
+                        } else {
+                            stolen = Some((lo, hi));
+                        }
+                        break;
+                    }
+                }
+                if let Some(range) = stolen {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    job.deques[slot]
+                        .lock()
+                        .expect("pool deque")
+                        .push_back(range);
+                    continue;
+                }
             }
         }
-        let before = job.done.fetch_add(hi - i, Ordering::AcqRel);
-        if before + (hi - i) == job.end {
-            // All indices accounted for: wake the submitter. Taking the
-            // state lock orders this notify with the submitter's wait.
-            let _st = shared.state.lock().expect("pool state");
-            shared.done_cv.notify_all();
+        // Nothing claimable anywhere. Workers leave — in both modes no
+        // unclaimed work reappears once every queue is empty (an owner
+        // re-publishes its remainder *before* executing). The submitter
+        // spins out the last in-flight ranges: it may not return while
+        // any claimed range is still executing against its borrow.
+        if !is_submitter || job.pending.load(Ordering::Acquire) == 0 {
+            break;
         }
+        std::thread::yield_now();
     }
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let (job, slot) = {
             let mut st = shared.state.lock().expect("pool state");
             loop {
                 if let Some(j) = st.job.as_ref() {
-                    let claimable = j.next.load(Ordering::Relaxed) < j.end
-                        && j.tickets
-                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
-                                t.checked_sub(1)
-                            })
-                            .is_ok();
-                    if claimable {
-                        break Arc::clone(j);
+                    if j.pending.load(Ordering::Relaxed) > 0 {
+                        // Claim a distinct participant slot (and with it a
+                        // deque); slots are never returned, so a worker
+                        // joins each job at most once.
+                        let claimed =
+                            j.joiners
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                                    (c < j.deques.len() - 1).then_some(c + 1)
+                                });
+                        if let Ok(prev) = claimed {
+                            break (Arc::clone(j), 1 + prev);
+                        }
                     }
                 }
                 st = shared.work_cv.wait(st).expect("pool state");
             }
         };
-        work_on(shared, &job);
+        participate(shared, &job, slot, false);
     }
 }
 
@@ -279,6 +461,18 @@ mod tests {
     }
 
     #[test]
+    fn chunked_mode_runs_every_index_exactly_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_chunked(1000, 7, 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
     fn zero_worker_pool_runs_inline() {
         let pool = Pool::new(0);
         let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
@@ -286,6 +480,8 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(pool.steals(), 0, "inline jobs never steal");
+        assert_eq!(pool.jobs(), 0, "inline jobs are not scheduled");
     }
 
     #[test]
@@ -337,5 +533,83 @@ mod tests {
             });
             assert_eq!(sum.load(Ordering::Relaxed), 4950 + 100 * round);
         }
+    }
+
+    /// Index-addressed writers must observe identical results no matter
+    /// how stealing interleaves — compare pooled against pure sequential
+    /// on an uneven workload designed to force imbalance.
+    #[test]
+    fn stealing_results_match_sequential_on_skewed_work() {
+        let n = 4096usize;
+        let cost = |i: usize| -> u64 {
+            // First decile carries most of the work, like a hub workload.
+            let spins = if i < n / 10 { 400 } else { 4 };
+            let mut acc = i as u64;
+            for s in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s as u64);
+            }
+            acc
+        };
+        let expect: Vec<u64> = (0..n).map(cost).collect();
+        let pool = Pool::new(3);
+        for trial in 0..3 {
+            let slots: Vec<Mutex<u64>> = (0..n).map(|_| Mutex::new(0)).collect();
+            pool.run(n, 8, 4, &|i| {
+                *slots[i].lock().unwrap() = cost(i);
+            });
+            let got: Vec<u64> = slots.iter().map(|s| *s.lock().unwrap()).collect();
+            assert_eq!(expect, got, "trial {trial}");
+        }
+    }
+
+    /// `run` and `run_chunked` are observably identical for
+    /// index-addressed writers; only the scheduling differs.
+    #[test]
+    fn stealing_and_chunked_schedulers_agree() {
+        let pool = Pool::new(2);
+        let run_both = |chunked: bool| -> Vec<usize> {
+            let slots: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
+            let f = |i: usize| slots[i].store(i * 3 + 1, Ordering::Relaxed);
+            if chunked {
+                pool.run_chunked(512, 16, 3, &f);
+            } else {
+                pool.run(512, 16, 3, &f);
+            }
+            slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+        };
+        assert_eq!(run_both(false), run_both(true));
+    }
+
+    #[test]
+    fn steal_counter_is_monotonic_and_job_counter_counts() {
+        let pool = Pool::new(3);
+        let before_jobs = pool.jobs();
+        let before_steals = pool.steals();
+        for _ in 0..5 {
+            pool.run(256, 4, 4, &|i| {
+                std::hint::black_box(i);
+            });
+        }
+        assert_eq!(pool.jobs(), before_jobs + 5);
+        assert!(pool.steals() >= before_steals, "steals never decrease");
+    }
+
+    #[test]
+    fn chunked_mode_panics_propagate_too() {
+        let pool = Pool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunked(200, 1, 3, &|i| {
+                if i == 11 {
+                    panic!("chunked boom {i}");
+                }
+            });
+        }))
+        .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .expect("string payload");
+        assert!(msg.contains("chunked boom 11"), "payload was {msg:?}");
     }
 }

@@ -9,6 +9,7 @@
 //!
 //! [`BandwidthPolicy::Observe`]: dds_net::BandwidthPolicy::Observe
 
+use dds_net::checkpoint::{self as ckpt, Checkpointable, Deserialize as _, Value};
 use dds_net::{
     Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
     Queryable, Received, Response, Round,
@@ -180,10 +181,153 @@ impl Queryable for FloodNode {
     }
 }
 
+fn fact_value(f: Fact) -> Value {
+    Value::Arr(vec![
+        ckpt::edge_value(f.edge),
+        Value::U64(f.round),
+        Value::Bool(f.insert),
+    ])
+}
+
+fn fact_from(v: &Value, n: usize) -> Result<Fact, String> {
+    let item = ckpt::arr(v)?;
+    if item.len() != 3 {
+        return Err("fact: expected [edge, round, insert]".into());
+    }
+    let edge = ckpt::edge_from(&item[0])?;
+    if edge.hi().index() >= n {
+        return Err(format!("fact: out-of-range edge {edge:?}"));
+    }
+    Ok(Fact {
+        edge,
+        round: u64::from_value(&item[1])?,
+        insert: bool::from_value(&item[2])?,
+    })
+}
+
+impl Checkpointable for FloodNode {
+    fn save_state(&self) -> Value {
+        // Sets/maps sorted; the `outbox` and catch-up history Vecs keep
+        // their exact order (it feeds next round's bundles verbatim).
+        let mut seen: Vec<Fact> = self.seen.iter().copied().collect();
+        seen.sort_unstable_by_key(|f| (f.edge, f.round, f.insert));
+        let mut catchup: Vec<(NodeId, &Vec<Fact>)> =
+            self.catchup.iter().map(|(&p, h)| (p, h)).collect();
+        catchup.sort_unstable_by_key(|&(p, _)| p);
+        let mut belief: Vec<(Edge, (Round, bool))> =
+            self.belief.iter().map(|(&e, &b)| (e, b)).collect();
+        belief.sort_unstable_by_key(|&(e, _)| e);
+        ckpt::obj(vec![
+            (
+                "seen",
+                Value::Arr(seen.into_iter().map(fact_value).collect()),
+            ),
+            (
+                "outbox",
+                Value::Arr(self.outbox.iter().copied().map(fact_value).collect()),
+            ),
+            (
+                "catchup",
+                Value::Arr(
+                    catchup
+                        .into_iter()
+                        .map(|(p, h)| {
+                            Value::Arr(vec![
+                                Value::U64(p.0 as u64),
+                                Value::Arr(h.iter().copied().map(fact_value).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "belief",
+                Value::Arr(
+                    belief
+                        .into_iter()
+                        .map(|(e, (r, present))| {
+                            Value::Arr(vec![
+                                ckpt::edge_value(e),
+                                Value::U64(r),
+                                Value::Bool(present),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("consistent", Value::Bool(self.consistent)),
+        ])
+    }
+
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String> {
+        let mut node = <FloodNode as Node>::new(id, n);
+        for fv in ckpt::arr(ckpt::field(v, "seen")?)? {
+            let f = fact_from(fv, n)?;
+            if !node.seen.insert(f) {
+                return Err(format!("seen: duplicate fact {f:?}"));
+            }
+        }
+        for fv in ckpt::arr(ckpt::field(v, "outbox")?)? {
+            node.outbox.push(fact_from(fv, n)?);
+        }
+        for pair in ckpt::arr(ckpt::field(v, "catchup")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("catchup: expected [peer, history]".into());
+            }
+            let p = NodeId(u32::from_value(&pair[0])?);
+            if p == id || p.index() >= n {
+                return Err(format!("catchup: bad peer {p:?}"));
+            }
+            let mut history = Vec::new();
+            for fv in ckpt::arr(&pair[1])? {
+                history.push(fact_from(fv, n)?);
+            }
+            if node.catchup.insert(p, history).is_some() {
+                return Err(format!("catchup: duplicate peer {p:?}"));
+            }
+        }
+        for bv in ckpt::arr(ckpt::field(v, "belief")?)? {
+            let item = ckpt::arr(bv)?;
+            if item.len() != 3 {
+                return Err("belief: expected [edge, round, present]".into());
+            }
+            let e = ckpt::edge_from(&item[0])?;
+            if e.hi().index() >= n {
+                return Err(format!("belief: out-of-range edge {e:?}"));
+            }
+            let entry = (u64::from_value(&item[1])?, bool::from_value(&item[2])?);
+            if node.belief.insert(e, entry).is_some() {
+                return Err(format!("belief: duplicate edge {e:?}"));
+            }
+        }
+        node.consistent = bool::from_value(ckpt::field(v, "consistent")?)?;
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dds_net::{edge, BandwidthConfig, BandwidthPolicy, EventBatch, SimConfig, Simulator};
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_outbox_order() {
+        let mut sim = flood_sim(5);
+        for (u, w) in [(0, 1), (1, 2), (2, 3)] {
+            sim.step(&EventBatch::insert(edge(u, w)));
+        }
+        sim.step(&EventBatch::insert(edge(3, 4))); // catch-up pending at 3
+        for i in 0..5u32 {
+            let node = sim.node(NodeId(i));
+            let saved = node.save_state();
+            let back = FloodNode::load_state(node.id, 5, &saved).unwrap();
+            assert_eq!(back.save_state(), saved, "node {i} roundtrip drifted");
+            assert_eq!(back.outbox, node.outbox, "node {i} outbox order");
+            assert_eq!(back.seen, node.seen);
+            assert_eq!(back.belief, node.belief);
+        }
+    }
 
     fn flood_sim(n: usize) -> Simulator<FloodNode> {
         let cfg = SimConfig {

@@ -13,6 +13,7 @@
 //! experiment A1) reproduce this, which is precisely why Theorem 7 needs
 //! the imaginary-timestamp machinery.
 
+use dds_net::checkpoint::{self as ckpt, Checkpointable, Deserialize as _, Value};
 use dds_net::{
     Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
     Queryable, Received, Response, Round,
@@ -164,10 +165,87 @@ impl Queryable for NaiveTwoHopNode {
     }
 }
 
+impl Checkpointable for NaiveTwoHopNode {
+    fn save_state(&self) -> Value {
+        let mut incident: Vec<NodeId> = self.incident.iter().copied().collect();
+        incident.sort_unstable();
+        let mut s: Vec<Edge> = self.s.iter().copied().collect();
+        s.sort_unstable();
+        ckpt::obj(vec![
+            ("incident", ckpt::ids_value(&incident)),
+            (
+                "s",
+                Value::Arr(s.into_iter().map(ckpt::edge_value).collect()),
+            ),
+            (
+                "q",
+                Value::Arr(
+                    self.q
+                        .iter()
+                        .map(|&(e, ins)| Value::Arr(vec![ckpt::edge_value(e), Value::Bool(ins)]))
+                        .collect(),
+                ),
+            ),
+            ("consistent", Value::Bool(self.consistent)),
+        ])
+    }
+
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String> {
+        let mut node = <NaiveTwoHopNode as Node>::new(id, n);
+        for p in ckpt::ids_from(ckpt::field(v, "incident")?)? {
+            if p == id || p.index() >= n {
+                return Err(format!("incident: bad peer {p:?}"));
+            }
+            if !node.incident.insert(p) {
+                return Err(format!("incident: duplicate peer {p:?}"));
+            }
+        }
+        for ev in ckpt::arr(ckpt::field(v, "s")?)? {
+            let e = ckpt::edge_from(ev)?;
+            if e.hi().index() >= n {
+                return Err(format!("s: out-of-range edge {e:?}"));
+            }
+            if !node.s.insert(e) {
+                return Err(format!("s: duplicate edge {e:?}"));
+            }
+        }
+        for item in ckpt::arr(ckpt::field(v, "q")?)? {
+            let item = ckpt::arr(item)?;
+            if item.len() != 2 {
+                return Err("q: expected [edge, insert]".into());
+            }
+            let e = ckpt::edge_from(&item[0])?;
+            if e.hi().index() >= n {
+                return Err(format!("q: out-of-range edge {e:?}"));
+            }
+            node.q.push_back((e, bool::from_value(&item[1])?));
+        }
+        node.consistent = bool::from_value(ckpt::field(v, "consistent")?)?;
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dds_net::{edge, EventBatch, Simulator};
+
+    #[test]
+    fn checkpoint_roundtrip_is_lossless() {
+        let mut sim: Simulator<NaiveTwoHopNode> = Simulator::new(4);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(0, 2));
+        sim.step(&b);
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        for i in 0..4u32 {
+            let node = sim.node(NodeId(i));
+            let saved = node.save_state();
+            let back = NaiveTwoHopNode::load_state(node.id, 4, &saved).unwrap();
+            assert_eq!(back.save_state(), saved, "node {i} roundtrip drifted");
+            assert_eq!(back.q, node.q);
+        }
+    }
 
     #[test]
     fn works_on_the_easy_cases() {

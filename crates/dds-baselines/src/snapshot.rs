@@ -18,6 +18,7 @@
 //!   impossibility threshold — there is provably no asymptotically better
 //!   algorithm.
 
+use dds_net::checkpoint::{self as ckpt, Checkpointable, Deserialize as _, Value};
 use dds_net::{
     Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
     Queryable, Received, Response, Round,
@@ -336,10 +337,207 @@ impl Queryable for SnapshotNode {
     }
 }
 
+/// Sorted-by-key view of a per-peer map, for canonical serialization.
+fn sorted_peers<T>(m: &FxHashMap<NodeId, T>) -> Vec<(NodeId, &T)> {
+    let mut v: Vec<(NodeId, &T)> = m.iter().map(|(&p, x)| (p, x)).collect();
+    v.sort_unstable_by_key(|&(p, _)| p);
+    v
+}
+
+fn sorted_ids(s: &FxHashSet<NodeId>) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = s.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+impl Checkpointable for SnapshotNode {
+    fn save_state(&self) -> Value {
+        let queue_item = |item: &QueueItem| match item {
+            QueueItem::Delta { edge, insert } => Value::Arr(vec![
+                Value::Str("delta".into()),
+                ckpt::edge_value(*edge),
+                Value::Bool(*insert),
+            ]),
+            QueueItem::Chunk(SnapMsg::Chunk {
+                start,
+                span,
+                members,
+                last,
+            }) => Value::Arr(vec![
+                Value::Str("chunk".into()),
+                Value::U64(*start as u64),
+                Value::U64(*span as u64),
+                ckpt::ids_value(members),
+                Value::Bool(*last),
+            ]),
+            QueueItem::Chunk(SnapMsg::Delta { .. }) => {
+                unreachable!("deltas are queued as QueueItem::Delta")
+            }
+        };
+        ckpt::obj(vec![
+            ("incident", ckpt::ids_value(&sorted_ids(&self.incident))),
+            (
+                "known",
+                Value::Arr(
+                    sorted_peers(&self.known)
+                        .into_iter()
+                        .map(|(p, ns)| {
+                            Value::Arr(vec![
+                                Value::U64(p.0 as u64),
+                                ckpt::ids_value(&sorted_ids(ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "queues",
+                Value::Arr(
+                    sorted_peers(&self.queues)
+                        .into_iter()
+                        .map(|(p, q)| {
+                            Value::Arr(vec![
+                                Value::U64(p.0 as u64),
+                                Value::Arr(q.iter().map(queue_item).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("synced", ckpt::ids_value(&sorted_ids(&self.synced))),
+            ("consistent", Value::Bool(self.consistent)),
+        ])
+    }
+
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String> {
+        let mut node = <SnapshotNode as Node>::new(id, n);
+        let peer = |x: &Value| -> Result<NodeId, String> {
+            let p = NodeId(u32::from_value(x)?);
+            if p == id || p.index() >= n {
+                return Err(format!("bad peer {p:?}"));
+            }
+            Ok(p)
+        };
+        for p in ckpt::ids_from(ckpt::field(v, "incident")?)? {
+            if p == id || p.index() >= n {
+                return Err(format!("incident: bad peer {p:?}"));
+            }
+            if !node.incident.insert(p) {
+                return Err(format!("incident: duplicate peer {p:?}"));
+            }
+        }
+        for pair in ckpt::arr(ckpt::field(v, "known")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("known: expected [peer, neighbors]".into());
+            }
+            let p = peer(&pair[0])?;
+            let mut ns: FxHashSet<NodeId> = FxHashSet::default();
+            for u in ckpt::ids_from(&pair[1])? {
+                if u.index() >= n {
+                    return Err(format!("known: out-of-range neighbor {u:?}"));
+                }
+                ns.insert(u);
+            }
+            if node.known.insert(p, ns).is_some() {
+                return Err(format!("known: duplicate peer {p:?}"));
+            }
+        }
+        for pair in ckpt::arr(ckpt::field(v, "queues")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("queues: expected [peer, items]".into());
+            }
+            let p = peer(&pair[0])?;
+            let mut q = VecDeque::new();
+            for item in ckpt::arr(&pair[1])? {
+                let item = ckpt::arr(item)?;
+                let tag = item
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or("queues: missing item tag")?;
+                match tag {
+                    "delta" => {
+                        if item.len() != 3 {
+                            return Err("queues: expected [\"delta\", edge, insert]".into());
+                        }
+                        let edge = ckpt::edge_from(&item[1])?;
+                        if !edge.touches(id) || edge.hi().index() >= n {
+                            return Err(format!("queues: non-incident delta {edge:?}"));
+                        }
+                        q.push_back(QueueItem::Delta {
+                            edge,
+                            insert: bool::from_value(&item[2])?,
+                        });
+                    }
+                    "chunk" => {
+                        if item.len() != 5 {
+                            return Err(
+                                "queues: expected [\"chunk\", start, span, members, last]".into()
+                            );
+                        }
+                        let start = u32::from_value(&item[1])?;
+                        let span = u32::from_value(&item[2])?;
+                        let members = ckpt::ids_from(&item[3])?;
+                        let end = start as u64 + span as u64;
+                        if (start as usize) >= n || end as usize > n || span == 0 {
+                            return Err(format!("queues: chunk [{start}, {span}) out of range"));
+                        }
+                        if members.iter().any(|m| m.0 < start || (m.0 as u64) >= end) {
+                            return Err("queues: chunk member outside its span".into());
+                        }
+                        q.push_back(QueueItem::Chunk(SnapMsg::Chunk {
+                            start,
+                            span,
+                            members,
+                            last: bool::from_value(&item[4])?,
+                        }));
+                    }
+                    other => return Err(format!("queues: unknown item tag {other:?}")),
+                }
+            }
+            if node.queues.insert(p, q).is_some() {
+                return Err(format!("queues: duplicate peer {p:?}"));
+            }
+        }
+        for p in ckpt::ids_from(ckpt::field(v, "synced")?)? {
+            if p.index() >= n {
+                return Err(format!("synced: out-of-range peer {p:?}"));
+            }
+            if !node.synced.insert(p) {
+                return Err(format!("synced: duplicate peer {p:?}"));
+            }
+        }
+        node.consistent = bool::from_value(ckpt::field(v, "consistent")?)?;
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dds_net::{edge, EventBatch, Simulator};
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_per_neighbor_queues() {
+        let n = 64;
+        let mut sim: Simulator<SnapshotNode> = Simulator::new(n);
+        for w in 2..10 {
+            sim.step(&EventBatch::insert(edge(1, w)));
+        }
+        // Attach node 0 and stop mid-snapshot-transfer: chunk queues are live.
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        sim.step_quiet();
+        let node = sim.node(NodeId(1));
+        assert!(node.backlog() > 0, "test wants a live chunk queue");
+        let saved = node.save_state();
+        let back = SnapshotNode::load_state(node.id, n, &saved).unwrap();
+        assert_eq!(back.save_state(), saved);
+        assert_eq!(back.backlog(), node.backlog());
+        assert_eq!(back.incident, node.incident);
+        assert_eq!(back.known, node.known);
+        assert_eq!(back.synced, node.synced);
+    }
 
     fn settle(sim: &mut Simulator<SnapshotNode>, max: usize) {
         sim.settle(max).expect("snapshot baseline must stabilize");

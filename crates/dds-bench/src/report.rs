@@ -21,23 +21,35 @@ pub struct TimedTable {
     /// `samples.len() == 1`).
     pub seconds: f64,
     /// Per-repeat production seconds (length = the `--repeat` count).
+    /// Kept raw and complete — outlier rejection affects the derived
+    /// statistics, never the record.
     pub samples: Vec<f64>,
-    /// Median of `samples`.
+    /// Median of `samples` after outlier rejection.
     pub median: f64,
-    /// Median absolute deviation of `samples` (0 for a single sample).
+    /// Median absolute deviation of the surviving samples (0 for a
+    /// single sample).
     pub mad: f64,
+    /// Samples dropped as outliers (beyond 3×MAD from the raw median) —
+    /// a GC pause or scheduler hiccup in one repeat must not masquerade
+    /// as a perf regression, but its rejection should be visible.
+    pub rejected: usize,
     /// The table itself.
     pub table: Table,
 }
 
 impl TimedTable {
-    /// Build from per-repeat samples, deriving `seconds`/`median`/`mad`.
+    /// Build from per-repeat samples, deriving `seconds`/`median`/`mad`
+    /// with outlier rejection ([`reject_outliers`]). `seconds` stays the
+    /// sum over *all* samples — it reports true production cost, and an
+    /// outlier's wall-clock was genuinely spent.
     pub fn from_samples(id: impl Into<String>, samples: Vec<f64>, table: Table) -> Self {
+        let kept = reject_outliers(&samples);
         TimedTable {
             id: id.into(),
             seconds: samples.iter().sum(),
-            median: median(&samples),
-            mad: mad(&samples),
+            median: median(&kept),
+            mad: mad(&kept),
+            rejected: samples.len() - kept.len(),
             samples,
             table,
         }
@@ -64,6 +76,12 @@ impl serde::Deserialize for TimedTable {
             mad: match v.get("mad") {
                 Some(m) => f64::from_value(m)?,
                 None => mad(&samples),
+            },
+            // Reports written before outlier rejection existed applied
+            // none, so 0 is the accurate value, not just a default.
+            rejected: match v.get("rejected") {
+                Some(r) => usize::from_value(r)?,
+                None => 0,
             },
             samples,
             table: Table::from_value(field("table")?)?,
@@ -135,6 +153,23 @@ pub fn mad(samples: &[f64]) -> f64 {
     median(&samples.iter().map(|s| (s - med).abs()).collect::<Vec<_>>())
 }
 
+/// The samples within 3×MAD of the median — the classic robust outlier
+/// fence. When the MAD is 0 (fewer than two samples, or a majority of
+/// identical values) there is no spread to judge against and everything
+/// is kept: a degenerate fence must not reject half the data.
+pub fn reject_outliers(samples: &[f64]) -> Vec<f64> {
+    let spread = mad(samples);
+    if spread == 0.0 {
+        return samples.to_vec();
+    }
+    let med = median(samples);
+    samples
+        .iter()
+        .copied()
+        .filter(|s| (s - med).abs() <= 3.0 * spread)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +224,65 @@ mod tests {
         assert_eq!(mad(&[5.0]), 0.0);
         assert_eq!(mad(&[1.0, 1.0, 5.0]), 0.0);
         assert_eq!(mad(&[1.0, 2.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn a_single_spike_is_rejected_from_the_reported_stats() {
+        // Five tight samples around 0.5 plus a 5-second spike (a paging
+        // stall, say): raw median ≈ 0.505, raw MAD = 0.015, so the fence
+        // is ±0.045 and only the spike falls outside it.
+        let samples = vec![0.50, 0.52, 0.48, 0.51, 0.49, 5.0];
+        let t = TimedTable::from_samples("s2", samples.clone(), table());
+        assert_eq!(t.rejected, 1);
+        assert_eq!(t.samples, samples, "raw samples must stay complete");
+        assert_eq!(t.median, 0.5, "median computed without the spike");
+        assert!(t.mad <= 0.015, "spread computed without the spike");
+        assert!(
+            (t.seconds - samples.iter().sum::<f64>()).abs() < 1e-12,
+            "seconds keeps the true total cost, spike included"
+        );
+    }
+
+    #[test]
+    fn tight_samples_are_all_kept() {
+        let t = TimedTable::from_samples("e1", vec![0.5, 0.4, 0.6], table());
+        assert_eq!(t.rejected, 0);
+        assert_eq!(t.median, 0.5);
+        assert!((t.mad - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_spread_keeps_everything() {
+        // Majority-identical samples give MAD 0: the fence degenerates
+        // and must reject nothing rather than everything off-median.
+        assert_eq!(reject_outliers(&[1.0, 1.0, 1.0, 9.0]), [1.0, 1.0, 1.0, 9.0]);
+        assert_eq!(reject_outliers(&[0.7]), [0.7]);
+        assert!(reject_outliers(&[]).is_empty());
+    }
+
+    #[test]
+    fn rejected_count_roundtrips_and_defaults_to_zero_for_old_reports() {
+        let report = Report {
+            version: "0.1.0".into(),
+            rounds: 300,
+            total_seconds: 8.0,
+            tables: vec![TimedTable::from_samples(
+                "s2",
+                vec![0.50, 0.52, 0.48, 0.51, 0.49, 5.0],
+                table(),
+            )],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.table("s2").unwrap().rejected, 1);
+        // Pre-rejection schema: no `rejected` field anywhere.
+        let old = r#"{
+            "version": "0.1.0", "rounds": 300, "total_seconds": 2.0,
+            "tables": [{"id": "e1", "seconds": 0.25,
+                        "table": {"title": "T", "headers": ["a"],
+                                  "rows": [["1"]], "notes": []}}]
+        }"#;
+        let report: Report = serde_json::from_str(old).unwrap();
+        assert_eq!(report.table("e1").unwrap().rejected, 0);
     }
 }

@@ -35,6 +35,7 @@ usage:
                [--stream] [--seeds K] [--jobs J] [--parallel] [--record-stats]
                [--engine sparse|dense] [--shards auto|K]
                [--scheduling balanced|chunked] [--sample-queries K]
+               [--checkpoint-every K] [--checkpoint-dir D] [--resume FILE]
                [--json]
                (--stream drives the run from a lazy trace source: one batch in
                 memory at a time; --seeds K runs K seeded replicas on J scheduler
@@ -52,10 +53,16 @@ usage:
                 --record-stats also reports per-round active-node counts and
                 per-shard peaks; --sample-queries K probes an edge query
                 mid-run every K rounds and reports the answered/inconsistent
-                split)
+                split; --checkpoint-every K writes a self-describing snapshot
+                checkpoint_RRRRRR.json into --checkpoint-dir D [default:
+                checkpoints] every K rounds; --resume FILE restores a
+                snapshot and continues the SAME workload bit-identically —
+                pass the same workload flags as the original run; on resume
+                the snapshot header's engine/shards/scheduling configuration
+                wins over the CLI flags)
   dds query    --protocol <name> --workload <name> [--n N] [--rounds R] [--seed S]
                [--at ROUND] [--settle MAX] [--shards auto|K]
-               [--scheduling balanced|chunked]
+               [--scheduling balanced|chunked] [--resume FILE]
                --query \"SPEC[; SPEC...]\" [--json]
                (runs the workload to --at (default: all rounds), optionally
                 settles, then answers each query spec with zero communication.
@@ -71,8 +78,8 @@ usage:
                 --json`: deterministic table cells must match row-for-row
                 [wall-clock columns excluded], and per-table timings are
                 compared median-vs-median against a MAD noise band;
-                --fail-on-regression exits non-zero on row drift or on a
-                statistically significant slowdown)
+                --fail-on-regression exits non-zero on row drift, on a table
+                missing from NEW, or on a statistically significant slowdown)
   dds bounds [--n N]
   dds list";
 
@@ -152,6 +159,14 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     };
     let seeds: usize = args.num_or("seeds", 1)?;
     let sample_every: usize = args.num_or("sample-queries", 0)?;
+    let ckpt_every: u64 = args.num_or("checkpoint-every", 0)?;
+    let checkpointing = ckpt_every > 0 || args.options.contains_key("resume");
+    if checkpointing && seeds > 1 {
+        return Err("--checkpoint-every/--resume do not combine with --seeds; run one seed".into());
+    }
+    if checkpointing && sample_every > 0 {
+        return Err("--checkpoint-every/--resume do not combine with --sample-queries".into());
+    }
     if seeds > 1 {
         if sample_every > 0 {
             return Err("--sample-queries does not combine with --seeds; run one seed".into());
@@ -160,7 +175,57 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     }
     let mut samples: Option<(u64, u64)> = None;
     let active_series: Vec<usize>;
-    let summary = if sample_every > 0 {
+    let summary = if checkpointing {
+        // Checkpointed streaming driver: step batch-by-batch so snapshots
+        // land exactly on round boundaries. A resumed session is rebuilt
+        // from the snapshot header's configuration verbatim (the CLI
+        // engine/shards/scheduling flags are ignored on resume — the
+        // header is the source of truth for bit-exactness), and the
+        // workload source is fast-forwarded past the rounds the original
+        // run already consumed.
+        let mut src = run::build_workload_source(args)?;
+        let mut session = match args.options.get("resume") {
+            Some(path) => {
+                let session = run::restore_session(args, path)?;
+                if session.n() != src.n() {
+                    return Err(format!(
+                        "--resume: snapshot has n = {} but the workload generates n = {}; \
+                         pass the same workload flags the checkpoint was taken with",
+                        session.n(),
+                        src.n()
+                    ));
+                }
+                run::fast_forward(&mut *src, &session)?;
+                session
+            }
+            None => dds_bench::protocols().open(&protocol, src.n(), cfg)?,
+        };
+        let dir = args.get_or("checkpoint-dir", "checkpoints").to_string();
+        if ckpt_every > 0 {
+            std::fs::create_dir_all(&dir).map_err(|e| format!("--checkpoint-dir {dir}: {e}"))?;
+        }
+        let mut written = 0usize;
+        while let Some(batch) = src.next_batch() {
+            session.step(&batch);
+            if ckpt_every > 0 && session.round() % ckpt_every == 0 {
+                let path = std::path::Path::new(&dir)
+                    .join(format!("checkpoint_{:06}.json", session.round()));
+                session
+                    .checkpoint()
+                    .write_file(&path)
+                    .map_err(|e| e.to_string())?;
+                written += 1;
+            }
+        }
+        if ckpt_every > 0 {
+            // To stderr so `--json` output stays a single parseable object.
+            eprintln!(
+                "checkpoints:          {written} snapshot(s) every {ckpt_every} round(s) in {dir}/"
+            );
+        }
+        active_series = session.stats().iter().map(|s| s.active_nodes).collect();
+        session.summary()
+    } else if sample_every > 0 {
         // Mid-run query sampling: drive a live session and probe an edge
         // query every `sample_every` rounds — the serving-path smoke test
         // (how often is the structure answerable under this churn?).
@@ -372,7 +437,24 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let mut src = run::build_workload_source(args)?;
     let n = src.n();
     let specs = query::parse_specs(spec_text, n)?;
-    let mut session = dds_bench::protocols().open(&protocol, n, cfg)?;
+    let mut session = match args.options.get("resume") {
+        Some(path) => {
+            // Resume the serving path from a snapshot instead of
+            // re-simulating from round 0: restore, then fast-forward the
+            // workload source past the already-consumed rounds.
+            let session = run::restore_session(args, path)?;
+            if session.n() != n {
+                return Err(format!(
+                    "--resume: snapshot has n = {} but the workload generates n = {n}; \
+                     pass the same workload flags the checkpoint was taken with",
+                    session.n()
+                ));
+            }
+            run::fast_forward(&mut *src, &session)?;
+            session
+        }
+        None => dds_bench::protocols().open(&protocol, n, cfg)?,
+    };
     // Capability check up front: a spec the protocol cannot answer is a
     // user error, reported before any simulation time is spent.
     for spec in &specs {
@@ -381,6 +463,13 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     match args.options.get("at") {
         Some(_) => {
             let at: u64 = args.num_or("at", 0)?;
+            if at < session.round() {
+                return Err(format!(
+                    "--at {at} is before the resumed snapshot's round {}; \
+                     resume can only move forward",
+                    session.round()
+                ));
+            }
             session.run_to(at, &mut src);
         }
         None => session.drain(&mut src),
@@ -594,6 +683,16 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             let d = dds_bench::diff_reports(&old, &new, dds_bench::Thresholds::default());
             print!("{}", d.render());
             if args.flag("fail-on-regression") {
+                if !d.removed.is_empty() {
+                    // A table that silently vanishes from the new report is
+                    // coverage drift, not noise — fail just like a changed
+                    // cell would.
+                    return Err(format!(
+                        "bench diff: table(s) present in {old_path} but MISSING \
+                         from {new_path}: {}",
+                        d.removed.join(", ")
+                    ));
+                }
                 if d.has_row_drift() {
                     return Err(format!(
                         "bench diff: deterministic table cells drifted between \

@@ -7,7 +7,7 @@
 //! `dds list` are derived, never hand-maintained here.
 
 use crate::args::Args;
-use dds_net::{BoxedSource, RunSummary, SimConfig, Trace};
+use dds_net::{BoxedSource, RestoreError, RunSummary, Session, SimConfig, Snapshot, Trace};
 use dds_workloads::registry;
 use dds_workloads::Params;
 
@@ -55,6 +55,44 @@ pub fn params_with_seed(args: &Args, seed: u64) -> Params {
     let mut p = params_from(args);
     p.set("seed", seed);
     p
+}
+
+/// Restore a live session from a `--resume FILE` snapshot. The registry
+/// dispatches on the protocol name the header records; an *explicitly*
+/// passed `--protocol` must agree with it (a mismatch is the typed
+/// [`RestoreError::ProtocolMismatch`], never a silent override).
+pub fn restore_session(args: &Args, path: &str) -> Result<Session, String> {
+    let snap = Snapshot::read_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    if let Some(requested) = args.options.get("protocol") {
+        if *requested != snap.header.protocol {
+            return Err(RestoreError::ProtocolMismatch {
+                expected: requested.clone(),
+                found: snap.header.protocol.clone(),
+            }
+            .to_string());
+        }
+    }
+    dds_bench::protocols()
+        .restore(&snap)
+        .map_err(|e| e.to_string())
+}
+
+/// Fast-forward a freshly built workload source to a restored session's
+/// round: the generator replays its first `session.round()` batches (no
+/// simulation), so the stream hands out exactly the batches the original
+/// run had not yet consumed. Errors when the workload is shorter than the
+/// snapshot round — the telltale of resuming against different workload
+/// flags than the checkpoint was taken with.
+pub fn fast_forward(src: &mut dyn dds_net::TraceSource, session: &Session) -> Result<(), String> {
+    let want = session.round() as usize;
+    let skipped = src.skip_batches(want);
+    if skipped < want {
+        return Err(format!(
+            "--resume: the workload ends after {skipped} round(s), before the snapshot \
+             round {want}; pass the same workload flags the checkpoint was taken with"
+        ));
+    }
+    Ok(())
 }
 
 /// Round-engine selection from `--engine sparse|dense` (default: sparse).

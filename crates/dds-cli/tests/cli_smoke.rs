@@ -545,6 +545,293 @@ fn bench_diff_compares_reports_and_gates_on_regression() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Run a 60-round er/n=24 simulation with checkpoints every 20 rounds
+/// into `dir`, returning the path of the round-40 snapshot.
+fn make_snapshot(dir: &std::path::Path) -> std::path::PathBuf {
+    let cks = dir.join("cks");
+    let (ok, _, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "triangle",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--checkpoint-every",
+        "20",
+        "--checkpoint-dir",
+        cks.to_str().unwrap(),
+    ]);
+    assert!(ok, "checkpointed run failed: {stderr}");
+    assert!(
+        stderr.contains("checkpoints:"),
+        "checkpoint count goes to stderr: {stderr}"
+    );
+    for r in ["000020", "000040", "000060"] {
+        assert!(
+            cks.join(format!("checkpoint_{r}.json")).exists(),
+            "missing checkpoint_{r}.json"
+        );
+    }
+    cks.join("checkpoint_000040.json")
+}
+
+/// JSON summary lines with the volatile (machine-measuring) fields
+/// dropped, for bit-identity comparison between two runs.
+fn stable_summary_lines(json: &str) -> Vec<String> {
+    const VOLATILE: [&str; 5] = [
+        "\"seconds\"",
+        "\"rounds_per_sec\"",
+        "\"peak_rss_mb\"",
+        "\"pool_workers\"",
+        "\"pool_steals\"",
+    ];
+    json.lines()
+        .filter(|l| !VOLATILE.iter().any(|f| l.contains(f)))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn binary_checkpoint_then_resume_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("dds-ckpt-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = make_snapshot(&dir);
+    let (ok, full, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "triangle",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--json",
+    ]);
+    assert!(ok, "full run failed: {stderr}");
+    let (ok, resumed, stderr) = run_bin(&[
+        "simulate",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--resume",
+        snap.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "resumed run failed: {stderr}");
+    assert_eq!(
+        stable_summary_lines(&full),
+        stable_summary_lines(&resumed),
+        "resume diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_query_resumes_from_a_snapshot() {
+    let dir = std::env::temp_dir().join(format!("dds-ckpt-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = make_snapshot(&dir);
+    let snap = snap.to_str().unwrap();
+    let base = [
+        "query",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--resume",
+        snap,
+        "--query",
+        "edge:0-1",
+    ];
+    let mut at60 = base.to_vec();
+    at60.extend(["--at", "60"]);
+    let (ok, stdout, stderr) = run_bin(&at60);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("state:     round 60"), "{stdout}");
+    // Rewinding is not a thing a forward-only stream can do.
+    let mut at10 = base.to_vec();
+    at10.extend(["--at", "10"]);
+    let (ok, _, stderr) = run_bin(&at10);
+    assert!(!ok, "resume backwards must fail");
+    assert!(
+        stderr.contains("before the resumed snapshot's round"),
+        "stderr: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshots_yield_typed_errors_not_panics() {
+    let dir = std::env::temp_dir().join(format!("dds-ckpt-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = make_snapshot(&dir);
+    let good = std::fs::read_to_string(&snap).unwrap();
+    let resume = |path: &std::path::Path| {
+        run_bin(&[
+            "simulate",
+            "--workload",
+            "er",
+            "--n",
+            "24",
+            "--rounds",
+            "60",
+            "--seed",
+            "5",
+            "--resume",
+            path.to_str().unwrap(),
+        ])
+    };
+
+    // Truncated mid-file: a parse error, named as such.
+    let truncated = dir.join("truncated.json");
+    std::fs::write(&truncated, &good[..good.len() / 2]).unwrap();
+    let (ok, _, stderr) = resume(&truncated);
+    assert!(!ok, "truncated snapshot must fail");
+    assert!(
+        stderr.contains("snapshot parse error (truncated or not JSON)"),
+        "stderr: {stderr}"
+    );
+
+    // Body bit-flip without re-stamping the header: checksum mismatch.
+    assert!(good.contains("\"consistent\":true"), "fixture sanity");
+    let tampered = dir.join("tampered.json");
+    std::fs::write(
+        &tampered,
+        good.replacen("\"consistent\":true", "\"consistent\":false", 1),
+    )
+    .unwrap();
+    let (ok, _, stderr) = resume(&tampered);
+    assert!(!ok, "tampered snapshot must fail");
+    assert!(
+        stderr.contains("snapshot checksum mismatch"),
+        "stderr: {stderr}"
+    );
+
+    // A snapshot from a newer format version: refused up front.
+    let future = dir.join("future.json");
+    std::fs::write(&future, good.replacen("\"version\":1", "\"version\":99", 1)).unwrap();
+    let (ok, _, stderr) = resume(&future);
+    assert!(!ok, "future-version snapshot must fail");
+    assert!(stderr.contains("is from the future"), "stderr: {stderr}");
+
+    // Explicit --protocol that contradicts the header: mismatch, not a
+    // silent override in either direction.
+    let (ok, _, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "flood",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "60",
+        "--seed",
+        "5",
+        "--resume",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(!ok, "protocol mismatch must fail");
+    assert!(
+        stderr.contains("snapshot protocol mismatch"),
+        "stderr: {stderr}"
+    );
+
+    // A missing file is an io error, not a panic.
+    let (ok, _, stderr) = resume(&dir.join("nope.json"));
+    assert!(!ok);
+    assert!(stderr.contains("snapshot io error"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_diff_reports_missing_tables_as_drift() {
+    let dir = std::env::temp_dir().join(format!("dds-bench-missing-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let table = |id: &str| {
+        format!(
+            r#"{{"id": "{id}", "seconds": 1.0,
+                "table": {{"title": "T", "headers": ["n", "changes"],
+                          "rows": [["64", "120"]], "notes": []}}}}"#
+        )
+    };
+    let old = format!(
+        r#"{{"version": "0.1.0", "rounds": 300, "total_seconds": 2.0,
+            "tables": [{}, {}]}}"#,
+        table("e1"),
+        table("s2")
+    );
+    // s2 silently vanished; e1 is unchanged.
+    let new = format!(
+        r#"{{"version": "0.1.0", "rounds": 300, "total_seconds": 1.0,
+            "tables": [{}]}}"#,
+        table("e1")
+    );
+    let old_p = dir.join("old.json");
+    let new_p = dir.join("new.json");
+    std::fs::write(&old_p, &old).unwrap();
+    std::fs::write(&new_p, &new).unwrap();
+    let (old_s, new_s) = (old_p.to_str().unwrap(), new_p.to_str().unwrap());
+
+    // Reported either way; fatal only under the gate.
+    assert!(dds_cli::real_main(argv(&["bench", "diff", old_s, new_s])).is_ok());
+    let err = dds_cli::real_main(argv(&[
+        "bench",
+        "diff",
+        old_s,
+        new_s,
+        "--fail-on-regression",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("MISSING"), "{err}");
+    assert!(err.contains("s2"), "{err}");
+    let (ok, _, stderr) = run_bin(&["bench", "diff", old_s, new_s, "--fail-on-regression"]);
+    assert!(!ok, "missing table must gate");
+    assert!(stderr.contains("MISSING"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_flags_reject_incompatible_modes() {
+    for extra in [["--seeds", "3"], ["--sample-queries", "5"]] {
+        let mut args = vec![
+            "simulate",
+            "--workload",
+            "er",
+            "--n",
+            "16",
+            "--rounds",
+            "10",
+            "--checkpoint-every",
+            "5",
+        ];
+        args.extend(extra);
+        assert!(
+            dds_cli::real_main(argv(&args)).is_err(),
+            "--checkpoint-every with {extra:?} must be rejected"
+        );
+    }
+}
+
 #[test]
 fn simulate_scheduling_modes_are_bit_identical() {
     let (ok, chunked, _) = run_bin(&[

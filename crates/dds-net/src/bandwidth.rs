@@ -27,7 +27,7 @@ pub enum BandwidthPolicy {
 }
 
 /// Bandwidth configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BandwidthConfig {
     /// Multiplier `c` in the per-link budget `c * ceil(log2 n)` bits/round.
     pub factor: u64,
@@ -159,6 +159,35 @@ impl BandwidthMeter {
     /// Largest single message seen, in bits.
     pub fn max_message_bits(&self) -> u64 {
         self.max_message_bits
+    }
+
+    /// Capture the cumulative counters for a snapshot. The per-link
+    /// `this_round` map is *not* captured: checkpoints are taken between
+    /// rounds, and `begin_round` clears it before any charge of the next
+    /// round, so it is dead state at capture time.
+    pub(crate) fn save_state(&self) -> serde::Value {
+        crate::checkpoint::obj(vec![
+            ("total_bits", serde::Value::U64(self.total_bits)),
+            ("total_messages", serde::Value::U64(self.total_messages)),
+            ("round_bits", serde::Value::U64(self.round_bits)),
+            ("round_messages", serde::Value::U64(self.round_messages)),
+            ("violations", serde::Value::U64(self.violations)),
+            ("max_message_bits", serde::Value::U64(self.max_message_bits)),
+        ])
+    }
+
+    /// Restore the counters captured by [`BandwidthMeter::save_state`]
+    /// into a freshly constructed meter.
+    pub(crate) fn load_counters(&mut self, v: &serde::Value) -> Result<(), String> {
+        use serde::Deserialize as _;
+        let get = |k: &str| u64::from_value(crate::checkpoint::field(v, k)?);
+        self.total_bits = get("total_bits")?;
+        self.total_messages = get("total_messages")?;
+        self.round_bits = get("round_bits")?;
+        self.round_messages = get("round_messages")?;
+        self.violations = get("violations")?;
+        self.max_message_bits = get("max_message_bits")?;
+        Ok(())
     }
 }
 

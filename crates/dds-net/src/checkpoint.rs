@@ -1,0 +1,498 @@
+//! Versioned snapshots of a live simulation — checkpoint/restore with
+//! bit-exact resume.
+//!
+//! A snapshot is one self-describing JSON document with two top-level
+//! sections:
+//!
+//! - `header` — format name + version, the protocol name, `n`, the round
+//!   the state was captured at, the full engine configuration
+//!   (engine/shards/scheduling/parallel/record_stats/bandwidth, as the
+//!   same tokens the CLI accepts), and an FNV-1a checksum of the
+//!   canonically serialized body. The header is everything needed to
+//!   decide *how* to restore before touching the body.
+//! - `body` — the full engine state: topology (timestamped edge set),
+//!   per-node protocol state (via [`Checkpointable`]), both amortized
+//!   meters, bandwidth counters, the per-round stats log, and the
+//!   persistent `RoundBuffers` structures (active set, outbox flag
+//!   column; the sorted adjacency is rebuilt from the topology section,
+//!   of which it is a pure function).
+//!
+//! # Determinism
+//!
+//! Snapshots are byte-stable: every hash map/set is serialized sorted by
+//! key, every queue in its exact order, and floats go through the JSON
+//! writer's shortest-roundtrip formatting (so `f64::to_bits` survives a
+//! write/read cycle). Restoring a snapshot and continuing the run is
+//! bit-identical to never having stopped — `tests/checkpoint_restore.rs`
+//! locks this differentially, and golden fixtures under
+//! `tests/golden/snapshots/` lock the format itself.
+
+use crate::ids::{Edge, NodeId};
+use std::fmt;
+use std::path::Path as FsPath;
+
+pub use serde::{Deserialize, Serialize, Value};
+
+/// Magic format name stored in every snapshot header.
+pub const SNAPSHOT_FORMAT: &str = "dds-snapshot";
+
+/// Current snapshot format version. Bump on any body/header layout
+/// change; readers refuse versions from the future.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Protocol node state that can be captured into and rebuilt from a
+/// snapshot value. Implementations must be *lossless and canonical*:
+/// serializing hash maps/sets sorted by key, queues in order — so equal
+/// states produce equal bytes and `load_state(save_state(x)) == x` in
+/// every observable respect.
+pub trait Checkpointable: Sized {
+    /// Capture this node's full state.
+    fn save_state(&self) -> Value;
+
+    /// Rebuild a node from a captured state. `id`/`n` are the same
+    /// arguments the node was constructed with.
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String>;
+}
+
+/// Typed failures of snapshot reading/restore. Every corruption mode the
+/// loader can detect maps to a distinct variant so callers (and the CLI)
+/// can report precisely what is wrong — none of these panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RestoreError {
+    /// Filesystem-level failure reading or writing the snapshot.
+    Io(String),
+    /// The file is not valid JSON (truncation lands here: a cut-off
+    /// document fails to parse).
+    Parse(String),
+    /// Parsed, but structurally broken: missing/ill-typed fields, an
+    /// unknown format name, or body contents that fail validation.
+    Corrupt(String),
+    /// The body does not match the header's checksum — bit rot or a
+    /// hand-edited file.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed from the body.
+        actual: u64,
+    },
+    /// Written by a newer format version than this binary understands.
+    VersionFromFuture {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this binary supports.
+        supported: u32,
+    },
+    /// The snapshot was taken by a different protocol than the one asked
+    /// to restore it.
+    ProtocolMismatch {
+        /// Protocol the caller asked for.
+        expected: String,
+        /// Protocol recorded in the header.
+        found: String,
+    },
+    /// The header names a protocol absent from the registry.
+    UnknownProtocol(String),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Io(e) => write!(f, "snapshot io error: {e}"),
+            RestoreError::Parse(e) => write!(f, "snapshot parse error (truncated or not JSON): {e}"),
+            RestoreError::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+            RestoreError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, body hashes to {actual:#018x}"
+            ),
+            RestoreError::VersionFromFuture { found, supported } => write!(
+                f,
+                "snapshot version {found} is from the future (this build supports <= {supported})"
+            ),
+            RestoreError::ProtocolMismatch { expected, found } => write!(
+                f,
+                "snapshot protocol mismatch: asked to restore {expected:?} but the snapshot holds {found:?}"
+            ),
+            RestoreError::UnknownProtocol(p) => {
+                write!(f, "snapshot names unknown protocol {p:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Snapshot header: everything needed to decide how to restore, without
+/// reading the body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotHeader {
+    /// Format version ([`SNAPSHOT_VERSION`] when written by this build).
+    pub version: u32,
+    /// Registry name of the protocol whose nodes the body holds.
+    pub protocol: String,
+    /// Network size.
+    pub n: usize,
+    /// Round the state was captured at (between rounds: after round
+    /// `round` completed, before round `round + 1` begins).
+    pub round: u64,
+    /// Engine token (`"sparse"`/`"dense"`), round-trips through `FromStr`.
+    pub engine: String,
+    /// Shard policy token (`"auto"` or a count).
+    pub shards: String,
+    /// Scheduling token (`"balanced"`/`"chunked"`).
+    pub scheduling: String,
+    /// Whether shard tasks fan out over the worker pool. Kept for
+    /// faithfulness; flipping it cannot change results.
+    pub parallel: bool,
+    /// Whether a per-round stats log was kept.
+    pub record_stats: bool,
+    /// Bandwidth budget configuration.
+    pub bandwidth: crate::bandwidth::BandwidthConfig,
+    /// FNV-1a 64 checksum of the canonically serialized body.
+    pub checksum: u64,
+}
+
+impl SnapshotHeader {
+    /// Describe a live run: protocol + position + configuration, with the
+    /// checksum left for [`Snapshot::new`] to stamp.
+    pub fn describe(protocol: &str, n: usize, round: u64, cfg: &crate::sim::SimConfig) -> Self {
+        SnapshotHeader {
+            version: SNAPSHOT_VERSION,
+            protocol: protocol.to_string(),
+            n,
+            round,
+            engine: cfg.engine.token().to_string(),
+            shards: cfg.shards.token(),
+            scheduling: cfg.scheduling.token().to_string(),
+            parallel: cfg.parallel,
+            record_stats: cfg.record_stats,
+            bandwidth: cfg.bandwidth,
+            checksum: 0,
+        }
+    }
+
+    /// Reconstruct the engine configuration the snapshot was taken under
+    /// (the tokens round-trip through the same `FromStr` impls the CLI
+    /// uses).
+    pub fn sim_config(&self) -> Result<crate::sim::SimConfig, RestoreError> {
+        let corrupt = |e: String| RestoreError::Corrupt(format!("header: {e}"));
+        Ok(crate::sim::SimConfig {
+            bandwidth: self.bandwidth,
+            parallel: self.parallel,
+            record_stats: self.record_stats,
+            engine: self.engine.parse().map_err(corrupt)?,
+            shards: self.shards.parse().map_err(corrupt)?,
+            scheduling: self.scheduling.parse().map_err(corrupt)?,
+        })
+    }
+}
+
+/// A parsed (or freshly captured) snapshot: validated header + body.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The validated header.
+    pub header: SnapshotHeader,
+    body: Value,
+}
+
+impl Snapshot {
+    /// Pair a header with a captured body, stamping the body's checksum
+    /// into the header.
+    pub fn new(mut header: SnapshotHeader, body: Value) -> Self {
+        header.checksum = body_checksum(&body);
+        Snapshot { header, body }
+    }
+
+    /// The engine-state section.
+    pub fn body(&self) -> &Value {
+        &self.body
+    }
+
+    /// Serialize to the on-disk JSON document. Compact (no whitespace):
+    /// snapshot files are read far more often than eyeballed, and at
+    /// production sizes (tens of MB) pretty-printing roughly doubles both
+    /// the file and the restore-time parse — pipe through `python3 -m
+    /// json.tool` when a human actually needs to look inside one.
+    pub fn to_json(&self) -> String {
+        let h = &self.header;
+        let header = obj(vec![
+            ("format", Value::Str(SNAPSHOT_FORMAT.into())),
+            ("version", Value::U64(h.version as u64)),
+            ("protocol", Value::Str(h.protocol.clone())),
+            ("n", Value::U64(h.n as u64)),
+            ("round", Value::U64(h.round)),
+            ("engine", Value::Str(h.engine.clone())),
+            ("shards", Value::Str(h.shards.clone())),
+            ("scheduling", Value::Str(h.scheduling.clone())),
+            ("parallel", Value::Bool(h.parallel)),
+            ("record_stats", Value::Bool(h.record_stats)),
+            ("bandwidth", serde::Serialize::to_value(&h.bandwidth)),
+            ("checksum", Value::U64(h.checksum)),
+        ]);
+        let doc = obj(vec![("header", header), ("body", self.body.clone())]);
+        let mut s = serde_json::to_string(&doc).expect("json write is infallible");
+        s.push('\n');
+        s
+    }
+
+    /// Parse and validate an on-disk snapshot document: JSON shape, format
+    /// name, version (refusing the future), header fields, and the body
+    /// checksum — in that order, so the most informative error wins.
+    pub fn from_json(s: &str) -> Result<Snapshot, RestoreError> {
+        let doc: Value = serde_json::from_str(s).map_err(|e| RestoreError::Parse(e.to_string()))?;
+        let header = doc
+            .get("header")
+            .ok_or_else(|| RestoreError::Corrupt("missing `header` section".into()))?;
+        match header.get("format").and_then(Value::as_str) {
+            Some(SNAPSHOT_FORMAT) => {}
+            Some(other) => {
+                return Err(RestoreError::Corrupt(format!(
+                    "format is {other:?}, expected {SNAPSHOT_FORMAT:?}"
+                )))
+            }
+            None => return Err(RestoreError::Corrupt("header has no `format` field".into())),
+        }
+        let hfield = |k: &str| {
+            header
+                .get(k)
+                .ok_or_else(|| RestoreError::Corrupt(format!("header missing `{k}`")))
+        };
+        let hu64 = |k: &str| {
+            u64::from_value(hfield(k)?).map_err(|e| RestoreError::Corrupt(format!("header: {e}")))
+        };
+        let hstr = |k: &str| {
+            String::from_value(hfield(k)?)
+                .map_err(|e| RestoreError::Corrupt(format!("header: {e}")))
+        };
+        let hbool = |k: &str| {
+            bool::from_value(hfield(k)?).map_err(|e| RestoreError::Corrupt(format!("header: {e}")))
+        };
+        let version = hu64("version")? as u32;
+        if version > SNAPSHOT_VERSION {
+            return Err(RestoreError::VersionFromFuture {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let header = SnapshotHeader {
+            version,
+            protocol: hstr("protocol")?,
+            n: hu64("n")? as usize,
+            round: hu64("round")?,
+            engine: hstr("engine")?,
+            shards: hstr("shards")?,
+            scheduling: hstr("scheduling")?,
+            parallel: hbool("parallel")?,
+            record_stats: hbool("record_stats")?,
+            bandwidth: crate::bandwidth::BandwidthConfig::from_value(hfield("bandwidth")?)
+                .map_err(|e| RestoreError::Corrupt(format!("header: {e}")))?,
+            checksum: hu64("checksum")?,
+        };
+        let body = doc
+            .get("body")
+            .ok_or_else(|| RestoreError::Corrupt("missing `body` section".into()))?
+            .clone();
+        let actual = body_checksum(&body);
+        if actual != header.checksum {
+            return Err(RestoreError::ChecksumMismatch {
+                expected: header.checksum,
+                actual,
+            });
+        }
+        Ok(Snapshot { header, body })
+    }
+
+    /// Write the snapshot to a file.
+    pub fn write_file(&self, path: &FsPath) -> Result<(), RestoreError> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| RestoreError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Read and validate a snapshot file.
+    pub fn read_file(path: &FsPath) -> Result<Snapshot, RestoreError> {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| RestoreError::Io(format!("{}: {e}", path.display())))?;
+        Snapshot::from_json(&raw)
+    }
+}
+
+/// The checksum the header carries: FNV-1a 64 over the body's canonical
+/// (compact) JSON serialization.
+fn body_checksum(body: &Value) -> u64 {
+    let canonical = serde_json::to_string(body).expect("json write is infallible");
+    fnv1a64(canonical.as_bytes())
+}
+
+/// FNV-1a 64-bit hash — the snapshot content checksum. Stable, dependency
+/// free, and fast enough to hash multi-megabyte bodies at restore time.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Canonical encoding helpers shared by the node `Checkpointable` impls.
+// ---------------------------------------------------------------------------
+
+/// Build an object value from (key, value) pairs, preserving order.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Fetch a required field from an object value.
+pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// View a value as an array, or fail.
+pub fn arr(v: &Value) -> Result<&Vec<Value>, String> {
+    v.as_array().ok_or_else(|| "expected an array".to_string())
+}
+
+/// Canonical edge encoding: `[lo, hi]`.
+pub fn edge_value(e: Edge) -> Value {
+    Value::Arr(vec![
+        Value::U64(e.lo().0 as u64),
+        Value::U64(e.hi().0 as u64),
+    ])
+}
+
+/// Decode an edge from its canonical `[lo, hi]` encoding.
+pub fn edge_from(v: &Value) -> Result<Edge, String> {
+    let arr = v.as_array().ok_or("edge: expected [lo, hi]")?;
+    if arr.len() != 2 {
+        return Err(format!("edge: expected 2 endpoints, got {}", arr.len()));
+    }
+    let a = u32::from_value(&arr[0])?;
+    let b = u32::from_value(&arr[1])?;
+    if a == b {
+        return Err(format!("edge: degenerate self-loop {a}-{b}"));
+    }
+    Ok(Edge::new(NodeId(a), NodeId(b)))
+}
+
+/// Canonical node-id list encoding (callers pass them already sorted when
+/// the source is a set).
+pub fn ids_value(ids: &[NodeId]) -> Value {
+    Value::Arr(ids.iter().map(|v| Value::U64(v.0 as u64)).collect())
+}
+
+/// Decode a node-id list.
+pub fn ids_from(v: &Value) -> Result<Vec<NodeId>, String> {
+    let arr = v.as_array().ok_or("expected a node-id array")?;
+    arr.iter().map(|x| u32::from_value(x).map(NodeId)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthConfig;
+    use crate::ids::edge;
+
+    fn header() -> SnapshotHeader {
+        SnapshotHeader {
+            version: SNAPSHOT_VERSION,
+            protocol: "idle".into(),
+            n: 4,
+            round: 7,
+            engine: "sparse".into(),
+            shards: "auto".into(),
+            scheduling: "balanced".into(),
+            parallel: false,
+            record_stats: true,
+            bandwidth: BandwidthConfig::default(),
+            checksum: 0,
+        }
+    }
+
+    fn body() -> Value {
+        obj(vec![("round", Value::U64(7))])
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let snap = Snapshot::new(header(), body());
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.header, snap.header);
+        assert_eq!(
+            serde_json::to_string(back.body()).unwrap(),
+            serde_json::to_string(snap.body()).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_parse_error() {
+        let json = Snapshot::new(header(), body()).to_json();
+        let cut = &json[..json.len() / 2];
+        assert!(matches!(
+            Snapshot::from_json(cut),
+            Err(RestoreError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let json = Snapshot::new(header(), body()).to_json();
+        // Perturb the body without breaking JSON shape.
+        let tampered = json.replace("\"round\":7", "\"round\":8");
+        assert_ne!(tampered, json, "tamper target not found");
+        assert!(matches!(
+            Snapshot::from_json(&tampered),
+            Err(RestoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn future_versions_are_refused_before_checksum_checks() {
+        let json = Snapshot::new(header(), body()).to_json();
+        // Bump the version without fixing the checksum: the version check
+        // must win (it runs first, so the error is the informative one).
+        let future = json.replace(
+            &format!("\"version\":{SNAPSHOT_VERSION}"),
+            "\"version\":999",
+        );
+        assert!(matches!(
+            Snapshot::from_json(&future),
+            Err(RestoreError::VersionFromFuture {
+                found: 999,
+                supported: SNAPSHOT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_sections_are_corrupt_not_panics() {
+        assert!(matches!(
+            Snapshot::from_json("{}"),
+            Err(RestoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Snapshot::from_json(r#"{"header": {"format": "other"}}"#),
+            Err(RestoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn edge_codec_roundtrips_and_validates() {
+        let e = edge(9, 2);
+        assert_eq!(edge_from(&edge_value(e)).unwrap(), e);
+        assert!(edge_from(&Value::Arr(vec![Value::U64(3), Value::U64(3)])).is_err());
+        assert!(edge_from(&Value::U64(3)).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -19,6 +19,7 @@
 //!   depends on every protocol implementation); this module only provides
 //!   the machinery.
 
+use crate::checkpoint::{Checkpointable, RestoreError, Snapshot};
 use crate::protocol::Node;
 use crate::query::{QueryKind, Queryable};
 use crate::session::Session;
@@ -208,6 +209,10 @@ pub fn summarize<N: Node>(
 /// answer queries — goes through the [`Session`] this produces.
 pub type Opener = Box<dyn Fn(usize, SimConfig) -> Session + Send + Sync>;
 
+/// A boxed session restorer: validated snapshot in, live type-erased run
+/// out, resumed at the snapshot's round.
+pub type Restorer = Box<dyn Fn(&Snapshot) -> Result<Session, RestoreError> + Send + Sync>;
+
 /// A named, runnable, queryable protocol: the registry entry.
 pub struct ProtocolSpec {
     /// Registry name (what `--protocol` matches).
@@ -218,12 +223,21 @@ pub struct ProtocolSpec {
     /// instantiating a network).
     supported: &'static [QueryKind],
     opener: Opener,
+    restorer: Restorer,
 }
 
 impl ProtocolSpec {
     /// Open a live session of this protocol on an empty `n`-node network.
     pub fn open(&self, n: usize, cfg: SimConfig) -> Session {
         (self.opener)(n, cfg)
+    }
+
+    /// Restore a live session of this protocol from a snapshot. The
+    /// snapshot header must name this protocol; its configuration is used
+    /// verbatim (no `prep` re-application — the capture already holds the
+    /// prepared config).
+    pub fn restore(&self, snap: &Snapshot) -> Result<Session, RestoreError> {
+        (self.restorer)(snap)
     }
 
     /// The query kinds this protocol can answer.
@@ -270,14 +284,18 @@ impl ProtocolRegistry {
 
     /// Register protocol `N` under `name` with the caller's config passed
     /// through unchanged.
-    pub fn register<N: Queryable + 'static>(&mut self, name: &'static str, summary: &'static str) {
+    pub fn register<N: Queryable + Checkpointable + 'static>(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+    ) {
         self.register_with::<N>(name, summary, |cfg| cfg);
     }
 
     /// Register protocol `N` under `name`, with `prep` adjusting the
     /// caller's config first (e.g. the flooding calibrator switching the
     /// bandwidth policy to `Observe`).
-    pub fn register_with<N: Queryable + 'static>(
+    pub fn register_with<N: Queryable + Checkpointable + 'static>(
         &mut self,
         name: &'static str,
         summary: &'static str,
@@ -292,6 +310,7 @@ impl ProtocolRegistry {
             summary,
             supported: N::supported_queries(),
             opener: Box::new(move |n, cfg| Session::open::<N>(name, n, prep(cfg))),
+            restorer: Box::new(move |snap| Session::restore::<N>(name, snap)),
         });
     }
 
@@ -328,6 +347,15 @@ impl ProtocolRegistry {
     /// empty `n`-node network, or report the known names.
     pub fn open(&self, name: &str, n: usize, cfg: SimConfig) -> Result<Session, String> {
         Ok(self.resolve(name)?.open(n, cfg))
+    }
+
+    /// Restore a live [`Session`] from a snapshot, dispatching on the
+    /// protocol name its header records.
+    pub fn restore(&self, snap: &Snapshot) -> Result<Session, RestoreError> {
+        let spec = self
+            .get(&snap.header.protocol)
+            .ok_or_else(|| RestoreError::UnknownProtocol(snap.header.protocol.clone()))?;
+        spec.restore(snap)
     }
 
     /// Run the named protocol over a trace (zero-copy, by reference), or
@@ -379,6 +407,14 @@ mod tests {
         }
         fn query(&self, _query: &Query) -> Result<Response<Answer>, QueryError> {
             Err(QueryError::Unsupported)
+        }
+    }
+    impl Checkpointable for Idle {
+        fn save_state(&self) -> serde::Value {
+            serde::Value::Null
+        }
+        fn load_state(_id: NodeId, _n: usize, _v: &serde::Value) -> Result<Self, String> {
+            Ok(Idle)
         }
     }
 
@@ -475,6 +511,29 @@ mod tests {
             .query(NodeId(0), &Query::Edge(edge(0, 1)))
             .unwrap_err()
             .contains("does not support"));
+    }
+
+    #[test]
+    fn registry_restores_by_header_protocol_name() {
+        let mut reg = ProtocolRegistry::new();
+        reg.register::<Idle>("idle", "does nothing");
+        let mut session = reg.open("idle", 4, SimConfig::default()).unwrap();
+        session.run_trace(&sample_trace());
+        let snap = session.checkpoint();
+        let restored = reg.restore(&snap).unwrap();
+        assert_eq!(restored.protocol(), "idle");
+        assert_eq!(restored.round(), 2);
+        assert_eq!(
+            restored.summary().changes,
+            session.summary().changes,
+            "meters survive the round trip"
+        );
+        // A registry that never heard of the protocol reports it as such.
+        let empty = ProtocolRegistry::new();
+        assert!(matches!(
+            empty.restore(&snap),
+            Err(RestoreError::UnknownProtocol(_))
+        ));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bandwidth;
+pub mod checkpoint;
 pub mod engine;
 pub mod event;
 pub mod ids;
@@ -38,6 +39,9 @@ pub mod topology;
 pub mod trace;
 
 pub use bandwidth::{BandwidthConfig, BandwidthMeter, BandwidthPolicy};
+pub use checkpoint::{
+    Checkpointable, RestoreError, Snapshot, SnapshotHeader, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
 pub use engine::{
     drive, drive_source, peak_rss_mb, run_source_as, run_trace_as, ProtocolRegistry, ProtocolSpec,
     RunSummary,

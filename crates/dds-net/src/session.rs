@@ -17,6 +17,7 @@
 //! the two paths are bit-identical.
 
 use crate::bandwidth::BandwidthMeter;
+use crate::checkpoint::{Checkpointable, RestoreError, Snapshot, SnapshotHeader};
 use crate::engine::{summarize, RunSummary};
 use crate::event::EventBatch;
 use crate::ids::{NodeId, Round};
@@ -48,9 +49,11 @@ trait ErasedSim: Send {
     fn node_consistent(&self, v: NodeId) -> bool;
     fn query(&self, at: NodeId, query: &Query) -> Result<Response<Answer>, QueryError>;
     fn summarize(&self, name: &str, seconds: f64, rss_baseline_mb: f64) -> RunSummary;
+    fn config(&self) -> SimConfig;
+    fn save_body(&self) -> serde::Value;
 }
 
-impl<N: Queryable> ErasedSim for Simulator<N> {
+impl<N: Queryable + Checkpointable> ErasedSim for Simulator<N> {
     fn n(&self) -> usize {
         Simulator::n(self)
     }
@@ -99,6 +102,12 @@ impl<N: Queryable> ErasedSim for Simulator<N> {
     fn summarize(&self, name: &str, seconds: f64, rss_baseline_mb: f64) -> RunSummary {
         summarize(name, self, seconds, rss_baseline_mb)
     }
+    fn config(&self) -> SimConfig {
+        Simulator::config(self)
+    }
+    fn save_body(&self) -> serde::Value {
+        Simulator::save_state(self)
+    }
 }
 
 /// A live, type-erased protocol run that can be stepped, inspected and
@@ -122,7 +131,7 @@ impl Session {
     /// Frontends normally go through
     /// [`ProtocolRegistry::open`](crate::engine::ProtocolRegistry::open)
     /// instead, which resolves `N` from the registry name.
-    pub fn open<N: Queryable + 'static>(
+    pub fn open<N: Queryable + Checkpointable + 'static>(
         protocol: &'static str,
         n: usize,
         cfg: SimConfig,
@@ -135,6 +144,50 @@ impl Session {
             busy_seconds: 0.0,
             rss_baseline_mb,
         }
+    }
+
+    /// Capture the session's full state as a validated, self-describing
+    /// [`Snapshot`] (take it *between* rounds). Continuing a session
+    /// restored from the snapshot is bit-identical to continuing this one.
+    pub fn checkpoint(&self) -> Snapshot {
+        let cfg = self.sim.config();
+        let header = SnapshotHeader::describe(self.protocol, self.n(), self.round(), &cfg);
+        Snapshot::new(header, self.sim.save_body())
+    }
+
+    /// Rebuild a session for protocol `N` from a snapshot. The snapshot's
+    /// header must name the same `protocol`; the engine configuration is
+    /// taken from the header verbatim. Frontends normally go through
+    /// [`ProtocolRegistry::restore`](crate::engine::ProtocolRegistry::restore),
+    /// which resolves `N` from the header's protocol name.
+    pub fn restore<N: Queryable + Checkpointable + 'static>(
+        protocol: &'static str,
+        snap: &Snapshot,
+    ) -> Result<Session, RestoreError> {
+        if snap.header.protocol != protocol {
+            return Err(RestoreError::ProtocolMismatch {
+                expected: protocol.to_string(),
+                found: snap.header.protocol.clone(),
+            });
+        }
+        let cfg = snap.header.sim_config()?;
+        let sim = Simulator::<N>::restore_state(snap.header.n, cfg, snap.body())
+            .map_err(RestoreError::Corrupt)?;
+        if sim.round() != snap.header.round {
+            return Err(RestoreError::Corrupt(format!(
+                "header says round {} but the body holds round {}",
+                snap.header.round,
+                sim.round()
+            )));
+        }
+        let rss_baseline_mb = crate::engine::peak_rss_mb();
+        Ok(Session {
+            protocol,
+            supported: N::supported_queries(),
+            sim: Box::new(sim),
+            busy_seconds: 0.0,
+            rss_baseline_mb,
+        })
     }
 
     /// The registry name this session runs.
@@ -404,6 +457,20 @@ mod tests {
         }
     }
 
+    impl Checkpointable for EdgeSet {
+        fn save_state(&self) -> serde::Value {
+            // `peers` is in arrival order (observable via retain), so it is
+            // captured verbatim, not sorted.
+            crate::checkpoint::obj(vec![("peers", crate::checkpoint::ids_value(&self.peers))])
+        }
+        fn load_state(id: NodeId, _n: usize, v: &serde::Value) -> Result<Self, String> {
+            Ok(EdgeSet {
+                id,
+                peers: crate::checkpoint::ids_from(crate::checkpoint::field(v, "peers")?)?,
+            })
+        }
+    }
+
     fn sample_trace() -> Trace {
         let mut t = Trace::new(4);
         t.push(EventBatch::insert(edge(0, 1)));
@@ -477,6 +544,42 @@ mod tests {
         let done = s.summary();
         assert_eq!(done.rounds, 3);
         assert!(done.seconds >= mid.seconds);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_and_resumes_identically() {
+        let trace = sample_trace();
+        let mut a = Session::open::<EdgeSet>("edge-set", 4, SimConfig::default());
+        let mut replay = trace.replay();
+        a.run_to(2, &mut replay);
+        let snap = a.checkpoint();
+        assert_eq!(snap.header.protocol, "edge-set");
+        assert_eq!(snap.header.round, 2);
+        // Serialize to disk format and back: still restores.
+        let snap = Snapshot::from_json(&snap.to_json()).unwrap();
+        let mut b = Session::restore::<EdgeSet>("edge-set", &snap).unwrap();
+        assert_eq!(b.round(), 2);
+        // Continue both from the same point; all observables agree.
+        a.run_to(3, &mut replay);
+        let mut fresh = trace.replay();
+        assert_eq!(fresh.skip_batches(2), 2);
+        b.run_to(3, &mut fresh);
+        assert_eq!(a.meter().changes(), b.meter().changes());
+        for v in 0..4 {
+            let q = Query::Edge(edge(1, 2));
+            assert_eq!(a.query(NodeId(v), &q), b.query(NodeId(v), &q));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_protocol_mismatch() {
+        let s = Session::open::<EdgeSet>("edge-set", 4, SimConfig::default());
+        let snap = s.checkpoint();
+        let err = Session::restore::<EdgeSet>("other", &snap).unwrap_err();
+        assert!(
+            matches!(err, RestoreError::ProtocolMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! which task computes them.
 
 use crate::bandwidth::{BandwidthConfig, BandwidthMeter};
+use crate::checkpoint::{self, Checkpointable};
 use crate::event::EventBatch;
 use crate::ids::{Edge, NodeId, Round};
 use crate::message::{Addressed, BitSized, Flags, Received};
@@ -63,6 +64,7 @@ use crate::protocol::Node;
 use crate::round::{LocalView, RecvParts, RoundBuffers, ShardParts, ShardScratch};
 use crate::topology::Topology;
 use rayon::pool::Pool;
+use serde::{Deserialize as _, Serialize as _, Value};
 use std::sync::Mutex;
 
 /// Which nodes the per-node phases visit each round.
@@ -90,6 +92,17 @@ impl std::str::FromStr for Engine {
             other => Err(format!(
                 "unknown engine {other:?}; expected \"dense\" or \"sparse\""
             )),
+        }
+    }
+}
+
+impl Engine {
+    /// The `FromStr` token for this engine — snapshot headers store config
+    /// as the same strings the CLI accepts, so they round-trip.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Engine::Dense => "dense",
+            Engine::Sparse => "sparse",
         }
     }
 }
@@ -132,6 +145,16 @@ impl std::str::FromStr for Shards {
     }
 }
 
+impl Shards {
+    /// The `FromStr` token for this policy (`"auto"` or the fixed count).
+    pub fn token(&self) -> String {
+        match self {
+            Shards::Auto => "auto".to_string(),
+            Shards::Fixed(k) => k.to_string(),
+        }
+    }
+}
+
 /// How shard boundaries are cut and how shard tasks are scheduled on the
 /// pool. Either policy is bit-identical to the other (and to `shards = 1`)
 /// — this knob only moves wall-clock, which is exactly why the `s4` bench
@@ -159,6 +182,16 @@ impl std::str::FromStr for Scheduling {
             other => Err(format!(
                 "unknown scheduling {other:?}; expected \"balanced\" or \"chunked\""
             )),
+        }
+    }
+}
+
+impl Scheduling {
+    /// The `FromStr` token for this policy.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Scheduling::Balanced => "balanced",
+            Scheduling::Chunked => "chunked",
         }
     }
 }
@@ -307,6 +340,11 @@ impl<N: Node> Simulator<N> {
         &self.shard_peak_active
     }
 
+    /// The configuration this simulator runs under.
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
     /// True when every node reported consistent at the end of the last round.
     pub fn all_consistent(&self) -> bool {
         self.inconsistent_now == 0
@@ -333,7 +371,161 @@ impl<N: Node> Simulator<N> {
             None
         }
     }
+}
 
+impl<N: Node + Checkpointable> Simulator<N> {
+    /// Capture the full engine state as a snapshot body. Taken *between*
+    /// rounds, after a `step` returns: round counter, timestamped edge
+    /// set, every node's protocol state, both amortized meters, bandwidth
+    /// counters, the per-round stats log, and the persistent round-buffer
+    /// structures (active set, outbox flag column; the sorted adjacency is
+    /// a pure function of the topology and is rebuilt on restore). All
+    /// maps are emitted sorted, so equal states produce equal bytes.
+    pub fn save_state(&self) -> Value {
+        let flags: Vec<Value> = self
+            .buffers
+            .out_flags
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f != Flags::default())
+            .map(|(i, f)| {
+                Value::Arr(vec![
+                    Value::U64(i as u64),
+                    Value::Bool(f.is_empty),
+                    Value::Bool(f.neighbors_empty),
+                ])
+            })
+            .collect();
+        checkpoint::obj(vec![
+            ("round", Value::U64(self.round)),
+            ("topology", self.topo.save_state()),
+            (
+                "nodes",
+                Value::Arr(self.nodes.iter().map(|nd| nd.save_state()).collect()),
+            ),
+            ("meter", self.meter.to_value()),
+            ("per_node", self.per_node.to_value()),
+            ("bandwidth", self.bandwidth.save_state()),
+            ("stats", self.stats.to_value()),
+            ("inconsistent_now", Value::U64(self.inconsistent_now as u64)),
+            ("last_active", Value::U64(self.last_active as u64)),
+            ("last_shards", Value::U64(self.last_shards as u64)),
+            (
+                "shard_peak_active",
+                Value::Arr(
+                    self.shard_peak_active
+                        .iter()
+                        .map(|&x| Value::U64(x as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "active",
+                Value::Arr(
+                    self.buffers
+                        .active
+                        .iter()
+                        .map(|&v| Value::U64(v as u64))
+                        .collect(),
+                ),
+            ),
+            ("out_flags", Value::Arr(flags)),
+        ])
+    }
+
+    /// Rebuild a simulator from a [`Simulator::save_state`] capture.
+    /// Continuing the restored simulator is bit-identical to continuing
+    /// the one that produced the capture (the differential suite in
+    /// `tests/checkpoint_restore.rs` locks this).
+    pub fn restore_state(n: usize, cfg: SimConfig, v: &Value) -> Result<Self, String> {
+        if n == 0 {
+            return Err("snapshot has n = 0".into());
+        }
+        let get_u64 = |k: &str| u64::from_value(checkpoint::field(v, k)?);
+        let round = get_u64("round")?;
+        let topo = Topology::load_state(n, checkpoint::field(v, "topology")?)?;
+        let node_vals = checkpoint::field(v, "nodes")?
+            .as_array()
+            .ok_or("`nodes` is not an array")?;
+        if node_vals.len() != n {
+            return Err(format!(
+                "snapshot holds {} node states for n = {n}",
+                node_vals.len()
+            ));
+        }
+        let nodes: Vec<N> = node_vals
+            .iter()
+            .enumerate()
+            .map(|(i, nv)| {
+                N::load_state(NodeId(i as u32), n, nv).map_err(|e| format!("node {i}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let meter = AmortizedMeter::from_value(checkpoint::field(v, "meter")?)?;
+        let per_node = PerNodeMeter::from_value(checkpoint::field(v, "per_node")?)?;
+        let mut bandwidth = BandwidthMeter::new(n, cfg.bandwidth);
+        bandwidth.load_counters(checkpoint::field(v, "bandwidth")?)?;
+        let stats = Vec::<RoundStats>::from_value(checkpoint::field(v, "stats")?)?;
+        let shard_peak_active = Vec::<u64>::from_value(checkpoint::field(v, "shard_peak_active")?)?
+            .into_iter()
+            .map(|x| x as usize)
+            .collect();
+
+        let mut buffers = RoundBuffers::new(n);
+        for i in 0..n {
+            buffers.nbrs[i] = topo.neighbors_sorted(NodeId(i as u32));
+        }
+        let active = checkpoint::field(v, "active")?
+            .as_array()
+            .ok_or("`active` is not an array")?;
+        let mut prev: Option<u32> = None;
+        for a in active {
+            let id = u32::from_value(a)?;
+            if id as usize >= n {
+                return Err(format!("active node {id} out of range for n = {n}"));
+            }
+            if prev.is_some_and(|p| p >= id) {
+                return Err("active set is not strictly ascending".into());
+            }
+            prev = Some(id);
+            buffers.active.push(id);
+        }
+        for entry in checkpoint::field(v, "out_flags")?
+            .as_array()
+            .ok_or("`out_flags` is not an array")?
+        {
+            let t = entry.as_array().ok_or("out_flags entry is not an array")?;
+            if t.len() != 3 {
+                return Err("out_flags entry must be [node, is_empty, neighbors_empty]".into());
+            }
+            let idx = u32::from_value(&t[0])? as usize;
+            if idx >= n {
+                return Err(format!("out_flags node {idx} out of range for n = {n}"));
+            }
+            buffers.out_flags[idx] = Flags {
+                is_empty: bool::from_value(&t[1])?,
+                neighbors_empty: bool::from_value(&t[2])?,
+            };
+        }
+
+        Ok(Simulator {
+            topo,
+            nodes,
+            round,
+            meter,
+            per_node,
+            bandwidth,
+            cfg,
+            stats,
+            inconsistent_now: get_u64("inconsistent_now")? as usize,
+            last_active: get_u64("last_active")? as usize,
+            last_shards: get_u64("last_shards")? as usize,
+            shard_peak_active,
+            buffers,
+        })
+    }
+}
+
+impl<N: Node> Simulator<N> {
     /// Execute one full round with the given batch of topology changes.
     ///
     /// # Panics

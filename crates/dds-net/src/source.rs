@@ -41,6 +41,23 @@ pub trait TraceSource {
         None
     }
 
+    /// Discard the next `rounds` batches, returning how many were actually
+    /// skipped (fewer when the schedule ends first). This is the snapshot
+    /// fast-forward: resuming a checkpoint taken at round R replays the
+    /// *generator* over R batches — no simulation — so restore cost is the
+    /// generator's, not the engine's. Works on any source, lazy or
+    /// materialized, by construction.
+    fn skip_batches(&mut self, rounds: usize) -> usize {
+        let mut skipped = 0;
+        while skipped < rounds {
+            if self.next_batch().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        skipped
+    }
+
     /// Drain the remaining schedule into a fully materialized [`Trace`] —
     /// the escape hatch for consumers that genuinely need random access
     /// (serialization, golden files, multi-pass analysis).

@@ -130,6 +130,67 @@ impl Topology {
             self.changes += 1;
         }
     }
+
+    /// Capture for a snapshot: the timestamped edge set sorted by edge
+    /// (canonical bytes), plus the cumulative change counter. The adjacency
+    /// is derived state and is rebuilt by [`Topology::load_state`].
+    pub(crate) fn save_state(&self) -> serde::Value {
+        let mut edges: Vec<(Edge, Round)> = self.edges.iter().map(|(&e, &r)| (e, r)).collect();
+        edges.sort_unstable_by_key(|&(e, _)| (e.lo(), e.hi()));
+        crate::checkpoint::obj(vec![
+            ("changes", serde::Value::U64(self.changes)),
+            (
+                "edges",
+                serde::Value::Arr(
+                    edges
+                        .iter()
+                        .map(|&(e, r)| {
+                            serde::Value::Arr(vec![
+                                serde::Value::U64(e.lo().0 as u64),
+                                serde::Value::U64(e.hi().0 as u64),
+                                serde::Value::U64(r),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild a topology (including the derived adjacency) from a
+    /// [`Topology::save_state`] capture.
+    pub(crate) fn load_state(n: usize, v: &serde::Value) -> Result<Topology, String> {
+        use serde::Deserialize as _;
+        let mut topo = Topology::new(n);
+        topo.changes = u64::from_value(crate::checkpoint::field(v, "changes")?)?;
+        let edges = crate::checkpoint::field(v, "edges")?
+            .as_array()
+            .ok_or("topology: `edges` is not an array")?;
+        for entry in edges {
+            let triple = entry
+                .as_array()
+                .ok_or("topology: edge entry not an array")?;
+            if triple.len() != 3 {
+                return Err(format!(
+                    "topology: edge entry has {} fields, expected [lo, hi, round]",
+                    triple.len()
+                ));
+            }
+            let lo = u32::from_value(&triple[0])?;
+            let hi = u32::from_value(&triple[1])?;
+            let round = u64::from_value(&triple[2])?;
+            if lo >= hi || hi as usize >= n {
+                return Err(format!("topology: invalid edge {lo}-{hi} for n = {n}"));
+            }
+            let e = Edge::new(NodeId(lo), NodeId(hi));
+            if topo.edges.insert(e, round).is_some() {
+                return Err(format!("topology: duplicate edge {lo}-{hi}"));
+            }
+            topo.adj[lo as usize].insert(NodeId(hi));
+            topo.adj[hi as usize].insert(NodeId(lo));
+        }
+        Ok(topo)
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,8 @@
 //! `R^{v,3}_{i−1} ⊆ S̃_v ⊆ E^{v,2}_i ∪ E^{v,3}_{i−1}` — enough for 4-cycle
 //! and 5-cycle listing (Theorem 5; see [`crate::cycle`]).
 
-use crate::paths::Path;
+use crate::paths::{Path, MAX_PATH_NODES};
+use dds_net::checkpoint::{self as ckpt, Checkpointable, Deserialize as _, Value};
 use dds_net::{
     Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
     Queryable, Received, Response, Round,
@@ -402,10 +403,197 @@ impl Queryable for ThreeHopNode {
     }
 }
 
+/// Decode a learning path from its vertex list, validating everything
+/// [`Path::from_nodes`] would otherwise assert on, so corrupt snapshots
+/// surface as errors instead of panics.
+fn path_from(v: &Value) -> Result<Path, String> {
+    let ids = ckpt::ids_from(v)?;
+    if !(2..=MAX_PATH_NODES).contains(&ids.len()) {
+        return Err(format!("path: {} vertices (need 2..=4)", ids.len()));
+    }
+    if ids.windows(2).any(|w| w[0] == w[1]) {
+        return Err("path: consecutive repeated vertex".into());
+    }
+    Ok(Path::from_nodes(&ids))
+}
+
+impl Checkpointable for ThreeHopNode {
+    fn save_state(&self) -> Value {
+        let mut incident: Vec<NodeId> = self.incident.iter().copied().collect();
+        incident.sort_unstable();
+        let mut s: Vec<(Edge, Vec<Path>)> = self
+            .s
+            .iter()
+            .map(|(&e, paths)| {
+                let mut ps: Vec<Path> = paths.iter().copied().collect();
+                ps.sort_unstable();
+                (e, ps)
+            })
+            .collect();
+        s.sort_unstable_by_key(|&(e, _)| e);
+        ckpt::obj(vec![
+            ("incident", ckpt::ids_value(&incident)),
+            (
+                "s",
+                Value::Arr(
+                    s.into_iter()
+                        .map(|(e, ps)| {
+                            Value::Arr(vec![
+                                ckpt::edge_value(e),
+                                Value::Arr(ps.iter().map(|p| ckpt::ids_value(p.nodes())).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "q",
+                Value::Arr(
+                    self.q
+                        .iter()
+                        .map(|item| match *item {
+                            QueueItem::Insert(p) => Value::Arr(vec![
+                                Value::Str("insert".into()),
+                                ckpt::ids_value(p.nodes()),
+                            ]),
+                            QueueItem::Delete { edge, level, via } => Value::Arr(vec![
+                                Value::Str("delete".into()),
+                                ckpt::edge_value(edge),
+                                Value::U64(level as u64),
+                                via.map_or(Value::Null, |u| Value::U64(u.0 as u64)),
+                            ]),
+                        })
+                        .collect(),
+                ),
+            ),
+            ("dirty_topology", Value::Bool(self.dirty_topology)),
+            ("clean_prev", Value::Bool(self.clean_prev)),
+            ("consistent", Value::Bool(self.consistent)),
+            (
+                "neighbors_were_empty",
+                Value::Bool(self.neighbors_were_empty),
+            ),
+        ])
+    }
+
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String> {
+        let mut node = <ThreeHopNode as Node>::new(id, n);
+        for p in ckpt::ids_from(ckpt::field(v, "incident")?)? {
+            if p == id || p.index() >= n {
+                return Err(format!("incident: bad peer {p:?}"));
+            }
+            if !node.incident.insert(p) {
+                return Err(format!("incident: duplicate peer {p:?}"));
+            }
+        }
+        for pair in ckpt::arr(ckpt::field(v, "s")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("s: expected [edge, paths]".into());
+            }
+            let e = ckpt::edge_from(&pair[0])?;
+            if e.hi().index() >= n {
+                return Err(format!("s: out-of-range edge {e:?}"));
+            }
+            let mut paths: FxHashSet<Path> = FxHashSet::default();
+            for pv in ckpt::arr(&pair[1])? {
+                let p = path_from(pv)?;
+                let ns = p.nodes();
+                if ns[0] != id || p.last_edge() != e {
+                    return Err(format!(
+                        "s: path {ns:?} is not rooted at {id:?} ending at {e:?}"
+                    ));
+                }
+                if !paths.insert(p) {
+                    return Err(format!("s: duplicate learning path {ns:?}"));
+                }
+            }
+            if paths.is_empty() {
+                return Err(format!("s: edge {e:?} stored with no learning path"));
+            }
+            if node.s.insert(e, paths).is_some() {
+                return Err(format!("s: duplicate edge {e:?}"));
+            }
+        }
+        for item in ckpt::arr(ckpt::field(v, "q")?)? {
+            let item = ckpt::arr(item)?;
+            let tag = item
+                .first()
+                .and_then(Value::as_str)
+                .ok_or("q: missing item tag")?;
+            match tag {
+                "insert" => {
+                    if item.len() != 2 {
+                        return Err("q: expected [\"insert\", path]".into());
+                    }
+                    let p = path_from(&item[1])?;
+                    if p.nodes().iter().any(|u| u.index() >= n) {
+                        return Err("q: path vertex out of range".into());
+                    }
+                    node.q.push_back(QueueItem::Insert(p));
+                }
+                "delete" => {
+                    if item.len() != 4 {
+                        return Err("q: expected [\"delete\", edge, level, via]".into());
+                    }
+                    let edge = ckpt::edge_from(&item[1])?;
+                    let level = u64::from_value(&item[2])?;
+                    if edge.hi().index() >= n || level > MAX_DELETE_HOPS as u64 {
+                        return Err(format!("q: invalid delete notice for {edge:?}"));
+                    }
+                    let via = match &item[3] {
+                        Value::Null => None,
+                        x => Some(NodeId(u32::from_value(x)?)),
+                    };
+                    if (level == 0) != via.is_none() {
+                        return Err("q: delete level/via disagree".into());
+                    }
+                    node.q.push_back(QueueItem::Delete {
+                        edge,
+                        level: level as u8,
+                        via,
+                    });
+                }
+                other => return Err(format!("q: unknown item tag {other:?}")),
+            }
+        }
+        node.dirty_topology = bool::from_value(ckpt::field(v, "dirty_topology")?)?;
+        node.clean_prev = bool::from_value(ckpt::field(v, "clean_prev")?)?;
+        node.consistent = bool::from_value(ckpt::field(v, "consistent")?)?;
+        node.neighbors_were_empty = bool::from_value(ckpt::field(v, "neighbors_were_empty")?)?;
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dds_net::{edge, EventBatch, Simulator};
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_paths_and_flags() {
+        let mut sim: Simulator<ThreeHopNode> = Simulator::new(4);
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        sim.step(&EventBatch::insert(edge(2, 3)));
+        sim.step_quiet(); // mid-drain: insert paths still queued
+        for i in 0..4u32 {
+            let node = sim.node(NodeId(i));
+            let saved = node.save_state();
+            let back = ThreeHopNode::load_state(node.id, 4, &saved).unwrap();
+            assert_eq!(back.save_state(), saved, "node {i} roundtrip drifted");
+            assert_eq!(back.s, node.s, "node {i} path sets");
+            assert_eq!(back.q, node.q, "node {i} queue");
+        }
+    }
+
+    #[test]
+    fn corrupt_paths_error_instead_of_panicking() {
+        let v = Value::Arr(vec![Value::U64(0)]);
+        assert!(path_from(&v).is_err(), "1-vertex path must be refused");
+        let v = Value::Arr(vec![Value::U64(0), Value::U64(0)]);
+        assert!(path_from(&v).is_err(), "repeated vertex must be refused");
+    }
 
     fn settle(sim: &mut Simulator<ThreeHopNode>) {
         sim.settle(128).expect("3-hop structure must stabilize");

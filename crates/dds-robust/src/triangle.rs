@@ -22,6 +22,7 @@
 //! `S_v` — giving exact membership listing, and by Corollary 1 exact
 //! k-clique membership listing for every `k ≥ 3`.
 
+use dds_net::checkpoint::{self as ckpt, Checkpointable, Deserialize as _, Value};
 use dds_net::{
     Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
     Queryable, Received, Response, Round,
@@ -515,10 +516,176 @@ impl Queryable for TriangleNode {
     }
 }
 
+impl Checkpointable for TriangleNode {
+    fn save_state(&self) -> Value {
+        let mut incident: Vec<(NodeId, Round)> =
+            self.incident.iter().map(|(&p, &t)| (p, t)).collect();
+        incident.sort_unstable();
+        let mut s: Vec<(Edge, Entry)> = self.s.iter().map(|(&e, &entry)| (e, entry)).collect();
+        s.sort_unstable_by_key(|&(e, _)| e);
+        // `pending_b` mirrors the queued B items exactly, so it is not
+        // serialized; `load_state` rebuilds it from `q`.
+        ckpt::obj(vec![
+            (
+                "incident",
+                Value::Arr(
+                    incident
+                        .into_iter()
+                        .map(|(p, t)| Value::Arr(vec![Value::U64(p.0 as u64), Value::U64(t)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "s",
+                Value::Arr(
+                    s.into_iter()
+                        .map(|(e, entry)| {
+                            Value::Arr(vec![
+                                ckpt::edge_value(e),
+                                Value::U64(entry.via as u64),
+                                Value::Bool(entry.b_present),
+                                Value::U64(entry.tombstones as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "q",
+                Value::Arr(
+                    self.q
+                        .iter()
+                        .map(|item| match *item {
+                            QueueItem::A { edge, te, insert } => Value::Arr(vec![
+                                Value::Str("a".into()),
+                                ckpt::edge_value(edge),
+                                Value::U64(te),
+                                Value::Bool(insert),
+                            ]),
+                            QueueItem::B { edge, target } => Value::Arr(vec![
+                                Value::Str("b".into()),
+                                ckpt::edge_value(edge),
+                                Value::U64(target.0 as u64),
+                            ]),
+                        })
+                        .collect(),
+                ),
+            ),
+            ("sent_this_round", Value::Bool(self.sent_this_round)),
+            ("consistent", Value::Bool(self.consistent)),
+        ])
+    }
+
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String> {
+        let mut node = <TriangleNode as Node>::new(id, n);
+        for pair in ckpt::arr(ckpt::field(v, "incident")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("incident: expected [peer, te]".into());
+            }
+            let p = NodeId(u32::from_value(&pair[0])?);
+            if p == id || p.index() >= n {
+                return Err(format!("incident: bad peer {p:?}"));
+            }
+            let te = u64::from_value(&pair[1])?;
+            if node.incident.insert(p, te).is_some() {
+                return Err(format!("incident: duplicate peer {p:?}"));
+            }
+        }
+        for quad in ckpt::arr(ckpt::field(v, "s")?)? {
+            let quad = ckpt::arr(quad)?;
+            if quad.len() != 4 {
+                return Err("s: expected [edge, via, b_present, tombstones]".into());
+            }
+            let e = ckpt::edge_from(&quad[0])?;
+            if e.touches(id) || e.hi().index() >= n {
+                return Err(format!("s: invalid learned edge {e:?}"));
+            }
+            let via = u64::from_value(&quad[1])?;
+            let b_present = bool::from_value(&quad[2])?;
+            let tombstones = u64::from_value(&quad[3])?;
+            if via > 3 || tombstones > 3 {
+                return Err(format!("s: mark bits out of range for {e:?}"));
+            }
+            let entry = Entry {
+                via: via as u8,
+                b_present,
+                tombstones: tombstones as u8,
+            };
+            if entry.is_dead() {
+                return Err(format!("s: dead entry stored for {e:?}"));
+            }
+            if node.s.insert(e, entry).is_some() {
+                return Err(format!("s: duplicate edge {e:?}"));
+            }
+        }
+        for item in ckpt::arr(ckpt::field(v, "q")?)? {
+            let item = ckpt::arr(item)?;
+            let tag = item
+                .first()
+                .and_then(Value::as_str)
+                .ok_or("q: missing item tag")?;
+            match tag {
+                "a" => {
+                    if item.len() != 4 {
+                        return Err("q: expected [\"a\", edge, te, insert]".into());
+                    }
+                    let edge = ckpt::edge_from(&item[1])?;
+                    if !edge.touches(id) || edge.hi().index() >= n {
+                        return Err(format!("q: non-incident (a) edge {edge:?}"));
+                    }
+                    node.q.push_back(QueueItem::A {
+                        edge,
+                        te: u64::from_value(&item[2])?,
+                        insert: bool::from_value(&item[3])?,
+                    });
+                }
+                "b" => {
+                    if item.len() != 3 {
+                        return Err("q: expected [\"b\", edge, target]".into());
+                    }
+                    let edge = ckpt::edge_from(&item[1])?;
+                    let target = NodeId(u32::from_value(&item[2])?);
+                    if !edge.touches(id) || edge.hi().index() >= n || target.index() >= n {
+                        return Err(format!("q: invalid (b) hint {edge:?} -> {target:?}"));
+                    }
+                    if !node.pending_b.insert((edge, target)) {
+                        return Err(format!("q: duplicate (b) hint {edge:?} -> {target:?}"));
+                    }
+                    node.q.push_back(QueueItem::B { edge, target });
+                }
+                other => return Err(format!("q: unknown item tag {other:?}")),
+            }
+        }
+        node.sent_this_round = bool::from_value(ckpt::field(v, "sent_this_round")?)?;
+        node.consistent = bool::from_value(ckpt::field(v, "consistent")?)?;
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dds_net::{edge, EventBatch, Simulator};
+
+    #[test]
+    fn checkpoint_roundtrip_rebuilds_pending_b_from_queue() {
+        let mut sim: Simulator<TriangleNode> = Simulator::new(4);
+        // Build a triangle in the (b)-pattern order, then stop mid-update so
+        // queues (including pending (b)-hints) are non-trivial.
+        sim.step(&EventBatch::insert(edge(0, 1)));
+        sim.step(&EventBatch::insert(edge(0, 2)));
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        sim.step_quiet();
+        for i in 0..4u32 {
+            let node = sim.node(NodeId(i));
+            let saved = node.save_state();
+            let back = TriangleNode::load_state(node.id, 4, &saved).unwrap();
+            assert_eq!(back.save_state(), saved, "node {i} roundtrip drifted");
+            assert_eq!(back.pending_b, node.pending_b, "node {i} pending_b");
+            assert_eq!(back.q.len(), node.q.len());
+        }
+    }
 
     #[test]
     fn entry_tombstones_need_both_endpoints() {

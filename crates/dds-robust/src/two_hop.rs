@@ -29,6 +29,7 @@
 //!   the start of the send phase; a node is consistent iff its queue is
 //!   empty and no neighbor signalled `IsEmpty = false` this round.
 
+use dds_net::checkpoint::{self as ckpt, Checkpointable, Deserialize as _, Value};
 use dds_net::{
     Answer, BitSized, Edge, Flags, LocalEvent, Node, NodeId, Outbox, Query, QueryError, QueryKind,
     Queryable, Received, Response, Round,
@@ -317,10 +318,126 @@ impl Queryable for TwoHopNode {
     }
 }
 
+impl Checkpointable for TwoHopNode {
+    fn save_state(&self) -> Value {
+        let mut incident: Vec<(NodeId, Round)> =
+            self.incident.iter().map(|(&p, &t)| (p, t)).collect();
+        incident.sort_unstable();
+        let mut s: Vec<(Edge, u8)> = self.s.iter().map(|(&e, &w)| (e, w.0)).collect();
+        s.sort_unstable();
+        ckpt::obj(vec![
+            (
+                "incident",
+                Value::Arr(
+                    incident
+                        .into_iter()
+                        .map(|(p, t)| Value::Arr(vec![Value::U64(p.0 as u64), Value::U64(t)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "s",
+                Value::Arr(
+                    s.into_iter()
+                        .map(|(e, w)| Value::Arr(vec![ckpt::edge_value(e), Value::U64(w as u64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "q",
+                Value::Arr(
+                    self.q
+                        .iter()
+                        .map(|item| {
+                            Value::Arr(vec![
+                                ckpt::edge_value(item.edge),
+                                Value::U64(item.te),
+                                Value::Bool(item.insert),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("consistent", Value::Bool(self.consistent)),
+        ])
+    }
+
+    fn load_state(id: NodeId, n: usize, v: &Value) -> Result<Self, String> {
+        let mut node = <TwoHopNode as Node>::new(id, n);
+        for pair in ckpt::arr(ckpt::field(v, "incident")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("incident: expected [peer, te]".into());
+            }
+            let p = NodeId(u32::from_value(&pair[0])?);
+            if p == id || p.index() >= n {
+                return Err(format!("incident: bad peer {p:?}"));
+            }
+            let te = u64::from_value(&pair[1])?;
+            if node.incident.insert(p, te).is_some() {
+                return Err(format!("incident: duplicate peer {p:?}"));
+            }
+        }
+        for pair in ckpt::arr(ckpt::field(v, "s")?)? {
+            let pair = ckpt::arr(pair)?;
+            if pair.len() != 2 {
+                return Err("s: expected [edge, witness]".into());
+            }
+            let e = ckpt::edge_from(&pair[0])?;
+            if e.touches(id) || e.hi().index() >= n {
+                return Err(format!("s: invalid learned edge {e:?}"));
+            }
+            let w = u64::from_value(&pair[1])?;
+            if !(1..=3).contains(&w) {
+                return Err(format!("s: witness bits {w} out of range"));
+            }
+            if node.s.insert(e, Witness(w as u8)).is_some() {
+                return Err(format!("s: duplicate edge {e:?}"));
+            }
+        }
+        for item in ckpt::arr(ckpt::field(v, "q")?)? {
+            let item = ckpt::arr(item)?;
+            if item.len() != 3 {
+                return Err("q: expected [edge, te, insert]".into());
+            }
+            let edge = ckpt::edge_from(&item[0])?;
+            if !edge.touches(id) || edge.hi().index() >= n {
+                return Err(format!("q: non-incident queued edge {edge:?}"));
+            }
+            node.q.push_back(QueueItem {
+                edge,
+                te: u64::from_value(&item[1])?,
+                insert: bool::from_value(&item[2])?,
+            });
+        }
+        node.consistent = bool::from_value(ckpt::field(v, "consistent")?)?;
+        Ok(node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dds_net::{edge, EventBatch, Simulator};
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_every_field() {
+        let mut sim: Simulator<TwoHopNode> = Simulator::new(4);
+        let mut b = EventBatch::new();
+        b.push_insert(edge(0, 1));
+        b.push_insert(edge(0, 2));
+        sim.step(&b);
+        sim.step(&EventBatch::insert(edge(1, 2)));
+        // Mid-update: node 0 still has queued items.
+        let node = sim.node(NodeId(0));
+        let saved = node.save_state();
+        let back = TwoHopNode::load_state(node.id, 4, &saved).unwrap();
+        assert_eq!(back.save_state(), saved);
+        assert_eq!(back.incident, node.incident);
+        assert_eq!(back.s, node.s);
+        assert_eq!(back.consistent, node.consistent);
+        assert_eq!(back.q.len(), node.q.len());
+    }
 
     #[test]
     fn witness_bits_are_per_endpoint() {

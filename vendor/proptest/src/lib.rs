@@ -1,9 +1,12 @@
 //! Offline shim for `proptest`: random-generation property testing with
 //! the `proptest!` / `prop_assert!` surface this workspace uses.
 //!
-//! Differences from upstream: failing cases are **not shrunk** — the
-//! failure message reports the case index and generated inputs' Debug
-//! rendering instead, and generation is deterministic per (test, case).
+//! Differences from upstream: generation is deterministic per
+//! (test, case), and shrinking is simpler — each input is binary-searched
+//! toward its strategy's minimum (component-wise for tuples, shortest
+//! failing prefix then element-wise for vectors) while re-running the
+//! property, instead of upstream's full shrink tree. The failure message
+//! reports both the original and the shrunk inputs.
 
 use std::ops::Range;
 
@@ -68,6 +71,20 @@ pub trait Strategy {
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Given a `failing` value and a predicate reporting whether a
+    /// candidate still fails the property, return a minimal-ish failing
+    /// value. The default performs no shrinking. Implementations must
+    /// only return values for which `still_fails` returned `true` (or
+    /// `failing` itself).
+    fn shrink(
+        &self,
+        failing: Self::Value,
+        still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+    ) -> Self::Value {
+        let _ = still_fails;
+        failing
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -80,18 +97,81 @@ macro_rules! int_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
             }
+
+            /// Binary search toward the range start: the smallest value in
+            /// `start..=failing` that still fails, assuming failures form
+            /// an upward-closed set (the usual threshold shape; for other
+            /// shapes this still returns *a* failing value, just not
+            /// necessarily the global minimum).
+            fn shrink(
+                &self,
+                failing: $t,
+                still_fails: &mut dyn FnMut(&$t) -> bool,
+            ) -> $t {
+                let mut lo = self.start; // not known to fail
+                let mut hi = failing; // known to fail
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if still_fails(&mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                hi
+            }
         }
     )*};
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
+macro_rules! tuple_strategy {
+    ($( ( $($s:ident $idx:tt),+ ) )+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
+            type Value = ($($s::Value,)+);
 
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng))
-    }
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+
+            /// Component-wise: shrink each position in order, holding the
+            /// others at their current (already shrunk) values.
+            fn shrink(
+                &self,
+                failing: Self::Value,
+                still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+            ) -> Self::Value {
+                let mut current = failing;
+                $(
+                    let shrunk = {
+                        let fixed = current.clone();
+                        self.$idx.shrink(current.$idx.clone(), &mut |cand| {
+                            let mut probe = fixed.clone();
+                            probe.$idx = cand.clone();
+                            still_fails(&probe)
+                        })
+                    };
+                    current.$idx = shrunk;
+                )+
+                current
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
 }
 
 /// Always-the-same-value strategy.
@@ -124,14 +204,69 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = self.len.generate(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+
+        /// Binary-search the shortest failing prefix (length can never go
+        /// below the strategy's minimum), then shrink the surviving
+        /// elements in place, one at a time.
+        fn shrink(
+            &self,
+            failing: Self::Value,
+            still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+        ) -> Self::Value {
+            let mut lo = self.len.start; // not known to fail
+            let mut hi = failing.len(); // known to fail
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if still_fails(&failing[..mid].to_vec()) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            let mut v = failing[..hi].to_vec();
+            for i in 0..v.len() {
+                let shrunk = {
+                    let fixed = v.clone();
+                    self.element.shrink(v[i].clone(), &mut |cand| {
+                        let mut probe = fixed.clone();
+                        probe[i] = cand.clone();
+                        still_fails(&probe)
+                    })
+                };
+                v[i] = shrunk;
+            }
+            v
+        }
     }
+}
+
+/// Execute one generated case: run the property body, and on failure
+/// shrink the inputs while the property keeps failing. Returns `None`
+/// when the case passes, otherwise the shrunk inputs and the error the
+/// body reported for them. (A free function rather than macro-expanded
+/// code so the body closure's argument type is pinned by `S::Value`.)
+pub fn run_case<S: Strategy>(
+    strat: &S,
+    vals: S::Value,
+    body: &mut dyn FnMut(&S::Value) -> Result<(), TestCaseError>,
+) -> Option<(S::Value, TestCaseError)> {
+    let first = match body(&vals) {
+        Ok(()) => return None,
+        Err(e) => e,
+    };
+    let shrunk = strat.shrink(vals, &mut |cand| body(cand).is_err());
+    let err = body(&shrunk).err().unwrap_or(first);
+    Some((shrunk, err))
 }
 
 pub mod test_runner {
@@ -168,7 +303,7 @@ pub mod test_runner {
     }
 }
 
-/// Run properties over random cases (no shrinking — see crate docs).
+/// Run properties over random cases, shrinking failures (see crate docs).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -183,22 +318,37 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let runner = $crate::test_runner::TestRunner::new(config);
+                let __strats = ( $( $strat, )* );
                 for __case in 0..runner.cases() {
                     let mut __rng = runner.rng_for(stringify!($name), __case);
-                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
-                    let __inputs = format!(
-                        concat!($(stringify!($arg), " = {:?}; ",)*),
-                        $(&$arg),*
-                    );
-                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
-                    if let ::std::result::Result::Err(e) = __result {
+                    let __vals = $crate::Strategy::generate(&__strats, &mut __rng);
+                    let __orig = {
+                        let ( $( ref $arg, )* ) = __vals;
+                        format!(
+                            concat!($(stringify!($arg), " = {:?}; ",)*),
+                            $(&$arg),*
+                        )
+                    };
+                    let __failure = $crate::run_case(&__strats, __vals, &mut |__vals| {
+                        let ( $( ref $arg, )* ) = *__vals;
+                        $( let $arg = ::std::clone::Clone::clone($arg); )*
+                        (|| { $body ::std::result::Result::Ok(()) })()
+                    });
+                    if let ::std::option::Option::Some((__shrunk, __err)) = __failure {
+                        let __minimal = {
+                            let ( $( ref $arg, )* ) = __shrunk;
+                            format!(
+                                concat!($(stringify!($arg), " = {:?}; ",)*),
+                                $(&$arg),*
+                            )
+                        };
                         panic!(
-                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            "proptest case {}/{} failed: {}\n  inputs: {}\n  shrunk: {}",
                             __case + 1,
                             runner.cases(),
-                            e,
-                            __inputs
+                            __err,
+                            __orig,
+                            __minimal
                         );
                     }
                 }
@@ -294,5 +444,65 @@ mod tests {
             prop_assert!((2..6).contains(&n), "n = {} out of range", n);
             prop_assert_eq!(xs.len(), xs.len());
         }
+    }
+
+    #[test]
+    fn planted_threshold_failure_shrinks_to_the_boundary() {
+        // The property "x <= 17" fails for x > 17; whatever failing value
+        // the generator stumbled on, the shrinker must land on exactly 18.
+        let strat = 0u32..1_000;
+        let mut rng = crate::TestRng::new(99);
+        let failing = loop {
+            let x = Strategy::generate(&strat, &mut rng);
+            if x > 17 {
+                break x;
+            }
+        };
+        assert!(failing > 18, "want a non-minimal failure to shrink");
+        let minimal = Strategy::shrink(&strat, failing, &mut |x| *x > 17);
+        assert_eq!(minimal, 18);
+    }
+
+    #[test]
+    fn shrinking_respects_the_range_start() {
+        // Everything fails: the minimum is the range start, never below.
+        let strat = 5u32..100;
+        assert_eq!(Strategy::shrink(&strat, 73, &mut |_| true), 5);
+    }
+
+    #[test]
+    fn tuple_shrinking_is_component_wise() {
+        // Fails iff a + b > 30. a shrinks first (b = 70 held): 0 + 70
+        // still fails, so a → 0; then b with a = 0 lands on 31.
+        let strat = (0u32..100, 0u32..100);
+        let minimal = Strategy::shrink(&strat, (80, 70), &mut |&(a, b)| a + b > 30);
+        assert_eq!(minimal, (0, 31));
+    }
+
+    #[test]
+    fn one_element_tuples_shrink_like_the_macro_failure_path() {
+        // Mirror of the proptest! failure path for a single `x in 0..1000`
+        // argument with a planted `x > 17` failure.
+        let strat = (0u32..1_000,);
+        let body = |v: &(u32,)| -> Result<(), TestCaseError> {
+            if v.0 > 17 {
+                Err(TestCaseError(format!("x = {} exceeded 17", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let minimal = Strategy::shrink(&strat, (912,), &mut |v| body(v).is_err());
+        assert_eq!(minimal, (18,));
+    }
+
+    #[test]
+    fn vectors_shrink_to_the_shortest_failing_prefix() {
+        // Fails iff the vector sums past 10: the length search peels the
+        // tail, the element pass then minimizes what remains.
+        let strat = prop::collection::vec(0u32..50, 0..20);
+        let failing = vec![9, 9, 9, 9, 9];
+        let minimal = Strategy::shrink(&strat, failing, &mut |v| v.iter().sum::<u32>() > 10);
+        assert_eq!(minimal.iter().sum::<u32>(), 11);
+        assert!(minimal.len() <= 2, "length was not minimized: {minimal:?}");
     }
 }

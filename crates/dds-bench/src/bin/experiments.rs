@@ -1,7 +1,7 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|s4|all]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|s4|s5|all]
 //!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--repeat R]
 //!             [--json FILE] [--check-schema BASELINE.json]
 //! ```
@@ -32,7 +32,11 @@
 //! capped by `--max-n`, ≥ 60 % of the activity in one id decile): balanced
 //! weighted shard boundaries plus the work-stealing pool vs the chunked
 //! PR 6 configuration, bit-identity asserted in the runner, speedup
-//! recorded.
+//! recorded. `s5` is the serving tier: a live `dds serve` daemon on an
+//! ephemeral port answering concurrent client queries while a writer
+//! connection ingests churn, with sustained QPS and latency percentiles
+//! recorded and post-burst serve-vs-local checkpoint byte-identity
+//! asserted in the runner.
 
 use dds_bench::runners;
 use dds_bench::Table;
@@ -241,6 +245,13 @@ fn main() {
         run(
             "s4",
             Box::new(move || runners::s4_skewed_tier(s4_n, rounds)),
+        );
+    }
+    if want("s5") {
+        let s5_n = 2_000.min(max_n.max(2));
+        run(
+            "s5",
+            Box::new(move || runners::s5_serving_tier(s5_n, rounds)),
         );
     }
 

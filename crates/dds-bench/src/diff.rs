@@ -46,7 +46,9 @@ impl Default for Thresholds {
 /// Recognized by header name; everything else in the workspace's tables
 /// is deterministic output.
 pub fn volatile_column(header: &str) -> bool {
-    const VOLATILE: [&str; 5] = ["rounds/s", "speedup", "RSS", "wall", "seconds"];
+    const VOLATILE: [&str; 7] = [
+        "rounds/s", "speedup", "RSS", "wall", "seconds", "QPS", "latency",
+    ];
     VOLATILE.iter().any(|m| header.contains(m))
 }
 
@@ -288,9 +290,13 @@ mod tests {
         assert!(volatile_column("rounds/s"));
         assert!(volatile_column("speedup vs dense"));
         assert!(volatile_column("peak RSS MB"));
+        assert!(volatile_column("QPS"));
+        assert!(volatile_column("latency p50 us"));
         assert!(!volatile_column("changes"));
         assert!(!volatile_column("amortized"));
         assert!(!volatile_column("identical"));
+        assert!(!volatile_column("churn"));
+        assert!(!volatile_column("queries"));
     }
 
     #[test]

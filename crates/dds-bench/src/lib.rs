@@ -18,7 +18,7 @@ pub mod table;
 
 pub use diff::{diff_reports, DiffReport, Thresholds};
 pub use driver::protocols;
-pub use report::{Report, TimedTable};
+pub use report::{Report, ReportError, TimedTable};
 pub use scheduler::{available_jobs, map_ordered, SweepPoint};
 pub use sweep::{sweep, sweep_jobs, Stats};
 pub use table::Table;

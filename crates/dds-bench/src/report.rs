@@ -33,23 +33,45 @@ pub struct TimedTable {
     /// a GC pause or scheduler hiccup in one repeat must not masquerade
     /// as a perf regression, but its rejection should be visible.
     pub rejected: usize,
+    /// Whether the *first* sample was excluded from the statistics as a
+    /// warm-up artifact (cold caches, first-touch page faults, lazy
+    /// initialization): flagged when it exceeds the median of the
+    /// remaining samples by more than 3×their MAD *and* by more than 25%
+    /// relative — the second guard keeps a tight zero-MAD run from
+    /// flagging a first sample that is merely not identical. The raw
+    /// sample stays in `samples` and in `seconds`.
+    pub warmup_rejected: bool,
     /// The table itself.
     pub table: Table,
 }
 
 impl TimedTable {
     /// Build from per-repeat samples, deriving `seconds`/`median`/`mad`
-    /// with outlier rejection ([`reject_outliers`]). `seconds` stays the
-    /// sum over *all* samples — it reports true production cost, and an
+    /// with warm-up detection (see [`TimedTable::warmup_rejected`]) and
+    /// outlier rejection ([`reject_outliers`]). `seconds` stays the sum
+    /// over *all* samples — it reports true production cost, and an
     /// outlier's wall-clock was genuinely spent.
     pub fn from_samples(id: impl Into<String>, samples: Vec<f64>, table: Table) -> Self {
-        let kept = reject_outliers(&samples);
+        // Warm-up needs at least two post-first samples to establish a
+        // baseline; below that the first sample is just a sample.
+        let warmup_rejected = samples.len() >= 3 && {
+            let rest = &samples[1..];
+            let m = median(rest);
+            samples[0] > m + 3.0 * mad(rest) && samples[0] - m > 0.25 * m
+        };
+        let judged = if warmup_rejected {
+            &samples[1..]
+        } else {
+            &samples[..]
+        };
+        let kept = reject_outliers(judged);
         TimedTable {
             id: id.into(),
             seconds: samples.iter().sum(),
             median: median(&kept),
             mad: mad(&kept),
-            rejected: samples.len() - kept.len(),
+            rejected: judged.len() - kept.len(),
+            warmup_rejected,
             samples,
             table,
         }
@@ -83,6 +105,12 @@ impl serde::Deserialize for TimedTable {
                 Some(r) => usize::from_value(r)?,
                 None => 0,
             },
+            // Same back-compat story for warm-up detection (new in the
+            // serving PR): older reports never rejected a warm-up sample.
+            warmup_rejected: match v.get("warmup_rejected") {
+                Some(w) => bool::from_value(w)?,
+                None => false,
+            },
             samples,
             table: Table::from_value(field("table")?)?,
         })
@@ -114,11 +142,54 @@ impl serde::Deserialize for Report {
     }
 }
 
+/// Why a `BENCH_*.json` report could not be loaded — distinguishing "the
+/// file is not there / not readable" from "the file is there but is not a
+/// report", so callers (`dds bench diff`, CI gates) can print a clean
+/// one-line diagnostic instead of a generic failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReportError {
+    /// The file could not be read at all.
+    Io {
+        /// The path that failed to read.
+        path: String,
+        /// The OS error text.
+        error: String,
+    },
+    /// The file was read but is not a valid report document (truncated
+    /// download, hand-edited JSON, or a non-report file passed by
+    /// mistake).
+    Malformed {
+        /// The path that failed to parse.
+        path: String,
+        /// What the parser or schema check objected to.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Io { path, error } => write!(f, "cannot read {path}: {error}"),
+            ReportError::Malformed { path, error } => {
+                write!(f, "{path}: malformed bench report: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 impl Report {
     /// Load a report from a `BENCH_*.json` file (old or new schema).
-    pub fn load(path: &str) -> Result<Report, String> {
-        let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))
+    pub fn load(path: &str) -> Result<Report, ReportError> {
+        let raw = std::fs::read_to_string(path).map_err(|e| ReportError::Io {
+            path: path.to_string(),
+            error: e.to_string(),
+        })?;
+        serde_json::from_str(&raw).map_err(|e| ReportError::Malformed {
+            path: path.to_string(),
+            error: e.to_string(),
+        })
     }
 
     /// The table with the given id, if present.
@@ -258,6 +329,89 @@ mod tests {
         assert_eq!(reject_outliers(&[1.0, 1.0, 1.0, 9.0]), [1.0, 1.0, 1.0, 9.0]);
         assert_eq!(reject_outliers(&[0.7]), [0.7]);
         assert!(reject_outliers(&[]).is_empty());
+    }
+
+    #[test]
+    fn a_cold_first_sample_is_flagged_as_warmup() {
+        // Classic cold-start shape: the first repeat pays page faults and
+        // lazy init, the rest are tight. rest = [0.50, 0.51, 0.49],
+        // median 0.50, MAD 0.01 → fence 0.53; 2.0 clears it and the 25%
+        // relative guard.
+        let samples = vec![2.0, 0.50, 0.51, 0.49];
+        let t = TimedTable::from_samples("s5", samples.clone(), table());
+        assert!(t.warmup_rejected);
+        assert_eq!(t.samples, samples, "raw samples must stay complete");
+        assert_eq!(t.median, 0.50, "stats computed without the warm-up");
+        assert_eq!(t.rejected, 0, "warm-up is not counted as a MAD outlier");
+        assert!(
+            (t.seconds - samples.iter().sum::<f64>()).abs() < 1e-12,
+            "seconds keeps the true total cost, warm-up included"
+        );
+        // Zero spread in the rest must not defeat detection: the fence
+        // degenerates to the median and the relative guard decides.
+        let t = TimedTable::from_samples("s5", vec![2.0, 0.5, 0.5, 0.5], table());
+        assert!(t.warmup_rejected);
+        assert_eq!(t.median, 0.5);
+    }
+
+    #[test]
+    fn ordinary_first_samples_are_not_flagged() {
+        // A first sample inside the fence.
+        assert!(!TimedTable::from_samples("e1", vec![0.5, 0.4, 0.6], table()).warmup_rejected);
+        // Above the fence but within 25% relative: a tight zero-MAD run
+        // where the first repeat is merely not bit-identical.
+        let t = TimedTable::from_samples("e1", vec![0.55, 0.5, 0.5, 0.5], table());
+        assert!(!t.warmup_rejected);
+        // A *late* spike is an outlier, not a warm-up.
+        let t = TimedTable::from_samples("e1", vec![0.50, 0.52, 0.48, 0.51, 0.49, 5.0], table());
+        assert!(!t.warmup_rejected);
+        assert_eq!(t.rejected, 1);
+        // Too few samples to establish a baseline.
+        assert!(!TimedTable::from_samples("e1", vec![9.0, 0.5], table()).warmup_rejected);
+    }
+
+    #[test]
+    fn warmup_flag_roundtrips_and_defaults_to_false_for_old_reports() {
+        let report = Report {
+            version: "0.1.0".into(),
+            rounds: 300,
+            total_seconds: 3.5,
+            tables: vec![TimedTable::from_samples(
+                "s5",
+                vec![2.0, 0.50, 0.51, 0.49],
+                table(),
+            )],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("warmup_rejected"));
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert!(back.table("s5").unwrap().warmup_rejected);
+        let old = r#"{
+            "version": "0.1.0", "rounds": 300, "total_seconds": 2.0,
+            "tables": [{"id": "e1", "seconds": 0.25,
+                        "table": {"title": "T", "headers": ["a"],
+                                  "rows": [["1"]], "notes": []}}]
+        }"#;
+        let report: Report = serde_json::from_str(old).unwrap();
+        assert!(!report.table("e1").unwrap().warmup_rejected);
+    }
+
+    #[test]
+    fn load_errors_are_typed_and_name_the_path() {
+        let missing = Report::load("/nonexistent/BENCH_x.json").unwrap_err();
+        assert!(matches!(missing, ReportError::Io { .. }), "{missing:?}");
+        assert!(missing.to_string().contains("/nonexistent/BENCH_x.json"));
+
+        let dir = std::env::temp_dir().join("dds_report_error_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        std::fs::write(&path, r#"{"version": "0.1.0", "rounds": 300, "tab"#).unwrap();
+        let err = Report::load(path.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, ReportError::Malformed { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("malformed bench report"), "{msg}");
+        assert!(msg.contains("truncated.json"), "{msg}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1190,9 +1190,127 @@ pub fn s4_skewed_tier(n: usize, rounds: usize) -> Table {
     t
 }
 
+/// S5: the serving tier — a live `dds serve` daemon (real TCP, in-process,
+/// ephemeral port) answering concurrent client queries *while* a dedicated
+/// writer connection ingests churn round by round. Reports sustained QPS
+/// and client-observed latency percentiles; the `identical` column is
+/// earned by asserting, after the burst, that the daemon's checkpoint
+/// document is byte-identical to a local session driven over the same
+/// batches — serving must be observationally invisible.
+pub fn s5_serving_tier(n: usize, rounds: usize) -> Table {
+    use dds_net::serving::{loadgen, Client, LoadgenOptions, Server};
+
+    // Every ingest verb republishes the settled view via checkpoint →
+    // restore, so the tier's cost scales with state size × churn rounds;
+    // serving behavior, not raw scale, is what s5 measures.
+    let n = n.clamp(16, 2_000);
+    let churn_rounds = rounds.clamp(10, 150);
+    let mut t = Table::new(
+        "S5 / serving tier — dds serve: concurrent queries during ingest, serve-vs-local identity",
+        &[
+            "protocol",
+            "n",
+            "churn",
+            "clients",
+            "queries",
+            "identical",
+            "QPS",
+            "latency p50 us",
+            "latency p99 us",
+        ],
+    );
+    let clients = scheduler::available_jobs().clamp(2, 4);
+    let queries_per_client = 120;
+    for protocol in ["two-hop", "triangle", "snapshot"] {
+        let trace = er_trace(n, churn_rounds, 0x55);
+        let server = Server::bind("127.0.0.1:0", crate::driver::protocols()).expect("bind");
+        let addr = server.local_addr().expect("local addr").to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run().expect("server run"));
+        let mut admin = Client::connect(&addr).expect("connect");
+        admin.open("bench", protocol, n).expect("open");
+
+        let mix = loadgen::default_mix(n, clients * queries_per_client, &[]);
+        let report = loadgen::run(
+            &LoadgenOptions {
+                addr,
+                session: "bench".to_string(),
+                clients,
+                queries_per_client,
+            },
+            &mix,
+            &trace.batches,
+        )
+        .expect("loadgen run");
+        assert_eq!(report.errors, 0, "{protocol}: query errors under load");
+        assert_eq!(
+            report.churn_rounds,
+            trace.batches.len() as u64,
+            "{protocol}: churn writer did not drain"
+        );
+
+        // The identity contract, asserted before the row is emitted: the
+        // daemon spent the whole burst republishing snapshots under
+        // concurrent reads, and must land bit-exactly where a plain local
+        // session lands over the same schedule.
+        let mut local = open(protocol, n);
+        local.run_trace(&trace);
+        let served = admin.checkpoint("bench").expect("served checkpoint");
+        assert_eq!(
+            served.to_json(),
+            local.checkpoint().to_json(),
+            "{protocol}: served state diverged from the local session"
+        );
+
+        handle.stop();
+        thread.join().expect("server thread");
+
+        let mut lats: Vec<f64> = report.latencies.clone();
+        lats.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            if lats.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lats.len() as f64 - 1.0) * p).round() as usize;
+            lats[idx]
+        };
+        t.row(vec![
+            protocol.to_string(),
+            n.to_string(),
+            churn_rounds.to_string(),
+            clients.to_string(),
+            report.queries.to_string(),
+            "yes".to_string(),
+            f2(report.qps()),
+            f2(pct(0.50) * 1e6),
+            f2(pct(0.99) * 1e6),
+        ]);
+    }
+    t.note("each row: a live daemon on an ephemeral port, N reader connections issuing a fixed");
+    t.note("query count each while one writer ingests the er schedule round by round; zero query");
+    t.note("errors and post-burst checkpoint byte-identity vs a local session asserted in-runner");
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn s5_serving_matches_local_at_reduced_scale() {
+        // Identity and zero-error contracts are asserted inside the
+        // runner; this exercises them at CI scale and pins the shape.
+        let t = s5_serving_tier(200, 20);
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            assert_eq!(row[1], "200", "clamped n: {row:?}");
+            assert_eq!(row[2], "20", "churn rounds: {row:?}");
+            assert_eq!(row[5], "yes", "identity column: {row:?}");
+            let queries: u64 = row[4].parse().unwrap();
+            let clients: u64 = row[3].parse().unwrap();
+            assert_eq!(queries, clients * 120, "fixed query count: {row:?}");
+        }
+    }
 
     #[test]
     fn s2_engines_agree_on_deterministic_columns() {

@@ -17,8 +17,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod args;
+pub mod loadgen;
 pub mod query;
 pub mod run;
+pub mod serve;
 
 use args::Args;
 use dds_net::{NodeId, Query, Response};
@@ -80,15 +82,59 @@ usage:
                 compared median-vs-median against a MAD noise band;
                 --fail-on-regression exits non-zero on row drift, on a table
                 missing from NEW, or on a statistically significant slowdown)
+  dds serve    [--listen ADDR] [--resume SNAPSHOT] [--protocol <name> --n N]
+               [--session NAME]
+               (boots the long-lived query-serving daemon on ADDR [default:
+                127.0.0.1:7421; use :0 for an ephemeral port — the chosen
+                address is printed]; --resume warm-starts session NAME
+                [default: main] from a checkpoint snapshot, --protocol/--n
+                opens a fresh one; clients open more via the wire protocol's
+                `open` verb. Queries are answered from a published
+                settled-round view, so they never block ingest. SIGTERM or
+                the `shutdown` verb drains connections and exits 0)
+  dds loadgen  --addr HOST:PORT [--session NAME] [--clients N] [--queries M]
+               [--churn-rounds K --workload <name> ... [--skip-rounds R]]
+               [--json]
+               (drives N client threads of a deterministic mixed query
+                workload — M queries each — at a running daemon and reports
+                QPS plus latency median ± MAD; with --churn-rounds K a
+                dedicated writer connection concurrently ingests K workload
+                rounds, so the queries race a moving watermark;
+                --skip-rounds R fast-forwards the generator past the first R
+                rounds — required when churning a warm-started session, whose
+                topology already absorbed the snapshot's prefix; exits
+                non-zero if any query errors)
   dds bounds [--n N]
   dds list";
 
-/// Dispatch a full command line (without argv[0]).
+/// How a command line failed, so `main` can react appropriately: bad
+/// invocations earn the USAGE text and exit code 2, runtime failures (a
+/// malformed input file, a refused bind, a lost connection) get a clean
+/// one-line diagnostic and exit code 1 — no usage dump burying the
+/// message that matters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Failure {
+    /// The command line itself is wrong (unparsable, unknown subcommand).
+    Usage(String),
+    /// The command was well-formed but failed while running.
+    Run(String),
+}
+
+impl Failure {
+    /// The diagnostic text, however the failure is classified.
+    pub fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m) | Failure::Run(m) => m,
+        }
+    }
+}
+
+/// Dispatch a full command line (without argv[0]), classifying failures.
 ///
 /// Everything `main` does apart from process exit, so tests can drive the
 /// CLI in-process.
-pub fn real_main(argv: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(argv)?;
+pub fn run_main(argv: Vec<String>) -> Result<(), Failure> {
+    let args = Args::parse(argv).map_err(Failure::Usage)?;
     if args.flag("help") {
         println!("dds {VERSION}");
         println!("{USAGE}");
@@ -99,52 +145,62 @@ pub fn real_main(argv: Vec<String>) -> Result<(), String> {
         return Ok(());
     }
     match args.positional.first().map(String::as_str) {
-        Some("simulate") => cmd_simulate(&args),
-        Some("query") => cmd_query(&args),
-        Some("trace") => cmd_trace(&args),
-        Some("bench") => cmd_bench(&args),
-        Some("bounds") => cmd_bounds(&args),
-        Some("list") => {
-            println!("protocols:");
-            for spec in dds_bench::protocols().specs() {
-                println!("  {:<14} {}", spec.name, spec.summary);
-                let kinds: Vec<&str> = spec.supported_queries().iter().map(|k| k.name()).collect();
-                println!("      queries: {}", kinds.join(", "));
-            }
-            println!("workloads:");
-            for spec in dds_workloads::registry::workloads() {
-                println!("  {:<14} {}", spec.name, spec.summary);
-                for p in spec.params {
-                    println!("      --{:<18} {} (default {})", p.key, p.help, p.default);
-                }
-            }
-            let pool = rayon::pool::Pool::global();
-            let workers = pool.workers();
-            println!("engine:");
-            println!(
-                "  worker pool:   {workers} daemon worker(s) + the driving thread \
+        Some("simulate") => cmd_simulate(&args).map_err(Failure::Run),
+        Some("query") => cmd_query(&args).map_err(Failure::Run),
+        Some("trace") => cmd_trace(&args).map_err(Failure::Run),
+        Some("bench") => cmd_bench(&args).map_err(Failure::Run),
+        Some("bounds") => cmd_bounds(&args).map_err(Failure::Run),
+        Some("serve") => serve::cmd_serve(&args).map_err(Failure::Run),
+        Some("loadgen") => loadgen::cmd_loadgen(&args).map_err(Failure::Run),
+        Some("list") => cmd_list().map_err(Failure::Run),
+        _ => Err(Failure::Usage("missing or unknown subcommand".into())),
+    }
+}
+
+/// Back-compat dispatch returning the bare diagnostic (classification
+/// erased) — the surface the in-process tests drive.
+pub fn real_main(argv: Vec<String>) -> Result<(), String> {
+    run_main(argv).map_err(|f| f.message().to_string())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("protocols:");
+    for spec in dds_bench::protocols().specs() {
+        println!("  {:<14} {}", spec.name, spec.summary);
+        let kinds: Vec<&str> = spec.supported_queries().iter().map(|k| k.name()).collect();
+        println!("      queries: {}", kinds.join(", "));
+    }
+    println!("workloads:");
+    for spec in dds_workloads::registry::workloads() {
+        println!("  {:<14} {}", spec.name, spec.summary);
+        for p in spec.params {
+            println!("      --{:<18} {} (default {})", p.key, p.help, p.default);
+        }
+    }
+    let pool = rayon::pool::Pool::global();
+    let workers = pool.workers();
+    println!("engine:");
+    println!(
+        "  worker pool:   {workers} daemon worker(s) + the driving thread \
                  (--parallel fans shards out over them)"
-            );
-            println!(
-                "  scheduling:    balanced [default] — activity-weighted shard \
+    );
+    println!(
+        "  scheduling:    balanced [default] — activity-weighted shard \
                  boundaries on the work-stealing pool; chunked — fixed quantile \
                  boundaries + a shared queue (bit-identical, for A/B timing)"
-            );
-            println!(
-                "  shards:        auto scales 1..={} with round activity; \
+    );
+    println!(
+        "  shards:        auto scales 1..={} with round activity; \
                  --shards K pins the count (bit-identical for every K)",
-                (workers + 1).max(1)
-            );
-            println!(
-                "  pool counters: {} job(s) submitted, {} range(s) stolen so far \
+        (workers + 1).max(1)
+    );
+    println!(
+        "  pool counters: {} job(s) submitted, {} range(s) stolen so far \
                  in this process",
-                pool.jobs(),
-                pool.steals()
-            );
-            Ok(())
-        }
-        _ => Err("missing or unknown subcommand".into()),
-    }
+        pool.jobs(),
+        pool.steals()
+    );
+    Ok(())
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
@@ -678,8 +734,11 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                 .positional
                 .get(3)
                 .ok_or("bench diff needs OLD.json NEW.json")?;
-            let old = dds_bench::Report::load(old_path)?;
-            let new = dds_bench::Report::load(new_path)?;
+            // ReportError renders as one clean line naming the file and
+            // what is wrong with it — a truncated or hand-mangled BENCH
+            // json is a runtime diagnostic, not a usage problem.
+            let old = dds_bench::Report::load(old_path).map_err(|e| e.to_string())?;
+            let new = dds_bench::Report::load(new_path).map_err(|e| e.to_string())?;
             let d = dds_bench::diff_reports(&old, &new, dds_bench::Thresholds::default());
             print!("{}", d.render());
             if args.flag("fail-on-regression") {

@@ -1,0 +1,177 @@
+//! `dds loadgen` — drive mixed query traffic at a running serve daemon
+//! and report throughput and latency.
+//!
+//! ```text
+//! dds loadgen --addr 127.0.0.1:7421 --session main \
+//!             --clients 4 --queries 200 [--churn-rounds 100 --workload er …] [--json]
+//! ```
+//!
+//! Each of the `--clients` threads issues exactly `--queries` requests
+//! from a deterministic mixed workload (edge probes plus the session's
+//! listing kinds), so the total query count never depends on scheduling.
+//! With `--churn-rounds K`, a dedicated writer connection concurrently
+//! ingests K rounds of the configured workload — the measured regime is
+//! then "queries against a moving watermark", the paper's serving story.
+//! Against a warm-started session, `--skip-rounds R` fast-forwards the
+//! (deterministic) generator past the rounds the snapshot already
+//! covers, so the churn continues the session's history instead of
+//! replaying batches its topology has already absorbed.
+
+use crate::args::Args;
+use dds_bench::report::{mad, median};
+use dds_net::serving::{loadgen, Client, LoadgenOptions};
+use dds_net::{NodeId, Query};
+use serde::Value;
+
+/// Run a loadgen burst and print the report.
+pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let addr = args
+        .options
+        .get("addr")
+        .ok_or("loadgen needs --addr HOST:PORT (a running `dds serve`)")?
+        .to_string();
+    let session = args.get_or("session", "main").to_string();
+    let clients: usize = args.num_or("clients", 4)?;
+    let queries: usize = args.num_or("queries", 200)?;
+    let churn_rounds: usize = args.num_or("churn-rounds", 0)?;
+    let skip_rounds: usize = args.num_or("skip-rounds", 0)?;
+
+    // Ask the daemon about the target session: its n sizes the query mix,
+    // its capability list decides which listing kinds to blend in.
+    let mut probe = Client::connect(&addr)?;
+    let listing = probe.list()?;
+    let (n, kinds) = session_shape(&listing, &session)?;
+    let mut extra: Vec<(NodeId, Query)> = Vec::new();
+    if kinds.iter().any(|k| k == "list-triangles") {
+        extra.push((NodeId(0), Query::ListTriangles));
+        extra.push((NodeId((n / 2) as u32), Query::ListTriangles));
+    }
+    let mix = loadgen::default_mix(n, (clients * queries).max(16), &extra);
+
+    // Churn batches come from the same workload registry the rest of the
+    // CLI uses; the generator is deterministic, so reruns ingest the same
+    // rounds. Against a warm-started session, --skip-rounds fast-forwards
+    // past the snapshot's prefix so the churn continues its history.
+    let churn = if churn_rounds > 0 {
+        let mut src = crate::run::build_workload_source(args)?;
+        if src.n() != n {
+            return Err(format!(
+                "--churn-rounds: the workload generates n = {} but session {session} \
+                 has n = {n}; pass matching workload flags",
+                src.n()
+            ));
+        }
+        if skip_rounds > 0 {
+            let skipped = src.skip_batches(skip_rounds);
+            if skipped < skip_rounds {
+                return Err(format!(
+                    "--skip-rounds {skip_rounds}: the workload only generates \
+                     {skipped} round(s); raise --rounds"
+                ));
+            }
+        }
+        let mut batches = Vec::with_capacity(churn_rounds);
+        while batches.len() < churn_rounds {
+            match src.next_batch() {
+                Some(b) => batches.push(b),
+                None => break,
+            }
+        }
+        batches
+    } else {
+        Vec::new()
+    };
+
+    let opts = LoadgenOptions {
+        addr,
+        session,
+        clients,
+        queries_per_client: queries,
+    };
+    let report = loadgen::run(&opts, &mix, &churn)?;
+
+    let lat_median = median(&report.latencies);
+    let lat_mad = mad(&report.latencies);
+    if args.flag("json") {
+        println!("{{");
+        println!("  \"clients\": {clients},");
+        println!("  \"queries\": {},", report.queries);
+        println!("  \"answered\": {},", report.answered);
+        println!("  \"inconsistent\": {},", report.inconsistent);
+        println!("  \"errors\": {},", report.errors);
+        println!("  \"churn_rounds\": {},", report.churn_rounds);
+        println!("  \"wall_seconds\": {:.6},", report.wall_seconds);
+        println!("  \"qps\": {:.1},", report.qps());
+        println!("  \"latency_median_us\": {:.1},", lat_median * 1e6);
+        println!("  \"latency_mad_us\": {:.1}", lat_mad * 1e6);
+        println!("}}");
+    } else {
+        println!(
+            "loadgen:   {clients} client(s) × {queries} query(s){}",
+            if report.churn_rounds > 0 {
+                format!(
+                    " under {} round(s) of concurrent churn",
+                    report.churn_rounds
+                )
+            } else {
+                String::new()
+            }
+        );
+        println!(
+            "outcomes:  {} answered / {} inconsistent / {} error(s)",
+            report.answered, report.inconsistent, report.errors
+        );
+        println!(
+            "rate:      {:.0} queries/s over {:.3}s wall",
+            report.qps(),
+            report.wall_seconds
+        );
+        println!(
+            "latency:   median {:.1}us ± {:.1} MAD",
+            lat_median * 1e6,
+            lat_mad * 1e6
+        );
+    }
+    if report.errors > 0 {
+        return Err(format!("{} query error(s) during loadgen", report.errors));
+    }
+    Ok(())
+}
+
+/// Pull (n, supported kinds) for one session out of a `list` payload.
+fn session_shape(listing: &Value, session: &str) -> Result<(usize, Vec<String>), String> {
+    let sessions = listing
+        .get("sessions")
+        .and_then(Value::as_array)
+        .ok_or("list response has no `sessions` array")?;
+    for entry in sessions {
+        if entry.get("session").and_then(Value::as_str) == Some(session) {
+            let n = entry
+                .get("n")
+                .and_then(|v| match v {
+                    Value::U64(u) => Some(*u as usize),
+                    _ => None,
+                })
+                .ok_or("session entry has no `n`")?;
+            let kinds = entry
+                .get("supported_queries")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default();
+            return Ok((n, kinds));
+        }
+    }
+    let known: Vec<&str> = sessions
+        .iter()
+        .filter_map(|e| e.get("session").and_then(Value::as_str))
+        .collect();
+    Err(format!(
+        "daemon has no session named {session:?} (live: [{}])",
+        known.join(", ")
+    ))
+}

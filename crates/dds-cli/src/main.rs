@@ -1,7 +1,7 @@
 //! `dds` binary entry point — all logic lives in the `dds_cli` library so
 //! the command surface is testable in-process (see `real_main`).
 
-use dds_cli::{real_main, USAGE};
+use dds_cli::{run_main, Failure, USAGE};
 
 /// Restore default SIGPIPE handling so `dds … | head` terminates quietly
 /// instead of panicking on a broken pipe (Rust ignores SIGPIPE by default).
@@ -23,12 +23,19 @@ fn reset_sigpipe() {}
 fn main() {
     reset_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match real_main(argv) {
+    match run_main(argv) {
         Ok(()) => {}
-        Err(e) => {
+        // Only a bad invocation earns the usage dump; a runtime failure
+        // (malformed input file, refused bind, lost connection) gets the
+        // one-line diagnostic alone so it is not buried.
+        Err(Failure::Usage(e)) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
             std::process::exit(2);
+        }
+        Err(Failure::Run(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,110 @@
+//! `dds serve` — boot the long-lived query-serving daemon.
+//!
+//! ```text
+//! dds serve --listen 127.0.0.1:7421
+//! dds serve --listen 127.0.0.1:0 --resume checkpoint_000200.json --session main
+//! dds serve --listen 127.0.0.1:7421 --protocol triangle --n 64 --session main
+//! ```
+//!
+//! The daemon prints one `listening on ADDR` line (explicitly flushed so
+//! scripts scraping an ephemeral `:0` port see it immediately), serves
+//! until SIGTERM/SIGINT or a `shutdown` verb, then drains its connection
+//! threads and prints a final counters line — a graceful exit is exit
+//! code 0.
+
+use crate::args::Args;
+use dds_net::serving::{Server, ServerHandle, ServingSession};
+use dds_net::{SimConfig, Snapshot};
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// The running server's stop handle, stashed for the signal handler.
+/// `ServerHandle::stop` is one atomic store, so calling it from the
+/// handler is async-signal-safe; `OnceLock::get` is an atomic load.
+static HANDLE: OnceLock<ServerHandle> = OnceLock::new();
+
+#[cfg(unix)]
+fn install_termination_handlers(handle: ServerHandle) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_terminate(_signum: i32) {
+        if let Some(handle) = HANDLE.get() {
+            handle.stop();
+        }
+    }
+    let _ = HANDLE.set(handle);
+    unsafe {
+        signal(SIGTERM, on_terminate as *const () as usize);
+        signal(SIGINT, on_terminate as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_termination_handlers(handle: ServerHandle) {
+    let _ = HANDLE.set(handle);
+}
+
+/// Run the daemon until it is told to stop.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    let listen = args.get_or("listen", "127.0.0.1:7421");
+    let registry = dds_bench::protocols();
+    let server = Server::bind(listen, registry).map_err(|e| format!("bind {listen}: {e}"))?;
+
+    // Pre-open sessions before accepting traffic, so the first client
+    // request already sees them: either a warm start from a snapshot or a
+    // fresh session from --protocol/--n. Clients can always open more via
+    // the `open` verb.
+    if let Some(path) = args.options.get("resume") {
+        let snap = Snapshot::read_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        let name = args.get_or("session", "main");
+        let session = ServingSession::open_from_snapshot(registry, name, &snap)?;
+        let round = session.view().round;
+        server.open_session(session)?;
+        println!(
+            "session {name}: warm-started from {path} — {} on {} nodes at round {round}",
+            snap.header.protocol, snap.header.n
+        );
+    } else if let Some(protocol) = args.options.get("protocol") {
+        let n: usize = args.num_or("n", 64)?;
+        let name = args.get_or("session", "main");
+        let cfg = SimConfig {
+            parallel: args.flag("parallel"),
+            engine: crate::run::engine_from(args)?,
+            shards: crate::run::shards_from(args)?,
+            scheduling: crate::run::scheduling_from(args)?,
+            ..SimConfig::default()
+        };
+        server.open_session(ServingSession::open(registry, name, protocol, n, cfg)?)?;
+        println!("session {name}: fresh {protocol} on {n} nodes");
+    }
+
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let handle = server.handle();
+    install_termination_handlers(handle.clone());
+    println!("dds serve: listening on {addr}");
+    // Stdout is block-buffered when piped; the port announcement must not
+    // sit in the buffer while a script waits for it.
+    std::io::stdout().flush().ok();
+
+    server.run().map_err(|e| format!("serve: {e}"))?;
+
+    let state = handle.state();
+    let m = &state.metrics;
+    use std::sync::atomic::Ordering::Relaxed;
+    println!(
+        "dds serve: shut down cleanly — {} connection(s), {} request(s) \
+         ({} malformed), {} query(s) answered, {} in / {} out bytes",
+        m.connections.load(Relaxed),
+        m.requests.load(Relaxed),
+        m.request_errors.load(Relaxed),
+        m.answered.load(Relaxed),
+        m.bytes_in.load(Relaxed),
+        m.bytes_out.load(Relaxed),
+    );
+    Ok(())
+}

@@ -907,3 +907,179 @@ fn simulate_scheduling_modes_are_bit_identical() {
     ]))
     .is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Serving: `dds serve` + `dds loadgen` end to end over a real socket.
+// ---------------------------------------------------------------------------
+
+/// Spawn `dds serve` with piped stdout and scrape the announced address
+/// (ephemeral `:0` listen), returning the child + the address.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dds"));
+    cmd.arg("serve")
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn dds serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut addr = None;
+    let mut seen = String::new();
+    for _ in 0..16 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read serve stdout") == 0 {
+            break;
+        }
+        seen.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("dds serve: listening on ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+    }
+    // Hand the reader back so the caller can drain the shutdown banner.
+    child.stdout = Some(reader.into_inner());
+    let addr = addr.unwrap_or_else(|| panic!("no listening line from dds serve; saw: {seen}"));
+    (child, addr)
+}
+
+/// SIGTERM the daemon and wait for a graceful exit, returning its stdout
+/// tail (the shutdown banner).
+fn terminate_serve(mut child: std::process::Child) -> String {
+    use std::io::Read;
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -TERM failed");
+    let status = child.wait().expect("wait for dds serve");
+    assert!(status.success(), "serve must exit 0 on SIGTERM: {status:?}");
+    let mut tail = String::new();
+    if let Some(mut out) = child.stdout.take() {
+        out.read_to_string(&mut tail).expect("drain serve stdout");
+    }
+    tail
+}
+
+#[test]
+fn binary_serve_answers_loadgen_and_shuts_down_on_sigterm() {
+    let (child, addr) = spawn_serve(&["--protocol", "two-hop", "--n", "24", "--session", "main"]);
+    let (ok, stdout, stderr) = run_bin(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--session",
+        "main",
+        "--clients",
+        "2",
+        "--queries",
+        "40",
+        "--churn-rounds",
+        "20",
+        "--workload",
+        "er",
+        "--n",
+        "24",
+        "--rounds",
+        "20",
+    ]);
+    assert!(ok, "loadgen failed: {stderr}");
+    assert!(stdout.contains("0 error(s)"), "loadgen output: {stdout}");
+    assert!(
+        stdout.contains("under 20 round(s) of concurrent churn"),
+        "churn must have run: {stdout}"
+    );
+    let tail = terminate_serve(child);
+    assert!(
+        tail.contains("shut down cleanly"),
+        "shutdown banner: {tail}"
+    );
+}
+
+#[test]
+fn binary_serve_warm_starts_from_a_snapshot() {
+    let dir = std::env::temp_dir().join(format!("dds-serve-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = make_snapshot(&dir);
+    let (child, addr) = spawn_serve(&["--resume", snap.to_str().unwrap()]);
+    // The boot banner (printed before the listening line) names the
+    // snapshot position.
+    let (ok, stdout, stderr) = run_bin(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--session",
+        "main",
+        "--clients",
+        "2",
+        "--queries",
+        "25",
+        "--json",
+    ]);
+    assert!(ok, "loadgen against warm daemon failed: {stderr}");
+    assert!(stdout.contains("\"errors\": 0"), "loadgen json: {stdout}");
+    assert!(stdout.contains("\"queries\": 50"), "loadgen json: {stdout}");
+    let tail = terminate_serve(child);
+    assert!(tail.contains("shut down cleanly"), "banner: {tail}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_without_daemon_fails_with_runtime_error_not_usage() {
+    // Port 1 is never listening; the failure is a runtime diagnostic
+    // (exit 1, no usage dump), not an invocation error.
+    let out = Command::new(env!("CARGO_BIN_EXE_dds"))
+        .args(["loadgen", "--addr", "127.0.0.1:1", "--session", "main"])
+        .output()
+        .expect("spawn dds");
+    assert_eq!(out.status.code(), Some(1), "runtime failures exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(!stderr.contains("usage:"), "no usage dump: {stderr}");
+}
+
+#[test]
+fn bench_diff_malformed_report_is_a_clean_typed_error() {
+    let dir = std::env::temp_dir().join(format!("dds-bench-malformed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    std::fs::write(
+        &good,
+        r#"{"version": "0.1.0", "rounds": 300, "total_seconds": 1.0,
+            "tables": [{"id": "e1", "seconds": 1.0,
+                        "table": {"title": "T", "headers": ["n"],
+                                  "rows": [["64"]], "notes": []}}]}"#,
+    )
+    .unwrap();
+    let truncated = dir.join("truncated.json");
+    std::fs::write(&truncated, r#"{"version": "0.1.0", "rounds": 300, "tab"#).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dds"))
+        .args([
+            "bench",
+            "diff",
+            good.to_str().unwrap(),
+            truncated.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dds");
+    assert_eq!(out.status.code(), Some(1), "malformed input exits 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("malformed bench report"),
+        "typed diagnostic: {stderr}"
+    );
+    assert!(
+        stderr.contains("truncated.json"),
+        "names the offending file: {stderr}"
+    );
+    assert!(!stderr.contains("usage:"), "no usage dump: {stderr}");
+    // A bad invocation still earns the usage text and exit code 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_dds"))
+        .args(["frobnicate"])
+        .output()
+        .expect("spawn dds");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod query;
 mod round;
+pub mod serving;
 pub mod session;
 pub mod sim;
 pub mod source;

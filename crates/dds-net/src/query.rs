@@ -19,6 +19,7 @@
 
 use crate::ids::{Edge, NodeId};
 use crate::protocol::{Node, Response};
+use serde::{Deserialize, Serialize, Value};
 
 /// The capability unit: one kind of subgraph query, with its parameters
 /// abstracted away. Protocols report the kinds they support so frontends
@@ -123,6 +124,208 @@ impl Query {
             Query::ListTriangles => QueryKind::ListTriangles,
             Query::ListCliques(_) => QueryKind::ListCliques,
             Query::ListCycles(_) => QueryKind::ListCycles,
+        }
+    }
+}
+
+impl QueryKind {
+    /// Parse a stable name back to the kind ([`QueryKind::name`] inverse).
+    pub fn from_name(name: &str) -> Option<QueryKind> {
+        QueryKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding. Queries and answers travel over the serve protocol (and
+// through any other JSON surface) as kind-tagged objects:
+//
+//   {"kind": "edge", "edge": [lo, hi]}
+//   {"kind": "triangle", "u": U, "w": W}
+//   {"kind": "clique", "vertices": [v, ...]}
+//   {"kind": "cycle", "vertices": [v, ...]}
+//   {"kind": "path3", "center": C, "a": A, "b": B}
+//   {"kind": "list-triangles"}
+//   {"kind": "list-cliques", "k": K}
+//   {"kind": "list-cycles", "k": K}
+//
+//   {"kind": "bool", "value": true}
+//   {"kind": "triangles", "value": [[a, b, c], ...]}
+//   {"kind": "vertex-sets", "value": [[v, ...], ...]}
+//
+// The tag is the [`QueryKind::name`] token, so capability lists and wire
+// payloads share one vocabulary. Decoding is total: malformed values are
+// `Err`, never panics (wire input is untrusted).
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn ids_value(ids: &[NodeId]) -> Value {
+    Value::Arr(ids.iter().map(|v| Value::U64(v.0 as u64)).collect())
+}
+
+fn ids_from(v: &Value) -> Result<Vec<NodeId>, String> {
+    let arr = v.as_array().ok_or("expected a node-id array")?;
+    arr.iter().map(|x| u32::from_value(x).map(NodeId)).collect()
+}
+
+fn wire_field<'a>(v: &'a Value, kind: &str, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{kind} query value is missing `{key}`"))
+}
+
+fn node_field(v: &Value, kind: &str, key: &str) -> Result<NodeId, String> {
+    u32::from_value(wire_field(v, kind, key)?)
+        .map(NodeId)
+        .map_err(|e| format!("{kind} query `{key}`: {e}"))
+}
+
+impl Serialize for Query {
+    fn to_value(&self) -> Value {
+        let kind = Value::Str(self.kind().name().to_string());
+        match self {
+            Query::Edge(e) => obj(vec![
+                ("kind", kind),
+                (
+                    "edge",
+                    Value::Arr(vec![
+                        Value::U64(e.lo().0 as u64),
+                        Value::U64(e.hi().0 as u64),
+                    ]),
+                ),
+            ]),
+            Query::Triangle(u, w) => obj(vec![
+                ("kind", kind),
+                ("u", Value::U64(u.0 as u64)),
+                ("w", Value::U64(w.0 as u64)),
+            ]),
+            Query::Clique(vs) | Query::Cycle(vs) => {
+                obj(vec![("kind", kind), ("vertices", ids_value(vs))])
+            }
+            Query::Path3 { center, a, b } => obj(vec![
+                ("kind", kind),
+                ("center", Value::U64(center.0 as u64)),
+                ("a", Value::U64(a.0 as u64)),
+                ("b", Value::U64(b.0 as u64)),
+            ]),
+            Query::ListTriangles => obj(vec![("kind", kind)]),
+            Query::ListCliques(k) | Query::ListCycles(k) => {
+                obj(vec![("kind", kind), ("k", Value::U64(*k as u64))])
+            }
+        }
+    }
+}
+
+impl Deserialize for Query {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let tag = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("query value has no string `kind` tag")?;
+        let kind = QueryKind::from_name(tag).ok_or_else(|| {
+            format!(
+                "unknown query kind {tag:?}; expected one of [{}]",
+                QueryKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+        match kind {
+            QueryKind::Edge => {
+                let ends = ids_from(wire_field(v, tag, "edge")?)?;
+                if ends.len() != 2 || ends[0] == ends[1] {
+                    return Err(format!(
+                        "edge query `edge` must be two distinct endpoints, got {ends:?}"
+                    ));
+                }
+                Ok(Query::Edge(Edge::new(ends[0], ends[1])))
+            }
+            QueryKind::Triangle => Ok(Query::Triangle(
+                node_field(v, tag, "u")?,
+                node_field(v, tag, "w")?,
+            )),
+            QueryKind::Clique => Ok(Query::Clique(ids_from(wire_field(v, tag, "vertices")?)?)),
+            QueryKind::Cycle => Ok(Query::Cycle(ids_from(wire_field(v, tag, "vertices")?)?)),
+            QueryKind::Path3 => Ok(Query::Path3 {
+                center: node_field(v, tag, "center")?,
+                a: node_field(v, tag, "a")?,
+                b: node_field(v, tag, "b")?,
+            }),
+            QueryKind::ListTriangles => Ok(Query::ListTriangles),
+            QueryKind::ListCliques => Ok(Query::ListCliques(usize::from_value(wire_field(
+                v, tag, "k",
+            )?)?)),
+            QueryKind::ListCycles => Ok(Query::ListCycles(usize::from_value(wire_field(
+                v, tag, "k",
+            )?)?)),
+        }
+    }
+}
+
+impl Serialize for Answer {
+    fn to_value(&self) -> Value {
+        match self {
+            Answer::Bool(b) => obj(vec![
+                ("kind", Value::Str("bool".into())),
+                ("value", Value::Bool(*b)),
+            ]),
+            Answer::Triangles(ts) => obj(vec![
+                ("kind", Value::Str("triangles".into())),
+                (
+                    "value",
+                    Value::Arr(ts.iter().map(|t| ids_value(&t[..])).collect()),
+                ),
+            ]),
+            Answer::VertexSets(vs) => obj(vec![
+                ("kind", Value::Str("vertex-sets".into())),
+                (
+                    "value",
+                    Value::Arr(vs.iter().map(|s| ids_value(s)).collect()),
+                ),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Answer {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let tag = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("answer value has no string `kind` tag")?;
+        let value = wire_field(v, tag, "value")?;
+        match tag {
+            "bool" => bool::from_value(value).map(Answer::Bool),
+            "triangles" => {
+                let arr = value.as_array().ok_or("triangles answer: expected array")?;
+                let mut out = Vec::with_capacity(arr.len());
+                for t in arr {
+                    let ids = ids_from(t)?;
+                    let [a, b, c]: [NodeId; 3] = ids.try_into().map_err(|bad: Vec<NodeId>| {
+                        format!("triangle has {} vertices", bad.len())
+                    })?;
+                    out.push([a, b, c]);
+                }
+                Ok(Answer::Triangles(out))
+            }
+            "vertex-sets" => {
+                let arr = value
+                    .as_array()
+                    .ok_or("vertex-sets answer: expected array")?;
+                arr.iter()
+                    .map(ids_from)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Answer::VertexSets)
+            }
+            other => Err(format!("unknown answer kind {other:?}")),
         }
     }
 }
@@ -266,6 +469,68 @@ mod tests {
         assert!(t.as_bool().is_none());
         let v = Answer::VertexSets(vec![vec![NodeId(0)]]);
         assert_eq!(v.as_vertex_sets().map(|x| x.len()), Some(1));
+    }
+
+    #[test]
+    fn query_wire_roundtrip_all_kinds() {
+        let queries = vec![
+            Query::Edge(edge(3, 7)),
+            Query::Triangle(NodeId(1), NodeId(4)),
+            Query::Clique(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+            Query::Cycle(vec![NodeId(5), NodeId(6), NodeId(7)]),
+            Query::Path3 {
+                center: NodeId(2),
+                a: NodeId(0),
+                b: NodeId(4),
+            },
+            Query::ListTriangles,
+            Query::ListCliques(4),
+            Query::ListCycles(5),
+        ];
+        for q in queries {
+            let text = serde_json::to_string(&q.to_value()).unwrap();
+            let value = serde_json::from_str(&text).unwrap();
+            let back = Query::from_value(&value).unwrap();
+            assert_eq!(back, q, "wire roundtrip changed {text}");
+            // The wire tag matches the kind's canonical name.
+            assert_eq!(
+                value.get("kind").and_then(Value::as_str),
+                Some(q.kind().name())
+            );
+        }
+    }
+
+    #[test]
+    fn answer_wire_roundtrip_all_kinds() {
+        let answers = vec![
+            Answer::Bool(false),
+            Answer::Bool(true),
+            Answer::Triangles(vec![[NodeId(0), NodeId(1), NodeId(2)]]),
+            Answer::VertexSets(vec![vec![NodeId(3), NodeId(4)], vec![]]),
+        ];
+        for a in answers {
+            let text = serde_json::to_string(&a.to_value()).unwrap();
+            let back = Answer::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back, a, "wire roundtrip changed {text}");
+        }
+    }
+
+    #[test]
+    fn query_decoding_rejects_malformed_shapes() {
+        for (doc, needle) in [
+            (r#"{"edge":[0,1]}"#, "kind"),
+            (r#"{"kind":"edge","edge":[2,2]}"#, "distinct"),
+            (r#"{"kind":"edge","edge":[2]}"#, "edge"),
+            (r#"{"kind":"triangle","u":1}"#, "w"),
+            (r#"{"kind":"no-such-kind"}"#, "no-such-kind"),
+            (r#"{"kind":"list-cliques"}"#, "k"),
+        ] {
+            let value = serde_json::from_str(doc).unwrap();
+            let err = Query::from_value(&value).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+        assert!(QueryKind::from_name("edge").is_some());
+        assert!(QueryKind::from_name("bogus").is_none());
     }
 
     #[test]

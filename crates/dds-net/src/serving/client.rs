@@ -1,0 +1,201 @@
+//! Blocking wire-protocol client — the counterpart every frontend (CLI
+//! subcommands, load generator, tests) talks through.
+
+use super::wire::{self, Request};
+use crate::checkpoint::Snapshot;
+use crate::event::EventBatch;
+use crate::ids::{NodeId, Round};
+use crate::query::{Answer, Query};
+use serde::{Deserialize, Serialize, Value};
+use std::net::TcpStream;
+
+/// Outcome of one served query, the client-side decoding of a `results`
+/// entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome {
+    /// A consistent answer.
+    Answer(Answer),
+    /// The structure was mid-update at the watermark; retry later.
+    Inconsistent,
+    /// The question itself was unanswerable (unsupported kind, bad node).
+    Error(String),
+}
+
+impl QueryOutcome {
+    /// Is this an error outcome?
+    pub fn is_error(&self) -> bool {
+        matches!(self, QueryOutcome::Error(_))
+    }
+}
+
+/// A batch of query outcomes plus the settled watermark they were
+/// answered at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryReply {
+    /// The settled round the answers are frozen at.
+    pub watermark: Round,
+    /// One outcome per submitted query, in order.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+/// One TCP connection speaking the serve wire protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serve daemon.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Send one request and return the validated response payload.
+    pub fn request(&mut self, req: &Request) -> Result<Value, String> {
+        let bytes = serde_json::to_string(&req.to_value())
+            .expect("json write is infallible")
+            .into_bytes();
+        wire::write_frame(&mut self.stream, &bytes).map_err(|e| format!("send: {e}"))?;
+        let (payload, _) = wire::read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("server closed the connection")?;
+        let text =
+            std::str::from_utf8(&payload).map_err(|_| "response frame is not UTF-8".to_string())?;
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| format!("response is not JSON: {e}"))?;
+        wire::check_response(&value)?;
+        Ok(value)
+    }
+
+    /// Open a fresh session.
+    pub fn open(&mut self, session: &str, protocol: &str, n: usize) -> Result<Value, String> {
+        self.request(&Request::Open {
+            session: session.to_string(),
+            protocol: Some(protocol.to_string()),
+            n: Some(n),
+            engine: None,
+            shards: None,
+            scheduling: None,
+            snapshot: None,
+        })
+    }
+
+    /// Open a session warm-started from a snapshot.
+    pub fn open_from_snapshot(&mut self, session: &str, snap: &Snapshot) -> Result<Value, String> {
+        self.request(&Request::Open {
+            session: session.to_string(),
+            protocol: None,
+            n: None,
+            engine: None,
+            shards: None,
+            scheduling: None,
+            snapshot: Some(snap.to_json()),
+        })
+    }
+
+    /// Ingest batches (one round each); returns the new watermark.
+    pub fn ingest(&mut self, session: &str, batches: Vec<EventBatch>) -> Result<Round, String> {
+        let v = self.request(&Request::Ingest {
+            session: session.to_string(),
+            batches,
+        })?;
+        watermark_of(&v)
+    }
+
+    /// Advance quiet rounds; returns the new watermark.
+    pub fn step(&mut self, session: &str, rounds: u64) -> Result<Round, String> {
+        let v = self.request(&Request::Step {
+            session: session.to_string(),
+            rounds,
+        })?;
+        watermark_of(&v)
+    }
+
+    /// Answer queries against the session's settled view.
+    pub fn query(
+        &mut self,
+        session: &str,
+        queries: Vec<(NodeId, Query)>,
+    ) -> Result<QueryReply, String> {
+        let v = self.request(&Request::Query {
+            session: session.to_string(),
+            queries,
+        })?;
+        let watermark = watermark_of(&v)?;
+        let results = v
+            .get("results")
+            .and_then(Value::as_array)
+            .ok_or("query response has no `results` array")?;
+        let outcomes = results
+            .iter()
+            .map(|r| {
+                let status = r
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .ok_or("result entry has no `status`")?;
+                match status {
+                    "answer" => {
+                        Answer::from_value(r.get("value").ok_or("answer result has no `value`")?)
+                            .map(QueryOutcome::Answer)
+                    }
+                    "inconsistent" => Ok(QueryOutcome::Inconsistent),
+                    "error" => Ok(QueryOutcome::Error(
+                        r.get("error")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unspecified query error")
+                            .to_string(),
+                    )),
+                    other => Err(format!("unknown result status {other:?}")),
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(QueryReply {
+            watermark,
+            outcomes,
+        })
+    }
+
+    /// Capture the session as a validated [`Snapshot`].
+    pub fn checkpoint(&mut self, session: &str) -> Result<Snapshot, String> {
+        let v = self.request(&Request::Checkpoint {
+            session: session.to_string(),
+        })?;
+        let doc = v
+            .get("snapshot")
+            .and_then(Value::as_str)
+            .ok_or("checkpoint response has no `snapshot` document")?;
+        Snapshot::from_json(doc).map_err(|e| e.to_string())
+    }
+
+    /// Enumerate live sessions (raw payload; `sessions` array inside).
+    pub fn list(&mut self) -> Result<Value, String> {
+        self.request(&Request::List)
+    }
+
+    /// Fetch daemon counters/gauges (raw payload).
+    pub fn stats(&mut self) -> Result<Value, String> {
+        self.request(&Request::Stats)
+    }
+
+    /// Drop a session.
+    pub fn close(&mut self, session: &str) -> Result<(), String> {
+        self.request(&Request::Close {
+            session: session.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn watermark_of(v: &Value) -> Result<Round, String> {
+    u64::from_value(
+        v.get("watermark")
+            .ok_or("response has no `watermark` field")?,
+    )
+    .map_err(|e| format!("watermark: {e}"))
+}

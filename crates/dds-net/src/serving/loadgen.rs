@@ -1,0 +1,199 @@
+//! Load-generation core: N client threads of query traffic, optionally
+//! against a concurrent churn writer — the measurement harness behind
+//! `dds loadgen` and the `s5` bench tier.
+//!
+//! The generator is deliberately deterministic in everything but time:
+//! each client issues a *fixed number* of queries drawn round-robin from
+//! a shared mix (client `k` starts at offset `k`), so the total query
+//! count — and, once the churn schedule is fixed, the set of (query,
+//! watermark) pairs that *could* be observed — does not depend on
+//! scheduling. Only the latencies and the answered/inconsistent split are
+//! wall-clock dependent.
+
+use super::client::{Client, QueryOutcome};
+use crate::event::EventBatch;
+use crate::ids::NodeId;
+use crate::query::Query;
+use std::time::Instant;
+
+/// One loadgen run's shape.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Target session name.
+    pub session: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries *per client* (fixed, so totals are deterministic).
+    pub queries_per_client: usize,
+}
+
+/// What a loadgen run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Queries issued (= clients × queries_per_client when every request
+    /// got a response).
+    pub queries: u64,
+    /// Consistent answers.
+    pub answered: u64,
+    /// `inconsistent` outcomes (valid under churn).
+    pub inconsistent: u64,
+    /// Query errors (unsupported/malformed/transport) — 0 on a healthy
+    /// run.
+    pub errors: u64,
+    /// Wall-clock seconds from first to last request across all clients.
+    pub wall_seconds: f64,
+    /// Client-observed per-request latencies in seconds, all clients
+    /// concatenated (unordered).
+    pub latencies: Vec<f64>,
+    /// Rounds the concurrent churn writer ingested (0 without churn).
+    pub churn_rounds: u64,
+}
+
+impl LoadgenReport {
+    /// Queries per wall-clock second.
+    pub fn qps(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.queries as f64 / self.wall_seconds
+    }
+}
+
+/// Drive `opts.clients` threads of query traffic from `mix` against the
+/// daemon, optionally ingesting `churn` batches (one round per batch, on
+/// a dedicated writer connection) concurrently with the reads. Returns
+/// after *all* queries are answered and the churn writer has drained.
+pub fn run(
+    opts: &LoadgenOptions,
+    mix: &[(NodeId, Query)],
+    churn: &[EventBatch],
+) -> Result<LoadgenReport, String> {
+    if mix.is_empty() {
+        return Err("loadgen needs a non-empty query mix".into());
+    }
+    if opts.clients == 0 {
+        return Err("loadgen needs at least one client".into());
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        // The single writer: its own connection, one ingest verb per
+        // batch so the watermark advances round by round under the reads.
+        let churn_worker = (!churn.is_empty()).then(|| {
+            let addr = opts.addr.clone();
+            let session = opts.session.clone();
+            scope.spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(&addr)?;
+                for batch in churn {
+                    client.ingest(&session, vec![batch.clone()])?;
+                }
+                Ok(churn.len() as u64)
+            })
+        });
+        let readers: Vec<_> = (0..opts.clients)
+            .map(|k| {
+                let addr = opts.addr.clone();
+                let session = opts.session.clone();
+                scope.spawn(move || -> Result<LoadgenReport, String> {
+                    let mut client = Client::connect(&addr)?;
+                    let mut report = LoadgenReport::default();
+                    for i in 0..opts.queries_per_client {
+                        let (at, query) = &mix[(k + i) % mix.len()];
+                        let t = Instant::now();
+                        let reply = client.query(&session, vec![(*at, query.clone())])?;
+                        report.latencies.push(t.elapsed().as_secs_f64());
+                        report.queries += 1;
+                        match &reply.outcomes[..] {
+                            [QueryOutcome::Answer(_)] => report.answered += 1,
+                            [QueryOutcome::Inconsistent] => report.inconsistent += 1,
+                            [QueryOutcome::Error(_)] => report.errors += 1,
+                            other => {
+                                return Err(format!(
+                                    "expected exactly one outcome, got {}",
+                                    other.len()
+                                ))
+                            }
+                        }
+                    }
+                    Ok(report)
+                })
+            })
+            .collect();
+        let mut total = LoadgenReport::default();
+        for handle in readers {
+            let part = handle
+                .join()
+                .map_err(|_| "loadgen client thread panicked".to_string())??;
+            total.queries += part.queries;
+            total.answered += part.answered;
+            total.inconsistent += part.inconsistent;
+            total.errors += part.errors;
+            total.latencies.extend(part.latencies);
+        }
+        if let Some(worker) = churn_worker {
+            total.churn_rounds = worker
+                .join()
+                .map_err(|_| "loadgen churn thread panicked".to_string())??;
+        }
+        total.wall_seconds = t0.elapsed().as_secs_f64();
+        Ok(total)
+    })
+}
+
+/// A deterministic mixed-query workload over an `n`-node network: mostly
+/// edge-membership probes (every protocol answers those) rotating through
+/// the id space, with every fourth query drawn from `extra` (protocol-
+/// specific kinds, e.g. `list-triangles`) when any are given.
+pub fn default_mix(n: usize, count: usize, extra: &[(NodeId, Query)]) -> Vec<(NodeId, Query)> {
+    assert!(n >= 2, "a query mix needs at least two nodes");
+    let mut mix = Vec::with_capacity(count);
+    for i in 0..count {
+        if !extra.is_empty() && i % 4 == 3 {
+            mix.push(extra[(i / 4) % extra.len()].clone());
+            continue;
+        }
+        // A fixed odd stride walks the whole id space without RNG state.
+        let u = ((i as u64 * 7919) % n as u64) as u32;
+        let w = ((u as u64 + 1 + (i as u64 % (n as u64 - 1))) % n as u64) as u32;
+        let (u, w) = if u == w {
+            (u, (w + 1) % n as u32)
+        } else {
+            (u, w)
+        };
+        mix.push((NodeId(u), Query::Edge(crate::ids::edge(u, w))));
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_deterministic_and_valid() {
+        let a = default_mix(16, 40, &[(NodeId(0), Query::ListTriangles)]);
+        let b = default_mix(16, 40, &[(NodeId(0), Query::ListTriangles)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        assert!(a.iter().any(|(_, q)| matches!(q, Query::ListTriangles)));
+        for (at, q) in &a {
+            assert!((at.0 as usize) < 16);
+            if let Query::Edge(e) = q {
+                assert_ne!(e.lo(), e.hi());
+                assert!((e.hi().0 as usize) < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn qps_handles_degenerate_walls() {
+        let mut r = LoadgenReport {
+            queries: 10,
+            ..LoadgenReport::default()
+        };
+        assert_eq!(r.qps(), 0.0);
+        r.wall_seconds = 2.0;
+        assert_eq!(r.qps(), 5.0);
+    }
+}

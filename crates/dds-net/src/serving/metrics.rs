@@ -1,0 +1,191 @@
+//! Daemon counters and gauges — the `stats` verb's backing store.
+//!
+//! Everything here is lock-free: plain relaxed atomics bumped on the hot
+//! paths (frame codec, query answering) and read wholesale when a `stats`
+//! request assembles its snapshot. Query latencies go into a log2-bucket
+//! histogram, so percentile reads are O(buckets) with no sample storage —
+//! a long-lived daemon must not accumulate unbounded per-request state.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, with the last bucket open-ended. 40
+/// buckets cover 1ns .. ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// A fixed log2-bucket latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+// Hand-written: `[AtomicU64; 40]` has no derived `Default` (std only
+// provides array defaults up to length 32).
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one duration.
+    pub fn record(&self, seconds: f64) {
+        let ns = (seconds.max(0.0) * 1e9) as u64;
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate percentile (`p` in 0..=100) in seconds: the upper edge
+    /// of the bucket holding the p-th sample. 0.0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 2f64.powi(i as i32 + 1) / 1e9;
+            }
+        }
+        2f64.powi(BUCKETS as i32) / 1e9
+    }
+
+    /// Mean latency in seconds (exact, unlike the bucketed percentiles).
+    pub fn mean(&self) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_ns.load(Ordering::Relaxed) as f64 / 1e9 / total as f64
+    }
+}
+
+/// Process-wide serving counters, shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: AtomicU64,
+    /// Requests handled (all verbs).
+    pub requests: AtomicU64,
+    /// Requests that produced an error response.
+    pub request_errors: AtomicU64,
+    /// Wire bytes read (frames in, length prefixes included).
+    pub bytes_in: AtomicU64,
+    /// Wire bytes written (frames out, length prefixes included).
+    pub bytes_out: AtomicU64,
+    /// Individual queries received (a `query` frame may carry many).
+    pub queries: AtomicU64,
+    /// Queries answered consistently.
+    pub answered: AtomicU64,
+    /// Queries that reported `inconsistent` (a valid mid-churn outcome).
+    pub inconsistent: AtomicU64,
+    /// Queries rejected as unanswerable (unsupported kind, bad node, …).
+    pub query_errors: AtomicU64,
+    /// Rounds executed across all sessions (ingest batches + quiet steps).
+    pub rounds: AtomicU64,
+    /// Server-side per-query answering latency.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Assemble the `stats` payload: every counter, plus derived latency
+    /// percentiles in microseconds.
+    pub fn to_value(&self, uptime_seconds: f64) -> Value {
+        let c = |a: &AtomicU64| Value::U64(a.load(Ordering::Relaxed));
+        let us = |s: f64| Value::F64((s * 1e6 * 1000.0).round() / 1000.0);
+        Value::Obj(vec![
+            ("uptime_seconds".into(), Value::F64(uptime_seconds)),
+            ("connections".into(), c(&self.connections)),
+            ("requests".into(), c(&self.requests)),
+            ("request_errors".into(), c(&self.request_errors)),
+            ("bytes_in".into(), c(&self.bytes_in)),
+            ("bytes_out".into(), c(&self.bytes_out)),
+            ("rounds".into(), c(&self.rounds)),
+            (
+                "queries".into(),
+                Value::Obj(vec![
+                    ("total".into(), c(&self.queries)),
+                    ("answered".into(), c(&self.answered)),
+                    ("inconsistent".into(), c(&self.inconsistent)),
+                    ("errors".into(), c(&self.query_errors)),
+                ]),
+            ),
+            (
+                "query_latency_us".into(),
+                Value::Obj(vec![
+                    ("count".into(), Value::U64(self.latency.count())),
+                    ("mean".into(), us(self.latency.mean())),
+                    ("p50".into(), us(self.latency.percentile(50.0))),
+                    ("p90".into(), us(self.latency.percentile(90.0))),
+                    ("p99".into(), us(self.latency.percentile(99.0))),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_samples() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(1e-6); // 1 us
+        }
+        for _ in 0..10 {
+            h.record(1e-3); // 1 ms
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(50.0);
+        assert!((1e-6..1e-4).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((1e-3..1e-2).contains(&p99), "p99 = {p99}");
+        let mean = h.mean();
+        assert!((mean - (90.0 * 1e-6 + 10.0 * 1e-3) / 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn stats_payload_carries_every_counter() {
+        let m = ServerMetrics::default();
+        m.queries.fetch_add(5, Ordering::Relaxed);
+        m.answered.fetch_add(4, Ordering::Relaxed);
+        m.inconsistent.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(2e-6);
+        let v = m.to_value(1.5);
+        let q = v.get("queries").unwrap();
+        assert_eq!(q.get("total"), Some(&Value::U64(5)));
+        assert_eq!(q.get("answered"), Some(&Value::U64(4)));
+        assert_eq!(q.get("inconsistent"), Some(&Value::U64(1)));
+        assert_eq!(
+            v.get("query_latency_us").unwrap().get("count"),
+            Some(&Value::U64(1))
+        );
+    }
+}

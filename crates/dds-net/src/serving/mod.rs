@@ -1,0 +1,34 @@
+//! `dds serve` — the long-lived query-serving layer.
+//!
+//! The paper's data structures answer subgraph queries *while the network
+//! churns*; this module is the process that makes that a service instead
+//! of a one-shot CLI run. A daemon ([`Server`]) keeps many named sessions
+//! live in a [`Directory`], ingests event batches, advances rounds, and
+//! answers [`Query`](crate::query::Query) traffic concurrently — with
+//! strict reader/writer separation (see [`state`]) so queries against the
+//! settled prefix never block ingest.
+//!
+//! - [`wire`] — length-prefixed JSON framing + the versioned verb
+//!   envelope (`open`/`ingest`/`step`/`query`/`list`/`stats`/
+//!   `checkpoint`/`close`/`shutdown`);
+//! - [`state`] — per-session single-writer ownership and the published
+//!   settled-watermark view readers query;
+//! - [`server`] — the `std::net` TCP accept loop (threads, no new
+//!   dependencies) and verb dispatch;
+//! - [`client`] — the blocking client every frontend talks through;
+//! - [`metrics`] — lock-free counters/gauges behind the `stats` verb;
+//! - [`loadgen`] — the N-client query-traffic generator.
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use client::{Client, QueryOutcome, QueryReply};
+pub use loadgen::{default_mix, LoadgenOptions, LoadgenReport};
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use server::{Server, ServerHandle, ServerState};
+pub use state::{Directory, PublishedView, ServingSession};
+pub use wire::{Request, MAX_FRAME_BYTES, WIRE_VERSION};

@@ -1,0 +1,408 @@
+//! The serve daemon: a `std::net` TCP accept loop, one thread per
+//! connection, dispatching wire verbs onto the session directory.
+//!
+//! No async runtime and no new dependencies — connections are cheap
+//! threads blocking on `read`, the accept loop polls a nonblocking
+//! listener so it can notice the stop flag, and per-connection read
+//! timeouts let handler threads notice it too. Shutdown (SIGTERM via the
+//! CLI, or the `shutdown` verb) is graceful: the accept loop stops taking
+//! connections, handler threads finish their current request and close,
+//! and `run` joins them all before returning.
+
+use super::metrics::ServerMetrics;
+use super::state::{Directory, ServingSession};
+use super::wire::{self, Request};
+use crate::checkpoint::Snapshot;
+use crate::engine::ProtocolRegistry;
+use crate::protocol::Response;
+use crate::sim::SimConfig;
+use serde::{Deserialize, Serialize, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop and idle connections re-check the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Shared daemon state: directory + metrics + the stop flag.
+pub struct ServerState {
+    /// The named-session directory.
+    pub directory: Directory,
+    /// Process-wide counters and gauges.
+    pub metrics: ServerMetrics,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+/// A cheap cloneable handle onto a running server: stop it, inspect it.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Ask the server to shut down gracefully. Async-signal-safe (one
+    /// atomic store), so the CLI calls this from its SIGTERM handler.
+    pub fn stop(&self) {
+        self.state.stop.store(true, Ordering::Release);
+    }
+
+    /// Has a stop been requested?
+    pub fn stopping(&self) -> bool {
+        self.state.stop.load(Ordering::Acquire)
+    }
+
+    /// The shared state (directory + metrics), for in-process inspection.
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+}
+
+/// A bound, not-yet-running serve daemon.
+pub struct Server {
+    listener: TcpListener,
+    registry: &'static ProtocolRegistry,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the listen address (use port 0 for an ephemeral port — tests
+    /// and the loadgen harness read it back via [`Server::local_addr`]).
+    pub fn bind(addr: &str, registry: &'static ProtocolRegistry) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            registry,
+            state: Arc::new(ServerState {
+                directory: Directory::default(),
+                metrics: ServerMetrics::default(),
+                stop: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping/inspecting the server from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Pre-open a session before serving (the `--resume` warm start and
+    /// `--open` boot paths).
+    pub fn open_session(&self, session: ServingSession) -> Result<(), String> {
+        self.state.directory.insert(session).map(|_| ())
+    }
+
+    /// Run the accept loop until a stop is requested, then join every
+    /// connection thread. Blocking — callers wanting an in-process server
+    /// spawn this on a thread and keep the [`ServerHandle`].
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut workers = Vec::new();
+        while !self.state.stop.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.state
+                        .metrics
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let state = Arc::clone(&self.state);
+                    let registry = self.registry;
+                    workers.push(std::thread::spawn(move || {
+                        serve_connection(stream, registry, &state);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(e),
+            }
+            // Reap finished handlers so a long-lived daemon does not
+            // accumulate dead join handles.
+            workers.retain(|h| !h.is_finished());
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection: read frames, dispatch, write responses, until the
+/// peer closes, a wire error occurs, or the server stops.
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &'static ProtocolRegistry,
+    state: &ServerState,
+) {
+    // Short read timeouts turn a blocking read into a poll of the stop
+    // flag; WouldBlock/TimedOut between frames just means "check and keep
+    // waiting".
+    let _ = stream.set_read_timeout(Some(POLL * 4));
+    let _ = stream.set_nodelay(true);
+    let stop = || state.stop.load(Ordering::Acquire);
+    loop {
+        let (payload, nread) = match wire::read_frame_poll(&mut stream, &stop) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close, or stop between frames
+            Err(_) => return,   // torn frame or dead peer; nothing to answer
+        };
+        state
+            .metrics
+            .bytes_in
+            .fetch_add(nread as u64, Ordering::Relaxed);
+        state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown) = handle_payload(&payload, registry, state);
+        if response.get("ok") != Some(&Value::Bool(true)) {
+            state.metrics.request_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bytes = serde_json::to_string(&response)
+            .expect("json write is infallible")
+            .into_bytes();
+        match wire::write_frame(&mut stream, &bytes) {
+            Ok(nwrote) => {
+                state
+                    .metrics
+                    .bytes_out
+                    .fetch_add(nwrote as u64, Ordering::Relaxed);
+            }
+            Err(_) => return,
+        }
+        if shutdown {
+            state.stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Parse and dispatch one request payload. Returns the response and
+/// whether the daemon should shut down after sending it.
+fn handle_payload(
+    payload: &[u8],
+    registry: &'static ProtocolRegistry,
+    state: &ServerState,
+) -> (Value, bool) {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => return (wire::err_response("request frame is not UTF-8"), false),
+    };
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                wire::err_response(&format!("request is not JSON: {e}")),
+                false,
+            )
+        }
+    };
+    let request = match Request::from_value(&value) {
+        Ok(r) => r,
+        Err(e) => return (wire::err_response(&e), false),
+    };
+    if matches!(request, Request::Shutdown) {
+        return (
+            wire::ok_response(vec![("stopping", Value::Bool(true))]),
+            true,
+        );
+    }
+    match handle_request(request, registry, state) {
+        Ok(response) => (response, false),
+        Err(e) => (wire::err_response(&e), false),
+    }
+}
+
+/// Execute one (non-shutdown) verb against the directory.
+fn handle_request(
+    request: Request,
+    registry: &'static ProtocolRegistry,
+    state: &ServerState,
+) -> Result<Value, String> {
+    match request {
+        Request::Open {
+            session,
+            protocol,
+            n,
+            engine,
+            shards,
+            scheduling,
+            snapshot,
+        } => {
+            let serving = match snapshot {
+                Some(doc) => {
+                    let snap = Snapshot::from_json(&doc).map_err(|e| e.to_string())?;
+                    if let Some(p) = &protocol {
+                        if *p != snap.header.protocol {
+                            return Err(format!(
+                                "open: requested protocol {p:?} but the snapshot holds {:?}",
+                                snap.header.protocol
+                            ));
+                        }
+                    }
+                    ServingSession::open_from_snapshot(registry, &session, &snap)?
+                }
+                None => {
+                    let protocol =
+                        protocol.ok_or("open: a fresh session needs a `protocol` name")?;
+                    let n = n.ok_or("open: a fresh session needs `n`")?;
+                    let cfg = SimConfig {
+                        engine: engine.as_deref().unwrap_or("sparse").parse()?,
+                        shards: shards.as_deref().unwrap_or("auto").parse()?,
+                        scheduling: scheduling.as_deref().unwrap_or("balanced").parse()?,
+                        ..SimConfig::default()
+                    };
+                    ServingSession::open(registry, &session, &protocol, n, cfg)?
+                }
+            };
+            let arc = state.directory.insert(serving)?;
+            let view = arc.view();
+            Ok(wire::ok_response(vec![
+                ("session", Value::Str(arc.name.clone())),
+                ("protocol", Value::Str(view.session.protocol().to_string())),
+                ("n", Value::U64(view.session.n() as u64)),
+                ("watermark", Value::U64(view.round)),
+            ]))
+        }
+        Request::Ingest { session, batches } => {
+            let serving = state.directory.get(&session)?;
+            let watermark = serving.ingest(registry, &batches)?;
+            state
+                .metrics
+                .rounds
+                .fetch_add(batches.len() as u64, Ordering::Relaxed);
+            Ok(wire::ok_response(vec![
+                ("watermark", Value::U64(watermark)),
+                ("rounds", Value::U64(batches.len() as u64)),
+            ]))
+        }
+        Request::Step { session, rounds } => {
+            let serving = state.directory.get(&session)?;
+            let watermark = serving.step_quiet(registry, rounds)?;
+            state.metrics.rounds.fetch_add(rounds, Ordering::Relaxed);
+            Ok(wire::ok_response(vec![
+                ("watermark", Value::U64(watermark)),
+                ("rounds", Value::U64(rounds)),
+            ]))
+        }
+        Request::Query { session, queries } => {
+            let serving = state.directory.get(&session)?;
+            // The whole read path: clone the published Arc (the only lock,
+            // held for a pointer copy) and answer on the frozen view.
+            let view = serving.view();
+            let metrics = &state.metrics;
+            let mut results = Vec::with_capacity(queries.len());
+            for (at, query) in &queries {
+                metrics.queries.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let outcome = view.session.query(*at, query);
+                metrics.latency.record(t0.elapsed().as_secs_f64());
+                results.push(match outcome {
+                    Ok(Response::Answer(a)) => {
+                        metrics.answered.fetch_add(1, Ordering::Relaxed);
+                        Value::Obj(vec![
+                            ("status".into(), Value::Str("answer".into())),
+                            ("value".into(), a.to_value()),
+                        ])
+                    }
+                    Ok(Response::Inconsistent) => {
+                        metrics.inconsistent.fetch_add(1, Ordering::Relaxed);
+                        Value::Obj(vec![("status".into(), Value::Str("inconsistent".into()))])
+                    }
+                    Err(e) => {
+                        metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                        Value::Obj(vec![
+                            ("status".into(), Value::Str("error".into())),
+                            ("error".into(), Value::Str(e)),
+                        ])
+                    }
+                });
+            }
+            Ok(wire::ok_response(vec![
+                ("watermark", Value::U64(view.round)),
+                ("results", Value::Arr(results)),
+            ]))
+        }
+        Request::List => {
+            let sessions = state
+                .directory
+                .all()
+                .into_iter()
+                .map(|serving| {
+                    let view = serving.view();
+                    let kinds: Vec<Value> = view
+                        .session
+                        .supported_queries()
+                        .iter()
+                        .map(|k| Value::Str(k.name().to_string()))
+                        .collect();
+                    Value::Obj(vec![
+                        ("session".into(), Value::Str(serving.name.clone())),
+                        (
+                            "protocol".into(),
+                            Value::Str(view.session.protocol().to_string()),
+                        ),
+                        ("n".into(), Value::U64(view.session.n() as u64)),
+                        ("watermark".into(), Value::U64(view.round)),
+                        ("supported_queries".into(), Value::Arr(kinds)),
+                        ("summary".into(), view.session.summary().to_value()),
+                    ])
+                })
+                .collect();
+            Ok(wire::ok_response(vec![("sessions", Value::Arr(sessions))]))
+        }
+        Request::Stats => {
+            let uptime = state.started.elapsed().as_secs_f64();
+            let sessions = state
+                .directory
+                .all()
+                .into_iter()
+                .map(|serving| {
+                    let view = serving.view();
+                    let rounds = serving.rounds_served.load(Ordering::Relaxed);
+                    Value::Obj(vec![
+                        ("session".into(), Value::Str(serving.name.clone())),
+                        ("watermark".into(), Value::U64(view.round)),
+                        ("rounds_served".into(), Value::U64(rounds)),
+                        (
+                            "rounds_per_sec".into(),
+                            Value::F64(view.session.summary().rounds_per_sec),
+                        ),
+                        (
+                            "peak_active".into(),
+                            Value::U64(serving.peak_active.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "inconsistent_nodes".into(),
+                            Value::U64(view.session.inconsistent_nodes() as u64),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok(wire::ok_response(vec![
+                ("server", state.metrics.to_value(uptime)),
+                ("sessions", Value::Arr(sessions)),
+            ]))
+        }
+        Request::Checkpoint { session } => {
+            let serving = state.directory.get(&session)?;
+            let snap = serving.checkpoint();
+            Ok(wire::ok_response(vec![
+                ("watermark", Value::U64(snap.header.round)),
+                ("snapshot", Value::Str(snap.to_json())),
+            ]))
+        }
+        Request::Close { session } => {
+            state.directory.close(&session)?;
+            Ok(wire::ok_response(vec![("closed", Value::Str(session))]))
+        }
+        Request::Shutdown => unreachable!("handled in handle_payload"),
+    }
+}

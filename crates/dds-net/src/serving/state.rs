@@ -1,0 +1,260 @@
+//! Serving session state: single-writer ownership with a published
+//! settled-round view for concurrent readers.
+//!
+//! # The invariant
+//!
+//! Each named session has exactly one writer side (`writer`, a mutex over
+//! the live [`Session`]) and one published read side (`published`, an
+//! `Arc` swapped under a second mutex). Write verbs — `open`, `ingest`,
+//! `step`, `checkpoint`, `close` — serialize on the writer lock, so the
+//! round loop runs exactly as it does locally: determinism is untouched.
+//! After every write verb the writer *publishes*: it captures a snapshot
+//! and restores it into a fresh, fully independent `Session` (bit-exact
+//! by the PR 8 checkpoint guarantee), then swaps the `Arc` in.
+//!
+//! Readers (`query` verbs) clone the current `Arc` — the only time they
+//! hold any lock is for that pointer copy — and answer against an
+//! immutable session frozen at the **settled watermark**: the last round
+//! the writer had fully executed when it published. Hence:
+//!
+//! - readers never block ingest: the writer lock is not on the read path,
+//!   and the publish swap holds the view lock only for a pointer store;
+//! - ingest never blocks readers: in-flight queries keep their `Arc` and
+//!   finish against the old view while new queries see the new one;
+//! - answers are bit-identical to a local session queried at the
+//!   watermark round, because the published view *is* a checkpoint
+//!   round-trip of the writer at that round.
+
+use crate::checkpoint::Snapshot;
+use crate::engine::ProtocolRegistry;
+use crate::event::EventBatch;
+use crate::ids::Round;
+use crate::session::Session;
+use crate::sim::SimConfig;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An immutable, fully settled view of a session at one round — what
+/// every reader queries.
+pub struct PublishedView {
+    /// The restored session (never stepped again).
+    pub session: Session,
+    /// The settled watermark: the round the view is frozen at.
+    pub round: Round,
+}
+
+/// One named session on the daemon: writer side + published view +
+/// per-session gauges.
+pub struct ServingSession {
+    /// Directory key.
+    pub name: String,
+    writer: Mutex<Session>,
+    published: Mutex<Arc<PublishedView>>,
+    /// Rounds executed on this session since it was opened here (warm
+    /// starts begin counting at the snapshot round).
+    pub rounds_served: AtomicU64,
+    /// Peak active-node count observed across served rounds.
+    pub peak_active: AtomicU64,
+}
+
+impl ServingSession {
+    /// Wrap a freshly opened (or restored) session, publishing its
+    /// current state as the first view.
+    fn new(
+        registry: &'static ProtocolRegistry,
+        name: &str,
+        session: Session,
+    ) -> Result<ServingSession, String> {
+        let view = publish_view(registry, &session)?;
+        Ok(ServingSession {
+            name: name.to_string(),
+            writer: Mutex::new(session),
+            published: Mutex::new(Arc::new(view)),
+            rounds_served: AtomicU64::new(0),
+            peak_active: AtomicU64::new(0),
+        })
+    }
+
+    /// Open a fresh session on an empty `n`-node network.
+    pub fn open(
+        registry: &'static ProtocolRegistry,
+        name: &str,
+        protocol: &str,
+        n: usize,
+        cfg: SimConfig,
+    ) -> Result<ServingSession, String> {
+        ServingSession::new(registry, name, registry.open(protocol, n, cfg)?)
+    }
+
+    /// Warm-start from a snapshot (the `--resume` / inline-snapshot path).
+    pub fn open_from_snapshot(
+        registry: &'static ProtocolRegistry,
+        name: &str,
+        snap: &Snapshot,
+    ) -> Result<ServingSession, String> {
+        let session = registry.restore(snap).map_err(|e| e.to_string())?;
+        ServingSession::new(registry, name, session)
+    }
+
+    /// The current settled view (an `Arc` clone; the lock is held only
+    /// for the pointer copy).
+    pub fn view(&self) -> Arc<PublishedView> {
+        Arc::clone(&self.published.lock().expect("published view poisoned"))
+    }
+
+    /// Run write work under the writer lock, then publish the resulting
+    /// state as the new settled view. The publish happens even when the
+    /// work errors partway: the applied prefix is real, settled state, and
+    /// readers must be able to see it (the error goes back to the writer
+    /// client only). Returns the watermark round.
+    fn write_and_publish(
+        &self,
+        registry: &'static ProtocolRegistry,
+        work: impl FnOnce(&mut MutexGuard<'_, Session>) -> Result<(), String>,
+    ) -> Result<Round, String> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let outcome = work(&mut writer);
+        // Build the fresh view while still holding the writer lock (the
+        // state must not advance under the checkpoint), but *not* the
+        // view lock: readers keep querying the old view the whole time.
+        let view = publish_view(registry, &writer)?;
+        let round = view.round;
+        *self.published.lock().expect("published view poisoned") = Arc::new(view);
+        outcome.map(|()| round)
+    }
+
+    /// Ingest: one round per batch, in order. Returns the new watermark.
+    ///
+    /// Each batch is validated against the current topology *before* it is
+    /// applied: wire input is untrusted, and `Session::step` panics on
+    /// invalid batches by contract. An invalid batch stops the ingest with
+    /// an error naming the round and the offending event; the valid prefix
+    /// stays applied and published (the client can re-sync from the
+    /// returned error + a `list` of the session's round).
+    pub fn ingest(
+        &self,
+        registry: &'static ProtocolRegistry,
+        batches: &[EventBatch],
+    ) -> Result<Round, String> {
+        self.write_and_publish(registry, |writer| {
+            for batch in batches {
+                writer.topology().validate(batch).map_err(|e| {
+                    format!(
+                        "ingest rejected at round {}: {e} (the batch must be \
+                         consistent with the session's current topology — \
+                         against a warm-started session, skip the rounds the \
+                         snapshot already covers)",
+                        writer.round() + 1
+                    )
+                })?;
+                writer.step(batch);
+                self.note_round(writer);
+            }
+            Ok(())
+        })
+    }
+
+    /// Advance by quiet rounds. Returns the new watermark.
+    pub fn step_quiet(
+        &self,
+        registry: &'static ProtocolRegistry,
+        rounds: u64,
+    ) -> Result<Round, String> {
+        self.write_and_publish(registry, |writer| {
+            for _ in 0..rounds {
+                writer.step_quiet();
+                self.note_round(writer);
+            }
+            Ok(())
+        })
+    }
+
+    fn note_round(&self, writer: &Session) {
+        self.rounds_served.fetch_add(1, Ordering::Relaxed);
+        self.peak_active
+            .fetch_max(writer.active_nodes() as u64, Ordering::Relaxed);
+    }
+
+    /// Capture the writer's state as a snapshot (serialized between
+    /// rounds, like any checkpoint).
+    pub fn checkpoint(&self) -> Snapshot {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .checkpoint()
+    }
+}
+
+/// Checkpoint-and-restore the session into an independent settled view.
+fn publish_view(
+    registry: &'static ProtocolRegistry,
+    session: &Session,
+) -> Result<PublishedView, String> {
+    let snap = session.checkpoint();
+    let round = snap.header.round;
+    let restored = registry.restore(&snap).map_err(|e| {
+        format!(
+            "publishing session state failed to round-trip through a snapshot: {e} \
+             (protocol {:?})",
+            session.protocol()
+        )
+    })?;
+    Ok(PublishedView {
+        session: restored,
+        round,
+    })
+}
+
+/// The daemon's session directory: name → live session.
+#[derive(Default)]
+pub struct Directory {
+    sessions: Mutex<BTreeMap<String, Arc<ServingSession>>>,
+}
+
+impl Directory {
+    /// Insert a newly opened session. Errors when the name is taken —
+    /// sessions are single-writer, so a second opener must not silently
+    /// share one.
+    pub fn insert(&self, session: ServingSession) -> Result<Arc<ServingSession>, String> {
+        let mut map = self.sessions.lock().expect("directory lock poisoned");
+        let name = session.name.clone();
+        if map.contains_key(&name) {
+            return Err(format!("session {name:?} is already open"));
+        }
+        let arc = Arc::new(session);
+        map.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Look up a session by name.
+    pub fn get(&self, name: &str) -> Result<Arc<ServingSession>, String> {
+        self.sessions
+            .lock()
+            .expect("directory lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no session named {name:?} (open it first)"))
+    }
+
+    /// Remove a session. In-flight readers holding its view finish
+    /// unaffected — the `Arc` keeps the state alive until they drop it.
+    pub fn close(&self, name: &str) -> Result<(), String> {
+        self.sessions
+            .lock()
+            .expect("directory lock poisoned")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| format!("no session named {name:?}"))
+    }
+
+    /// All live sessions, in name order.
+    pub fn all(&self) -> Vec<Arc<ServingSession>> {
+        self.sessions
+            .lock()
+            .expect("directory lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+}

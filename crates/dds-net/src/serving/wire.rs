@@ -1,0 +1,568 @@
+//! The serve wire protocol: length-prefixed JSON frames and the
+//! request/response envelope.
+//!
+//! Framing follows the same philosophy as the snapshot format (and the
+//! SIP-003 peer protocol that inspired it): simple enough to re-implement
+//! from this comment alone. One frame is
+//!
+//! ```text
+//! [u32 big-endian payload length][payload: UTF-8 JSON, that many bytes]
+//! ```
+//!
+//! Every request is an object `{"v": 1, "verb": "...", ...}` and every
+//! response `{"v": 1, "ok": true, ...}` or
+//! `{"v": 1, "ok": false, "error": "..."}`. The version field is checked
+//! on both sides; frames larger than [`MAX_FRAME_BYTES`] are refused
+//! before allocation (a garbage length prefix must not OOM the daemon).
+//!
+//! Verbs: `open`, `ingest`, `step`, `query`, `list`, `stats`,
+//! `checkpoint`, `close`, `shutdown` — see [`Request`] for each verb's
+//! fields.
+
+use crate::event::EventBatch;
+use crate::ids::NodeId;
+use crate::query::Query;
+use serde::{Deserialize, Serialize, Value};
+use std::io::{self, Read, Write};
+
+/// Wire protocol version stamped into every frame's JSON envelope.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Upper bound on one frame's payload (64 MiB). Checkpoints of large
+/// sessions are the biggest legitimate frames; a corrupt length prefix
+/// beyond this is rejected as a protocol error instead of an allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+/// Returns the total bytes put on the wire (payload + 4).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the wire cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(payload.len() + 4)
+}
+
+/// Read one frame. `Ok(None)` on clean end-of-stream (the peer closed
+/// between frames); an EOF mid-frame is an error. The returned usize is
+/// the total bytes taken off the wire (payload + 4).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(Vec<u8>, usize)>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close before any length byte is a normal end of session.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame (inside the length prefix)",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame, over the wire cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((payload, len + 4)))
+}
+
+/// Like [`read_frame`], but for sockets with a read timeout: timeouts
+/// (`WouldBlock`/`TimedOut`) between frames poll `stop` and keep waiting,
+/// and — crucially — a timeout *mid-frame* resumes from the partial bytes
+/// already read instead of desynchronizing the stream. Returns `Ok(None)`
+/// on clean close, or when `stop` fires between frames; a stop mid-frame
+/// is an error (the peer went quiet halfway through a frame).
+pub fn read_frame_poll(
+    r: &mut impl Read,
+    stop: &dyn Fn() -> bool,
+) -> io::Result<Option<(Vec<u8>, usize)>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame (inside the length prefix)",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if retryable(&e) => {
+                if stop() {
+                    if filled == 0 {
+                        return Ok(None);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "server stopping with a partial frame in flight",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame, over the wire cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame (inside the payload)",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if retryable(&e) => {
+                if stop() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "server stopping with a partial frame in flight",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some((payload, len + 4)))
+}
+
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// One client request, the typed form of the JSON envelope. Decoding is
+/// total — wire input is untrusted, so every malformed shape is an `Err`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Create a named session: either fresh (`protocol` + `n` + engine
+    /// options) or warm-started from an inline snapshot document.
+    Open {
+        /// Session name (directory key; must be new).
+        session: String,
+        /// Registry protocol name (ignored when `snapshot` is given — the
+        /// snapshot header is authoritative, a mismatch is an error).
+        protocol: Option<String>,
+        /// Network size for a fresh session.
+        n: Option<usize>,
+        /// `sparse` / `dense` engine token.
+        engine: Option<String>,
+        /// `auto` / count shard token.
+        shards: Option<String>,
+        /// `balanced` / `chunked` scheduling token.
+        scheduling: Option<String>,
+        /// Full snapshot JSON document for a warm start.
+        snapshot: Option<String>,
+    },
+    /// Advance the session one round per batch, in order.
+    Ingest {
+        /// Target session.
+        session: String,
+        /// The per-round topology change batches.
+        batches: Vec<EventBatch>,
+    },
+    /// Advance the session by quiet rounds (no topology changes).
+    Step {
+        /// Target session.
+        session: String,
+        /// How many quiet rounds.
+        rounds: u64,
+    },
+    /// Answer queries against the session's published (settled) view.
+    Query {
+        /// Target session.
+        session: String,
+        /// `(at-node, query)` pairs, answered in order.
+        queries: Vec<(NodeId, Query)>,
+    },
+    /// Enumerate live sessions with their positions and summaries.
+    List,
+    /// Export the daemon's counters and gauges.
+    Stats,
+    /// Capture the session as a snapshot document (returned inline).
+    Checkpoint {
+        /// Target session.
+        session: String,
+    },
+    /// Drop a session from the directory.
+    Close {
+        /// Target session.
+        session: String,
+    },
+    /// Stop the daemon (responds first, then the accept loop exits).
+    Shutdown,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+impl Request {
+    /// The verb token this request serializes under.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::Ingest { .. } => "ingest",
+            Request::Step { .. } => "step",
+            Request::Query { .. } => "query",
+            Request::List => "list",
+            Request::Stats => "stats",
+            Request::Checkpoint { .. } => "checkpoint",
+            Request::Close { .. } => "close",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("v", Value::U64(WIRE_VERSION)), ("verb", s(self.verb()))];
+        match self {
+            Request::Open {
+                session,
+                protocol,
+                n,
+                engine,
+                shards,
+                scheduling,
+                snapshot,
+            } => {
+                fields.push(("session", s(session)));
+                if let Some(p) = protocol {
+                    fields.push(("protocol", s(p)));
+                }
+                if let Some(n) = n {
+                    fields.push(("n", Value::U64(*n as u64)));
+                }
+                if let Some(e) = engine {
+                    fields.push(("engine", s(e)));
+                }
+                if let Some(sh) = shards {
+                    fields.push(("shards", s(sh)));
+                }
+                if let Some(sc) = scheduling {
+                    fields.push(("scheduling", s(sc)));
+                }
+                if let Some(snap) = snapshot {
+                    fields.push(("snapshot", s(snap)));
+                }
+            }
+            Request::Ingest { session, batches } => {
+                fields.push(("session", s(session)));
+                fields.push(("batches", batches.to_value()));
+            }
+            Request::Step { session, rounds } => {
+                fields.push(("session", s(session)));
+                fields.push(("rounds", Value::U64(*rounds)));
+            }
+            Request::Query { session, queries } => {
+                fields.push(("session", s(session)));
+                fields.push((
+                    "queries",
+                    Value::Arr(
+                        queries
+                            .iter()
+                            .map(|(at, q)| {
+                                obj(vec![
+                                    ("at", Value::U64(at.0 as u64)),
+                                    ("query", q.to_value()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Request::Checkpoint { session } | Request::Close { session } => {
+                fields.push(("session", s(session)));
+            }
+            Request::List | Request::Stats | Request::Shutdown => {}
+        }
+        obj(fields)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let version = match v.get("v") {
+            Some(ver) => u64::from_value(ver).map_err(|e| format!("request `v`: {e}"))?,
+            None => return Err("request has no `v` version field".into()),
+        };
+        if version != WIRE_VERSION {
+            return Err(format!(
+                "request wire version {version} unsupported (this daemon speaks {WIRE_VERSION})"
+            ));
+        }
+        let verb = v
+            .get("verb")
+            .and_then(Value::as_str)
+            .ok_or("request has no string `verb` field")?;
+        let session = || {
+            v.get("session")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{verb} request needs a `session` name"))
+        };
+        let opt_str = |key: &str| -> Result<Option<String>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(val) => val
+                    .as_str()
+                    .map(|x| Some(x.to_string()))
+                    .ok_or_else(|| format!("open request `{key}` must be a string")),
+            }
+        };
+        match verb {
+            "open" => Ok(Request::Open {
+                session: session()?,
+                protocol: opt_str("protocol")?,
+                n: match v.get("n") {
+                    None => None,
+                    Some(n) => Some(usize::from_value(n).map_err(|e| format!("open `n`: {e}"))?),
+                },
+                engine: opt_str("engine")?,
+                shards: opt_str("shards")?,
+                scheduling: opt_str("scheduling")?,
+                snapshot: opt_str("snapshot")?,
+            }),
+            "ingest" => Ok(Request::Ingest {
+                session: session()?,
+                batches: match v.get("batches") {
+                    Some(b) => Vec::<EventBatch>::from_value(b)
+                        .map_err(|e| format!("ingest `batches`: {e}"))?,
+                    None => return Err("ingest request needs `batches`".into()),
+                },
+            }),
+            "step" => Ok(Request::Step {
+                session: session()?,
+                rounds: match v.get("rounds") {
+                    Some(r) => u64::from_value(r).map_err(|e| format!("step `rounds`: {e}"))?,
+                    None => 1,
+                },
+            }),
+            "query" => {
+                let entries = v
+                    .get("queries")
+                    .and_then(Value::as_array)
+                    .ok_or("query request needs a `queries` array")?;
+                let mut queries = Vec::with_capacity(entries.len());
+                for (i, entry) in entries.iter().enumerate() {
+                    let at = match entry.get("at") {
+                        Some(a) => {
+                            NodeId(u32::from_value(a).map_err(|e| format!("queries[{i}].at: {e}"))?)
+                        }
+                        None => return Err(format!("queries[{i}] has no `at` node")),
+                    };
+                    let q = entry
+                        .get("query")
+                        .ok_or_else(|| format!("queries[{i}] has no `query` value"))?;
+                    queries.push((
+                        at,
+                        Query::from_value(q).map_err(|e| format!("queries[{i}]: {e}"))?,
+                    ));
+                }
+                Ok(Request::Query {
+                    session: session()?,
+                    queries,
+                })
+            }
+            "list" => Ok(Request::List),
+            "stats" => Ok(Request::Stats),
+            "checkpoint" => Ok(Request::Checkpoint {
+                session: session()?,
+            }),
+            "close" => Ok(Request::Close {
+                session: session()?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown verb {other:?}; expected one of [open, ingest, step, query, \
+                 list, stats, checkpoint, close, shutdown]"
+            )),
+        }
+    }
+}
+
+/// Build a success response envelope around payload fields.
+pub fn ok_response(payload: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![("v", Value::U64(WIRE_VERSION)), ("ok", Value::Bool(true))];
+    fields.extend(payload);
+    obj(fields)
+}
+
+/// Build a failure response envelope.
+pub fn err_response(message: &str) -> Value {
+    obj(vec![
+        ("v", Value::U64(WIRE_VERSION)),
+        ("ok", Value::Bool(false)),
+        ("error", s(message)),
+    ])
+}
+
+/// Validate a response envelope: version + `ok` flag. Returns the whole
+/// value on success (payload fields live at the top level) or the peer's
+/// error message.
+pub fn check_response(v: &Value) -> Result<&Value, String> {
+    match v.get("v") {
+        Some(ver) => {
+            let version = u64::from_value(ver).map_err(|e| format!("response `v`: {e}"))?;
+            if version != WIRE_VERSION {
+                return Err(format!("response wire version {version} unsupported"));
+            }
+        }
+        None => return Err("response has no `v` version field".into()),
+    }
+    match v.get("ok") {
+        Some(Value::Bool(true)) => Ok(v),
+        Some(Value::Bool(false)) => Err(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string()),
+        _ => Err("response has no boolean `ok` field".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::edge;
+
+    #[test]
+    fn frames_roundtrip_and_count_bytes() {
+        let mut buf = Vec::new();
+        let wrote = write_frame(&mut buf, b"{\"v\":1}").unwrap();
+        assert_eq!(wrote, 7 + 4);
+        let mut r = &buf[..];
+        let (payload, took) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(payload, b"{\"v\":1}");
+        assert_eq!(took, wrote);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_hangs() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        // Cut inside the payload.
+        let mut r = &buf[..buf.len() - 2];
+        assert!(read_frame(&mut r).is_err());
+        // Cut inside the length prefix.
+        let mut r = &buf[..2];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_refused() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let mut r = &buf[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_envelope() {
+        let reqs = vec![
+            Request::Open {
+                session: "alpha".into(),
+                protocol: Some("triangle".into()),
+                n: Some(64),
+                engine: Some("sparse".into()),
+                shards: None,
+                scheduling: None,
+                snapshot: None,
+            },
+            Request::Ingest {
+                session: "alpha".into(),
+                batches: vec![EventBatch::insert(edge(0, 1)), EventBatch::new()],
+            },
+            Request::Step {
+                session: "alpha".into(),
+                rounds: 3,
+            },
+            Request::Query {
+                session: "alpha".into(),
+                queries: vec![
+                    (NodeId(0), Query::Edge(edge(0, 1))),
+                    (NodeId(2), Query::ListTriangles),
+                ],
+            },
+            Request::List,
+            Request::Stats,
+            Request::Checkpoint {
+                session: "alpha".into(),
+            },
+            Request::Close {
+                session: "alpha".into(),
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req.to_value()).unwrap();
+            let back = Request::from_value(&serde_json::from_str(&json).unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", req.verb()));
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        let cases = [
+            (r#"{"verb":"list"}"#, "version"),
+            (r#"{"v":99,"verb":"list"}"#, "version 99"),
+            (r#"{"v":1}"#, "verb"),
+            (r#"{"v":1,"verb":"frob"}"#, "unknown verb"),
+            (r#"{"v":1,"verb":"ingest","session":"a"}"#, "batches"),
+            (r#"{"v":1,"verb":"query","session":"a"}"#, "queries"),
+            (r#"{"v":1,"verb":"open"}"#, "session"),
+        ];
+        for (json, needle) in cases {
+            let err = Request::from_value(&serde_json::from_str(json).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{json} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_envelopes_check_version_and_ok() {
+        let ok = ok_response(vec![("round", Value::U64(7))]);
+        let v = check_response(&ok).unwrap();
+        assert_eq!(v.get("round"), Some(&Value::U64(7)));
+        let err = err_response("no such session");
+        assert_eq!(check_response(&err).unwrap_err(), "no such session");
+        let bad: Value = serde_json::from_str(r#"{"v":2,"ok":true}"#).unwrap();
+        assert!(check_response(&bad).unwrap_err().contains("version"));
+    }
+}

@@ -32,7 +32,7 @@ use std::time::Instant;
 
 /// The object-safe view of a [`Simulator`] the session layer drives: every
 /// inspection and stepping capability, minus the node type.
-trait ErasedSim: Send {
+trait ErasedSim: Send + Sync {
     fn n(&self) -> usize;
     fn round(&self) -> Round;
     fn step(&mut self, batch: &EventBatch);

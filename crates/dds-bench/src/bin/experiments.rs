@@ -1,7 +1,7 @@
 //! Regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|s4|s5|all]
+//! experiments [e1|e2|e3|e4|e5|e6|e7|e8|e9|f2|a1|a2|a3|s1|s2|s3|s4|s5|s6|all]
 //!             [--csv] [--rounds N] [--max-n N] [--jobs N] [--repeat R]
 //!             [--json FILE] [--check-schema BASELINE.json]
 //! ```
@@ -36,7 +36,11 @@
 //! ephemeral port answering concurrent client queries while a writer
 //! connection ingests churn, with sustained QPS and latency percentiles
 //! recorded and post-burst serve-vs-local checkpoint byte-identity
-//! asserted in the runner.
+//! asserted in the runner. `s6` is the resilience tier: the serving tier
+//! rerun under a seeded drop/torn/corrupt fault plan absorbed by the
+//! tolerant client, byte-identity still asserted, plus a recovery drill
+//! timing warm `--recover` start against full re-simulation with the
+//! `recovery < max(resim/10, 100ms)` gate asserted in the runner.
 
 use dds_bench::runners;
 use dds_bench::Table;
@@ -252,6 +256,13 @@ fn main() {
         run(
             "s5",
             Box::new(move || runners::s5_serving_tier(s5_n, rounds)),
+        );
+    }
+    if want("s6") {
+        let s6_n = 1_000.min(max_n.max(2));
+        run(
+            "s6",
+            Box::new(move || runners::s6_resilience_tier(s6_n, rounds)),
         );
     }
 

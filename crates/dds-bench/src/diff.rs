@@ -46,8 +46,18 @@ impl Default for Thresholds {
 /// Recognized by header name; everything else in the workspace's tables
 /// is deterministic output.
 pub fn volatile_column(header: &str) -> bool {
-    const VOLATILE: [&str; 7] = [
-        "rounds/s", "speedup", "RSS", "wall", "seconds", "QPS", "latency",
+    const VOLATILE: [&str; 11] = [
+        "rounds/s",
+        "speedup",
+        "RSS",
+        "wall",
+        "seconds",
+        "QPS",
+        "latency",
+        "retries",
+        "reconnects",
+        "recovery",
+        "resim",
     ];
     VOLATILE.iter().any(|m| header.contains(m))
 }

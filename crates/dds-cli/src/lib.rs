@@ -83,7 +83,9 @@ usage:
                 --fail-on-regression exits non-zero on row drift, on a table
                 missing from NEW, or on a statistically significant slowdown)
   dds serve    [--listen ADDR] [--resume SNAPSHOT] [--protocol <name> --n N]
-               [--session NAME]
+               [--session NAME] [--checkpoint-dir DIR [--checkpoint-every K]]
+               [--recover DIR] [--chaos SPEC] [--max-sessions N]
+               [--idle-timeout-secs S]
                (boots the long-lived query-serving daemon on ADDR [default:
                 127.0.0.1:7421; use :0 for an ephemeral port — the chosen
                 address is printed]; --resume warm-starts session NAME
@@ -91,10 +93,21 @@ usage:
                 opens a fresh one; clients open more via the wire protocol's
                 `open` verb. Queries are answered from a published
                 settled-round view, so they never block ingest. SIGTERM or
-                the `shutdown` verb drains connections and exits 0)
+                the `shutdown` verb drains connections and exits 0.
+                --checkpoint-dir persists every session atomically under
+                DIR/<session>/ after each write verb [every K-th with
+                --checkpoint-every], before the write is acknowledged;
+                --recover DIR warm-starts every session from its newest
+                valid snapshot, skipping corrupt/truncated tails — safe
+                after kill -9. --chaos arms a seeded fault plan
+                [seed=U,drop=P,torn=P,corrupt=P,delay-ms=N,crash=POINT:K];
+                --max-sessions caps the directory [`overloaded` errors
+                beyond it], --idle-timeout-secs evicts idle sessions
+                [`evicted` errors; durable ones recover on reopen])
   dds loadgen  --addr HOST:PORT [--session NAME] [--clients N] [--queries M]
                [--churn-rounds K --workload <name> ... [--skip-rounds R]]
-               [--json]
+               [--tolerate-faults [--retries R] [--deadline-ms D]
+                [--client-seed S]] [--json]
                (drives N client threads of a deterministic mixed query
                 workload — M queries each — at a running daemon and reports
                 QPS plus latency median ± MAD; with --churn-rounds K a
@@ -102,8 +115,12 @@ usage:
                 rounds, so the queries race a moving watermark;
                 --skip-rounds R fast-forwards the generator past the first R
                 rounds — required when churning a warm-started session, whose
-                topology already absorbed the snapshot's prefix; exits
-                non-zero if any query errors)
+                topology already absorbed the snapshot's prefix;
+                --tolerate-faults arms per-request deadlines and seeded
+                retry/backoff with reconnection, reporting retry/reconnect
+                counts; failed requests are counted per verb and the first
+                failure's verb + watermark are reported [and in --json];
+                exits non-zero if any query errored or any request failed)
   dds bounds [--n N]
   dds list";
 

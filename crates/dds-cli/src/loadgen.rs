@@ -19,9 +19,10 @@
 
 use crate::args::Args;
 use dds_bench::report::{mad, median};
-use dds_net::serving::{loadgen, Client, LoadgenOptions};
+use dds_net::serving::{loadgen, Client, ClientConfig, LoadgenOptions};
 use dds_net::{NodeId, Query};
 use serde::Value;
+use std::time::Duration;
 
 /// Run a loadgen burst and print the report.
 pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
@@ -36,9 +37,28 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let churn_rounds: usize = args.num_or("churn-rounds", 0)?;
     let skip_rounds: usize = args.num_or("skip-rounds", 0)?;
 
+    // --tolerate-faults arms the resilient client: per-request deadlines,
+    // seeded backoff+jitter, automatic retry of idempotent verbs (reads,
+    // and sequence-stamped writes the daemon dedups). The knobs override
+    // the tolerant profile's defaults (deadline 1000ms, 5 retries).
+    let tolerate = if args.flag("tolerate-faults") {
+        let mut cfg = ClientConfig::tolerant(args.num_or("client-seed", 0x5eed_u64)?);
+        cfg.retries = args.num_or("retries", cfg.retries)?;
+        let deadline_ms: u64 = args.num_or("deadline-ms", 1_000)?;
+        cfg.deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+        Some(cfg)
+    } else {
+        None
+    };
+
     // Ask the daemon about the target session: its n sizes the query mix,
-    // its capability list decides which listing kinds to blend in.
-    let mut probe = Client::connect(&addr)?;
+    // its capability list decides which listing kinds to blend in. The
+    // probe rides the tolerant config too — `list` is idempotent, so a
+    // faulty wire only costs retries, not the whole run.
+    let mut probe = match &tolerate {
+        Some(cfg) => Client::connect_with(&addr, cfg.clone())?,
+        None => Client::connect(&addr)?,
+    };
     let listing = probe.list()?;
     let (n, kinds) = session_shape(&listing, &session)?;
     let mut extra: Vec<(NodeId, Query)> = Vec::new();
@@ -87,12 +107,17 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
         session,
         clients,
         queries_per_client: queries,
+        tolerate,
     };
     let report = loadgen::run(&opts, &mix, &churn)?;
 
     let lat_median = median(&report.latencies);
     let lat_mad = mad(&report.latencies);
     if args.flag("json") {
+        // `request_errors` and `first_error` carry the failure context a
+        // bare nonzero exit code used to swallow: which verbs failed, how
+        // often, and exactly where the first failure landed.
+        let json_str = |s: &str| serde_json::to_string(&Value::Str(s.to_string())).unwrap();
         println!("{{");
         println!("  \"clients\": {clients},");
         println!("  \"queries\": {},", report.queries);
@@ -103,7 +128,25 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
         println!("  \"wall_seconds\": {:.6},", report.wall_seconds);
         println!("  \"qps\": {:.1},", report.qps());
         println!("  \"latency_median_us\": {:.1},", lat_median * 1e6);
-        println!("  \"latency_mad_us\": {:.1}", lat_mad * 1e6);
+        println!("  \"latency_mad_us\": {:.1},", lat_mad * 1e6);
+        println!("  \"retries\": {},", report.retries);
+        println!("  \"reconnects\": {},", report.reconnects);
+        let verbs: Vec<String> = report
+            .request_errors
+            .iter()
+            .map(|(verb, count)| format!("{}: {count}", json_str(verb)))
+            .collect();
+        println!("  \"request_errors\": {{{}}},", verbs.join(", "));
+        match &report.first_error {
+            Some(first) => {
+                println!("  \"first_error\": {{");
+                println!("    \"verb\": {},", json_str(&first.verb));
+                println!("    \"watermark\": {},", first.watermark);
+                println!("    \"error\": {}", json_str(&first.error));
+                println!("  }}");
+            }
+            None => println!("  \"first_error\": null"),
+        }
         println!("}}");
     } else {
         println!(
@@ -131,9 +174,38 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), String> {
             lat_median * 1e6,
             lat_mad * 1e6
         );
+        if report.retries > 0 || report.reconnects > 0 {
+            println!(
+                "faults:    {} retry(s), {} reconnect(s) absorbed",
+                report.retries, report.reconnects
+            );
+        }
+        if let Some(first) = &report.first_error {
+            println!(
+                "failures:  {} request(s) failed; first: {} at watermark {}: {}",
+                report.request_failures(),
+                first.verb,
+                first.watermark,
+                first.error
+            );
+        }
     }
-    if report.errors > 0 {
-        return Err(format!("{} query error(s) during loadgen", report.errors));
+    if report.errors > 0 || report.request_failures() > 0 {
+        let context = report
+            .first_error
+            .as_ref()
+            .map(|f| {
+                format!(
+                    " — first failure: {} at watermark {}: {}",
+                    f.verb, f.watermark, f.error
+                )
+            })
+            .unwrap_or_default();
+        return Err(format!(
+            "{} query error(s), {} failed request(s) during loadgen{context}",
+            report.errors,
+            report.request_failures()
+        ));
     }
     Ok(())
 }

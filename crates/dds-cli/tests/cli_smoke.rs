@@ -915,6 +915,14 @@ fn simulate_scheduling_modes_are_bit_identical() {
 /// Spawn `dds serve` with piped stdout and scrape the announced address
 /// (ephemeral `:0` listen), returning the child + the address.
 fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    let (child, addr, _boot) = spawn_serve_boot(extra);
+    (child, addr)
+}
+
+/// Like [`spawn_serve`], but also return the boot banner — every stdout
+/// line printed *before* the listening announcement (recovery and chaos
+/// banners live there).
+fn spawn_serve_boot(extra: &[&str]) -> (std::process::Child, String, String) {
     use std::io::BufRead;
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_dds"));
     cmd.arg("serve")
@@ -941,7 +949,7 @@ fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
     // Hand the reader back so the caller can drain the shutdown banner.
     child.stdout = Some(reader.into_inner());
     let addr = addr.unwrap_or_else(|| panic!("no listening line from dds serve; saw: {seen}"));
-    (child, addr)
+    (child, addr, seen)
 }
 
 /// SIGTERM the daemon and wait for a graceful exit, returning its stdout
@@ -1082,4 +1090,225 @@ fn bench_diff_malformed_report_is_a_clean_typed_error() {
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: durable checkpoints, --recover, kill -9, and --chaos.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recover_skips_tmp_orphans_and_truncated_snapshots() {
+    // `dds simulate --checkpoint-every` now writes atomically (tmp +
+    // fsync + rename): the only artifacts a crash can leave behind are a
+    // `.tmp` orphan and (from older tools or disk damage) a truncated
+    // document. Plant both and prove `--recover` skips them.
+    let dir = std::env::temp_dir().join(format!("dds-recover-skip-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, _stdout, stderr) = run_bin(&[
+        "simulate",
+        "--protocol",
+        "two-hop",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "12",
+        "--checkpoint-every",
+        "4",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "simulate failed: {stderr}");
+
+    // Damage the tail: truncate the newest snapshot mid-document and
+    // plant a .tmp orphan as an interrupted atomic write would.
+    let newest = dir.join("checkpoint_000012.json");
+    let bytes = std::fs::read(&newest).expect("read newest checkpoint");
+    assert!(!bytes.is_empty());
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(dir.join("checkpoint_000016.tmp"), b"{ torn mid-wri").unwrap();
+
+    let (mut child, _addr, boot) =
+        spawn_serve_boot(&["--recover", dir.to_str().unwrap(), "--session", "flat"]);
+    assert!(
+        boot.contains("recovered session \"flat\" at round 8"),
+        "recovery must walk back past the damaged tail to round 8: {boot}"
+    );
+    // The skipped tails are reported on stderr, named individually.
+    let mut skipped = String::new();
+    if let Some(mut err) = child.stderr.take() {
+        use std::io::Read;
+        let mut buf = [0u8; 4096];
+        // One best-effort read: both skip lines were written before the
+        // listening banner we already scraped from stdout.
+        if let Ok(n) = err.read(&mut buf) {
+            skipped.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+    }
+    assert!(
+        skipped.contains("checkpoint_000012.json"),
+        "the truncated tail must be reported: {skipped}"
+    );
+    let tail = terminate_serve(child);
+    assert!(tail.contains("shut down cleanly"), "banner: {tail}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_serve_kill9_then_recover_resumes_the_durable_watermark() {
+    let dir = std::env::temp_dir().join(format!("dds-kill9-recover-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (mut child, addr) = spawn_serve(&[
+        "--protocol",
+        "two-hop",
+        "--n",
+        "16",
+        "--session",
+        "main",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+    ]);
+    // Every churn write is persisted before it is acked (every=1), so
+    // whatever the loadgen saw acknowledged survives the kill.
+    let (ok, stdout, stderr) = run_bin(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--session",
+        "main",
+        "--clients",
+        "2",
+        "--queries",
+        "20",
+        "--churn-rounds",
+        "10",
+        "--workload",
+        "er",
+        "--n",
+        "16",
+        "--rounds",
+        "10",
+        "--tolerate-faults",
+        "--json",
+    ]);
+    assert!(ok, "loadgen failed: {stderr}");
+    assert!(stdout.contains("\"churn_rounds\": 10"), "json: {stdout}");
+
+    // kill -9: no destructors, no flushes — the durability contract's
+    // whole reason to exist.
+    child.kill().expect("SIGKILL dds serve");
+    let status = child.wait().expect("wait killed serve");
+    assert!(!status.success(), "SIGKILL is not a graceful exit");
+
+    let (child2, addr2, boot) = spawn_serve_boot(&["--recover", dir.to_str().unwrap()]);
+    assert!(
+        boot.contains("recovered session \"main\" at round 10"),
+        "recovery must resume the last durable watermark: {boot}"
+    );
+    // The recovered daemon answers immediately, with zero errors.
+    let (ok, stdout, stderr) = run_bin(&[
+        "loadgen",
+        "--addr",
+        &addr2,
+        "--session",
+        "main",
+        "--clients",
+        "1",
+        "--queries",
+        "10",
+        "--json",
+    ]);
+    assert!(ok, "loadgen after recovery failed: {stderr}");
+    assert!(stdout.contains("\"errors\": 0"), "json: {stdout}");
+    assert!(stdout.contains("\"request_errors\": {}"), "json: {stdout}");
+    assert!(stdout.contains("\"first_error\": null"), "json: {stdout}");
+    let tail = terminate_serve(child2);
+    assert!(tail.contains("shut down cleanly"), "banner: {tail}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_chaos_flag_arms_the_plan_and_tolerant_loadgen_absorbs_it() {
+    let (child, addr, boot) = spawn_serve_boot(&[
+        "--protocol",
+        "two-hop",
+        "--n",
+        "16",
+        "--session",
+        "main",
+        "--chaos",
+        "seed=9,drop=0.1,corrupt=0.05",
+    ]);
+    assert!(
+        boot.contains("chaos armed — seed=9,drop=0.1,corrupt=0.05"),
+        "chaos banner: {boot}"
+    );
+    let (ok, stdout, stderr) = run_bin(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--session",
+        "main",
+        "--clients",
+        "2",
+        "--queries",
+        "30",
+        "--tolerate-faults",
+        "--retries",
+        "16",
+        "--json",
+    ]);
+    assert!(ok, "tolerant loadgen must absorb the chaos: {stderr}");
+    assert!(stdout.contains("\"errors\": 0"), "json: {stdout}");
+    // The plan is seeded and deterministic: these rates over 60 responses
+    // always fire at least once, and the report must surface the work.
+    let retries: u64 = stdout
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"retries\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("retries field in json");
+    let reconnects: u64 = stdout
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"reconnects\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("reconnects field in json");
+    assert!(
+        retries + reconnects > 0,
+        "the chaos plan fired nothing — retries {retries}, reconnects {reconnects}: {stdout}"
+    );
+    let tail = terminate_serve(child);
+    assert!(tail.contains("shut down cleanly"), "banner: {tail}");
+}
+
+#[test]
+fn loadgen_reports_failure_context_per_verb() {
+    // No daemon restart, no session: every query fails. The exit must be
+    // nonzero *with context* — the per-verb counts and the first failing
+    // request's verb + watermark, in both modes.
+    let (child, addr) = spawn_serve(&["--protocol", "two-hop", "--n", "8", "--session", "main"]);
+    let out = Command::new(env!("CARGO_BIN_EXE_dds"))
+        .args([
+            "loadgen",
+            "--addr",
+            &addr,
+            "--session",
+            "ghost",
+            "--clients",
+            "1",
+            "--queries",
+            "3",
+        ])
+        .output()
+        .expect("spawn dds");
+    assert_eq!(out.status.code(), Some(1), "failures exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The probe list rejects an unknown session before any request runs.
+    assert!(
+        stderr.contains("no session named"),
+        "typed diagnostic: {stderr}"
+    );
+    let tail = terminate_serve(child);
+    assert!(tail.contains("shut down cleanly"), "banner: {tail}");
 }

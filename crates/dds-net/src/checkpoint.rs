@@ -301,10 +301,11 @@ impl Snapshot {
         Ok(Snapshot { header, body })
     }
 
-    /// Write the snapshot to a file.
+    /// Write the snapshot to a file, atomically: a crash mid-write must
+    /// never leave a truncated document under the final name (see
+    /// [`write_bytes_atomic`]).
     pub fn write_file(&self, path: &FsPath) -> Result<(), RestoreError> {
-        std::fs::write(path, self.to_json())
-            .map_err(|e| RestoreError::Io(format!("{}: {e}", path.display())))
+        write_bytes_atomic(path, self.to_json().as_bytes())
     }
 
     /// Read and validate a snapshot file.
@@ -313,6 +314,82 @@ impl Snapshot {
             .map_err(|e| RestoreError::Io(format!("{}: {e}", path.display())))?;
         Snapshot::from_json(&raw)
     }
+}
+
+/// Atomically replace `path` with `bytes`: write a sibling `.tmp` file,
+/// fsync it, then rename over the target. A crash at any point leaves
+/// either the old file, or a `.tmp` orphan plus the old file — never a
+/// truncated document under the final name. Recovery scans ignore `.tmp`
+/// files by construction, so orphans are inert (and overwritten by the
+/// next successful write).
+pub fn write_bytes_atomic(path: &FsPath, bytes: &[u8]) -> Result<(), RestoreError> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    let io = |at: &FsPath, e: std::io::Error| RestoreError::Io(format!("{}: {e}", at.display()));
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| io(&tmp, e))?;
+    // The durability contract ("an acked write survives kill -9") needs
+    // the data on disk before the rename makes it the current snapshot.
+    f.sync_all().map_err(|e| io(&tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io(path, e))
+}
+
+/// What a snapshot-directory scan found: the newest valid snapshot (if
+/// any) and every newer candidate that had to be skipped, with the typed
+/// reason.
+#[derive(Debug, Default)]
+pub struct SnapshotScan {
+    /// `(path, round, snapshot)` of the newest valid checkpoint.
+    pub latest: Option<(std::path::PathBuf, u64, Snapshot)>,
+    /// Candidates newer than `latest` that failed validation — a crash's
+    /// corrupt/truncated tail, reported so operators see what was lost.
+    pub skipped: Vec<(std::path::PathBuf, RestoreError)>,
+}
+
+/// Scan a checkpoint directory for `checkpoint_NNNNNN.json` files and
+/// return the newest (highest-round) one that validates, walking backwards
+/// past corrupt or truncated tails. `.tmp` orphans from interrupted atomic
+/// writes and unrelated files are not candidates. Only files newer than
+/// the chosen snapshot appear in `skipped` — older ones are not read at
+/// all.
+pub fn scan_snapshot_dir(dir: &FsPath) -> Result<SnapshotScan, RestoreError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| RestoreError::Io(format!("{}: {e}", dir.display())))?;
+    let mut candidates: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| RestoreError::Io(format!("{}: {e}", dir.display())))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(round) = checkpoint_file_round(name) else {
+            continue;
+        };
+        candidates.push((round, entry.path()));
+    }
+    // Newest first: recovery wants the highest durable watermark that
+    // still validates.
+    candidates.sort_by(|a, b| b.cmp(a));
+    let mut scan = SnapshotScan::default();
+    for (round, path) in candidates {
+        match Snapshot::read_file(&path) {
+            Ok(snap) => {
+                scan.latest = Some((path, round, snap));
+                break;
+            }
+            Err(e) => scan.skipped.push((path, e)),
+        }
+    }
+    Ok(scan)
+}
+
+/// Parse the round out of a `checkpoint_NNNNNN.json` file name; `None`
+/// for anything else (including `.tmp` orphans).
+fn checkpoint_file_round(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("checkpoint_")?.strip_suffix(".json")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 /// The checksum the header carries: FNV-1a 64 over the body's canonical
@@ -486,6 +563,77 @@ mod tests {
         assert_eq!(edge_from(&edge_value(e)).unwrap(), e);
         assert!(edge_from(&Value::Arr(vec![Value::U64(3), Value::U64(3)])).is_err());
         assert!(edge_from(&Value::U64(3)).is_err());
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dds-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_tmp_and_replace_in_place() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("checkpoint_000007.json");
+        let snap = Snapshot::new(header(), body());
+        snap.write_file(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+        assert_eq!(Snapshot::read_file(&path).unwrap().header, snap.header);
+        // Overwriting goes through the same tmp + rename path.
+        write_bytes_atomic(&path, snap.to_json().as_bytes()).unwrap();
+        assert!(Snapshot::read_file(&path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_picks_newest_valid_and_reports_the_skipped_tail() {
+        let dir = scratch_dir("scan");
+        let mut h5 = header();
+        h5.round = 5;
+        Snapshot::new(h5, body())
+            .write_file(&dir.join("checkpoint_000005.json"))
+            .unwrap();
+        let mut h9 = header();
+        h9.round = 9;
+        let nine = Snapshot::new(h9, body());
+        nine.write_file(&dir.join("checkpoint_000009.json"))
+            .unwrap();
+        // A truncated newer tail, a `.tmp` orphan, and an unrelated file:
+        // the scan must skip the first with a typed error and never even
+        // consider the other two.
+        let json = nine.to_json();
+        std::fs::write(dir.join("checkpoint_000012.json"), &json[..json.len() / 2]).unwrap();
+        std::fs::write(dir.join("checkpoint_000015.tmp"), "garbage").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a checkpoint").unwrap();
+        let scan = scan_snapshot_dir(&dir).unwrap();
+        let (path, round, snap) = scan.latest.expect("a valid snapshot survives");
+        assert_eq!(round, 9);
+        assert_eq!(snap.header.round, 9);
+        assert!(path.ends_with("checkpoint_000009.json"));
+        assert_eq!(scan.skipped.len(), 1, "only the truncated tail is skipped");
+        assert!(scan.skipped[0].0.ends_with("checkpoint_000012.json"));
+        assert!(matches!(scan.skipped[0].1, RestoreError::Parse(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_of_an_empty_dir_finds_nothing() {
+        let dir = scratch_dir("empty");
+        let scan = scan_snapshot_dir(&dir).unwrap();
+        assert!(scan.latest.is_none());
+        assert!(scan.skipped.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_file_names_parse_strictly() {
+        assert_eq!(checkpoint_file_round("checkpoint_000042.json"), Some(42));
+        assert_eq!(checkpoint_file_round("checkpoint_1.json"), Some(1));
+        assert_eq!(checkpoint_file_round("checkpoint_000042.tmp"), None);
+        assert_eq!(checkpoint_file_round("checkpoint_.json"), None);
+        assert_eq!(checkpoint_file_round("checkpoint_12a.json"), None);
+        assert_eq!(checkpoint_file_round("snapshot_000042.json"), None);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Load-generation core: N client threads of query traffic, optionally
 //! against a concurrent churn writer — the measurement harness behind
-//! `dds loadgen` and the `s5` bench tier.
+//! `dds loadgen` and the `s5`/`s6` bench tiers.
 //!
 //! The generator is deliberately deterministic in everything but time:
 //! each client issues a *fixed number* of queries drawn round-robin from
@@ -9,11 +9,18 @@
 //! watermark) pairs that *could* be observed — does not depend on
 //! scheduling. Only the latencies and the answered/inconsistent split are
 //! wall-clock dependent.
+//!
+//! A request that fails (transport error, daemon fault, rejection) no
+//! longer aborts the run: it is counted per verb, the first failure is
+//! kept with its verb and watermark for the report, and — in tolerant
+//! mode (`--tolerate-faults`) — the underlying [`Client`] retries and
+//! reconnects first, with those counts surfacing in the report too.
 
-use super::client::{Client, QueryOutcome};
+use super::client::{Client, ClientConfig, QueryOutcome};
 use crate::event::EventBatch;
 use crate::ids::NodeId;
 use crate::query::Query;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// One loadgen run's shape.
@@ -27,6 +34,21 @@ pub struct LoadgenOptions {
     pub clients: usize,
     /// Queries *per client* (fixed, so totals are deterministic).
     pub queries_per_client: usize,
+    /// Resilient-client config (`--tolerate-faults`): deadlines, retries,
+    /// backoff. `None` = fail-fast clients (each thread still records
+    /// failures instead of aborting the run).
+    pub tolerate: Option<ClientConfig>,
+}
+
+/// The first failed request of a run — enough context to reproduce it.
+#[derive(Clone, Debug)]
+pub struct FirstError {
+    /// The verb that failed (`query`, `ingest`, `connect`).
+    pub verb: String,
+    /// The last watermark the failing client had observed.
+    pub watermark: u64,
+    /// The error text.
+    pub error: String,
 }
 
 /// What a loadgen run measured.
@@ -39,8 +61,7 @@ pub struct LoadgenReport {
     pub answered: u64,
     /// `inconsistent` outcomes (valid under churn).
     pub inconsistent: u64,
-    /// Query errors (unsupported/malformed/transport) — 0 on a healthy
-    /// run.
+    /// Query errors (unsupported/malformed) — 0 on a healthy run.
     pub errors: u64,
     /// Wall-clock seconds from first to last request across all clients.
     pub wall_seconds: f64,
@@ -49,6 +70,14 @@ pub struct LoadgenReport {
     pub latencies: Vec<f64>,
     /// Rounds the concurrent churn writer ingested (0 without churn).
     pub churn_rounds: u64,
+    /// Failed requests by verb (after any retries were exhausted).
+    pub request_errors: BTreeMap<String, u64>,
+    /// The first failed request, with verb + watermark context.
+    pub first_error: Option<FirstError>,
+    /// Transport retries performed across all clients.
+    pub retries: u64,
+    /// Reconnections performed across all clients.
+    pub reconnects: u64,
 }
 
 impl LoadgenReport {
@@ -59,12 +88,64 @@ impl LoadgenReport {
         }
         self.queries as f64 / self.wall_seconds
     }
+
+    /// Total failed requests (all verbs, after retries).
+    pub fn request_failures(&self) -> u64 {
+        self.request_errors.values().sum()
+    }
+
+    fn note_failure(&mut self, verb: &str, watermark: u64, error: String) {
+        *self.request_errors.entry(verb.to_string()).or_insert(0) += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(FirstError {
+                verb: verb.to_string(),
+                watermark,
+                error,
+            });
+        }
+    }
+
+    fn absorb(&mut self, part: LoadgenReport) {
+        self.queries += part.queries;
+        self.answered += part.answered;
+        self.inconsistent += part.inconsistent;
+        self.errors += part.errors;
+        self.latencies.extend(part.latencies);
+        self.churn_rounds += part.churn_rounds;
+        for (verb, count) in part.request_errors {
+            *self.request_errors.entry(verb).or_insert(0) += count;
+        }
+        if self.first_error.is_none() {
+            self.first_error = part.first_error;
+        }
+        self.retries += part.retries;
+        self.reconnects += part.reconnects;
+    }
+}
+
+/// Connect one loadgen client: tolerant config (with a per-thread seed so
+/// sequence/jitter streams never collide) or the fail-fast default.
+fn connect(
+    addr: &str,
+    tolerate: &Option<ClientConfig>,
+    thread_seed: u64,
+) -> Result<Client, String> {
+    match tolerate {
+        Some(cfg) => {
+            let mut cfg = cfg.clone();
+            cfg.seed ^= thread_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Client::connect_with(addr, cfg)
+        }
+        None => Client::connect(addr),
+    }
 }
 
 /// Drive `opts.clients` threads of query traffic from `mix` against the
 /// daemon, optionally ingesting `churn` batches (one round per batch, on
 /// a dedicated writer connection) concurrently with the reads. Returns
-/// after *all* queries are answered and the churn writer has drained.
+/// after *all* queries are answered (or counted as failed) and the churn
+/// writer has drained or given up; `Err` only for unusable options or a
+/// panicked worker.
 pub fn run(
     opts: &LoadgenOptions,
     mix: &[(NodeId, Query)],
@@ -80,30 +161,78 @@ pub fn run(
     std::thread::scope(|scope| {
         // The single writer: its own connection, one ingest verb per
         // batch so the watermark advances round by round under the reads.
+        // An ingest failure stops the churn — batches are a sequential
+        // round schedule, so skipping one would change every later round.
         let churn_worker = (!churn.is_empty()).then(|| {
             let addr = opts.addr.clone();
             let session = opts.session.clone();
-            scope.spawn(move || -> Result<u64, String> {
-                let mut client = Client::connect(&addr)?;
+            let tolerate = opts.tolerate.clone();
+            scope.spawn(move || -> LoadgenReport {
+                let mut part = LoadgenReport::default();
+                let mut client = match connect(&addr, &tolerate, u64::MAX) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        part.note_failure("connect", 0, e);
+                        return part;
+                    }
+                };
+                let mut watermark = 0u64;
                 for batch in churn {
-                    client.ingest(&session, vec![batch.clone()])?;
+                    match client.ingest(&session, vec![batch.clone()]) {
+                        Ok(w) => {
+                            watermark = w;
+                            part.churn_rounds += 1;
+                        }
+                        Err(e) => {
+                            part.note_failure("ingest", watermark, e);
+                            break;
+                        }
+                    }
                 }
-                Ok(churn.len() as u64)
+                part.retries = client.retries();
+                part.reconnects = client.reconnects();
+                part
             })
         });
         let readers: Vec<_> = (0..opts.clients)
             .map(|k| {
                 let addr = opts.addr.clone();
                 let session = opts.session.clone();
+                let tolerate = opts.tolerate.clone();
                 scope.spawn(move || -> Result<LoadgenReport, String> {
-                    let mut client = Client::connect(&addr)?;
                     let mut report = LoadgenReport::default();
+                    let mut client = match connect(&addr, &tolerate, k as u64) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            report.note_failure("connect", 0, e);
+                            return Ok(report);
+                        }
+                    };
+                    let mut watermark = 0u64;
                     for i in 0..opts.queries_per_client {
                         let (at, query) = &mix[(k + i) % mix.len()];
                         let t = Instant::now();
-                        let reply = client.query(&session, vec![(*at, query.clone())])?;
+                        let reply = match client.query(&session, vec![(*at, query.clone())]) {
+                            Ok(reply) => reply,
+                            Err(e) => {
+                                report.note_failure("query", watermark, e);
+                                // The stream may be torn; a fresh
+                                // connection is the only safe continuation.
+                                report.retries += client.retries();
+                                report.reconnects += client.reconnects();
+                                client = match connect(&addr, &tolerate, k as u64) {
+                                    Ok(c) => c,
+                                    Err(e) => {
+                                        report.note_failure("connect", watermark, e);
+                                        return Ok(report);
+                                    }
+                                };
+                                continue;
+                            }
+                        };
                         report.latencies.push(t.elapsed().as_secs_f64());
                         report.queries += 1;
+                        watermark = reply.watermark;
                         match &reply.outcomes[..] {
                             [QueryOutcome::Answer(_)] => report.answered += 1,
                             [QueryOutcome::Inconsistent] => report.inconsistent += 1,
@@ -116,6 +245,8 @@ pub fn run(
                             }
                         }
                     }
+                    report.retries += client.retries();
+                    report.reconnects += client.reconnects();
                     Ok(report)
                 })
             })
@@ -125,16 +256,13 @@ pub fn run(
             let part = handle
                 .join()
                 .map_err(|_| "loadgen client thread panicked".to_string())??;
-            total.queries += part.queries;
-            total.answered += part.answered;
-            total.inconsistent += part.inconsistent;
-            total.errors += part.errors;
-            total.latencies.extend(part.latencies);
+            total.absorb(part);
         }
         if let Some(worker) = churn_worker {
-            total.churn_rounds = worker
+            let part = worker
                 .join()
-                .map_err(|_| "loadgen churn thread panicked".to_string())??;
+                .map_err(|_| "loadgen churn thread panicked".to_string())?;
+            total.absorb(part);
         }
         total.wall_seconds = t0.elapsed().as_secs_f64();
         Ok(total)
@@ -195,5 +323,25 @@ mod tests {
         assert_eq!(r.qps(), 0.0);
         r.wall_seconds = 2.0;
         assert_eq!(r.qps(), 5.0);
+    }
+
+    #[test]
+    fn reports_merge_error_context_and_counters() {
+        let mut a = LoadgenReport::default();
+        a.note_failure("query", 3, "boom".into());
+        a.note_failure("query", 4, "later".into());
+        let mut b = LoadgenReport::default();
+        b.note_failure("ingest", 7, "other".into());
+        b.retries = 2;
+        b.reconnects = 1;
+        let mut total = LoadgenReport::default();
+        total.absorb(a);
+        total.absorb(b);
+        assert_eq!(total.request_failures(), 3);
+        assert_eq!(total.request_errors.get("query"), Some(&2));
+        assert_eq!(total.request_errors.get("ingest"), Some(&1));
+        let first = total.first_error.as_ref().unwrap();
+        assert_eq!((first.verb.as_str(), first.watermark), ("query", 3));
+        assert_eq!((total.retries, total.reconnects), (2, 1));
     }
 }

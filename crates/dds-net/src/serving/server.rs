@@ -8,9 +8,20 @@
 //! CLI, or the `shutdown` verb) is graceful: the accept loop stops taking
 //! connections, handler threads finish their current request and close,
 //! and `run` joins them all before returning.
+//!
+//! [`ServerOptions`] adds the fault-tolerance layer: a seeded
+//! [`FaultPlan`] injected into every response write (chaos testing), a
+//! durability base directory (persist-before-ack snapshots per session),
+//! a session cap with typed `[overloaded]` rejections, idle-timeout
+//! eviction with typed `[evicted]` lookups, and a per-connection frame
+//! read budget so a slow-loris peer costs one connection, never the
+//! daemon.
 
+use super::fault::{ConnFaults, FaultPlan, WriteFault};
 use super::metrics::ServerMetrics;
-use super::state::{Directory, ServingSession};
+use super::state::{
+    path_safe, recover_sessions, Directory, Durability, RecoveryReport, ServingSession,
+};
 use super::wire::{self, Request};
 use crate::checkpoint::Snapshot;
 use crate::engine::ProtocolRegistry;
@@ -19,12 +30,52 @@ use crate::sim::SimConfig;
 use serde::{Deserialize, Serialize, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often the accept loop and idle connections re-check the stop flag.
 const POLL: Duration = Duration::from_millis(25);
+
+/// How often the accept loop sweeps for idle sessions.
+const EVICT_SWEEP: Duration = Duration::from_millis(500);
+
+/// Where a daemon persists its sessions.
+#[derive(Clone, Debug)]
+pub struct DurabilityOptions {
+    /// Base directory: each session persists into `base/<name>/`.
+    pub base: PathBuf,
+    /// Persist after every `every`-th write verb (1 = every write).
+    pub every: u64,
+}
+
+/// Daemon configuration beyond the listen address.
+pub struct ServerOptions {
+    /// Seeded fault-injection plan (`--chaos`); `None` = no faults.
+    pub faults: Option<FaultPlan>,
+    /// Persist sessions under this base directory (`--checkpoint-dir`).
+    pub durability: Option<DurabilityOptions>,
+    /// Maximum live sessions, 0 = unlimited (`--max-sessions`).
+    pub max_sessions: usize,
+    /// Evict sessions idle longer than this (`--idle-timeout-secs`).
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection frame read budget: once a frame starts arriving it
+    /// must complete within this long.
+    pub frame_budget: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            faults: None,
+            durability: None,
+            max_sessions: 0,
+            idle_timeout: None,
+            frame_budget: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Shared daemon state: directory + metrics + the stop flag.
 pub struct ServerState {
@@ -34,6 +85,22 @@ pub struct ServerState {
     pub metrics: ServerMetrics,
     stop: AtomicBool,
     started: Instant,
+    faults: Option<FaultPlan>,
+    durability: Option<DurabilityOptions>,
+    frame_budget: Duration,
+    idle_timeout: Option<Duration>,
+}
+
+impl ServerState {
+    /// Stop requested, or the fault plan's crash fired (a crashed daemon
+    /// goes silent — no accepts, no responses).
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire) || self.crashed()
+    }
+
+    fn crashed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.crashed())
+    }
 }
 
 /// A cheap cloneable handle onto a running server: stop it, inspect it.
@@ -54,6 +121,12 @@ impl ServerHandle {
         self.state.stop.load(Ordering::Acquire)
     }
 
+    /// Did an injected (soft) crash fire? After this the daemon is
+    /// silent: tests recover from disk exactly as after a real crash.
+    pub fn crashed(&self) -> bool {
+        self.state.crashed()
+    }
+
     /// The shared state (directory + metrics), for in-process inspection.
     pub fn state(&self) -> &ServerState {
         &self.state
@@ -69,17 +142,33 @@ pub struct Server {
 
 impl Server {
     /// Bind the listen address (use port 0 for an ephemeral port — tests
-    /// and the loadgen harness read it back via [`Server::local_addr`]).
+    /// and the loadgen harness read it back via [`Server::local_addr`])
+    /// with default options: no faults, no durability, no limits.
     pub fn bind(addr: &str, registry: &'static ProtocolRegistry) -> io::Result<Server> {
+        Server::bind_with(addr, registry, ServerOptions::default())
+    }
+
+    /// Bind with explicit [`ServerOptions`].
+    pub fn bind_with(
+        addr: &str,
+        registry: &'static ProtocolRegistry,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let directory = Directory::default();
+        directory.set_session_cap(options.max_sessions);
         Ok(Server {
             listener,
             registry,
             state: Arc::new(ServerState {
-                directory: Directory::default(),
+                directory,
                 metrics: ServerMetrics::default(),
                 stop: AtomicBool::new(false),
                 started: Instant::now(),
+                faults: options.faults,
+                durability: options.durability,
+                frame_budget: options.frame_budget,
+                idle_timeout: options.idle_timeout,
             }),
         })
     }
@@ -97,9 +186,26 @@ impl Server {
     }
 
     /// Pre-open a session before serving (the `--resume` warm start and
-    /// `--open` boot paths).
+    /// `--open` boot paths). Durability is attached when the daemon has a
+    /// checkpoint base.
     pub fn open_session(&self, session: ServingSession) -> Result<(), String> {
-        self.state.directory.insert(session).map(|_| ())
+        let arc = self.state.directory.insert(session)?;
+        attach_durability(&self.state, &arc)?;
+        Ok(())
+    }
+
+    /// Scan `base` and warm-start every recoverable session from its
+    /// newest valid snapshot (`--recover`). Corrupt or truncated tails
+    /// are skipped and reported. Recovered sessions keep persisting into
+    /// the directories they were recovered from.
+    pub fn recover(&self, base: &Path, default_session: &str) -> Result<RecoveryReport, String> {
+        let every = self.state.durability.as_ref().map_or(1, |d| d.every);
+        let (sessions, report) = recover_sessions(self.registry, base, default_session)?;
+        for (session, dir) in sessions {
+            let arc = self.state.directory.insert(session)?;
+            arc.enable_durability(Durability { dir, every })?;
+        }
+        Ok(report)
     }
 
     /// Run the accept loop until a stop is requested, then join every
@@ -108,23 +214,31 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let mut workers = Vec::new();
-        while !self.state.stop.load(Ordering::Acquire) {
+        let mut last_sweep = Instant::now();
+        while !self.state.stopping() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    self.state
+                    let conn_id = self
+                        .state
                         .metrics
                         .connections
                         .fetch_add(1, Ordering::Relaxed);
                     let state = Arc::clone(&self.state);
                     let registry = self.registry;
                     workers.push(std::thread::spawn(move || {
-                        serve_connection(stream, registry, &state);
+                        serve_connection(stream, conn_id, registry, &state);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(POLL);
                 }
                 Err(e) => return Err(e),
+            }
+            if let Some(timeout) = self.state.idle_timeout {
+                if last_sweep.elapsed() >= EVICT_SWEEP {
+                    last_sweep = Instant::now();
+                    self.state.directory.evict_idle(timeout);
+                }
             }
             // Reap finished handlers so a long-lived daemon does not
             // accumulate dead join handles.
@@ -137,10 +251,25 @@ impl Server {
     }
 }
 
+/// Enable durability for a newly opened session when the daemon has a
+/// checkpoint base: the session persists into `base/<name>/`.
+fn attach_durability(state: &ServerState, session: &Arc<ServingSession>) -> Result<(), String> {
+    let Some(d) = &state.durability else {
+        return Ok(());
+    };
+    session.enable_durability(Durability {
+        dir: d.base.join(&session.name),
+        every: d.every,
+    })?;
+    Ok(())
+}
+
 /// One connection: read frames, dispatch, write responses, until the
-/// peer closes, a wire error occurs, or the server stops.
+/// peer closes, a wire error occurs, or the server stops. Response
+/// writes pass through the fault plan's per-connection decision stream.
 fn serve_connection(
     mut stream: TcpStream,
+    conn_id: u64,
     registry: &'static ProtocolRegistry,
     state: &ServerState,
 ) {
@@ -149,12 +278,14 @@ fn serve_connection(
     // waiting".
     let _ = stream.set_read_timeout(Some(POLL * 4));
     let _ = stream.set_nodelay(true);
-    let stop = || state.stop.load(Ordering::Acquire);
+    let mut conn_faults = state.faults.as_ref().map(|p| p.connection(conn_id));
+    let stop = || state.stopping();
     loop {
-        let (payload, nread) = match wire::read_frame_poll(&mut stream, &stop) {
+        let frame = wire::read_frame_budget(&mut stream, &stop, state.frame_budget);
+        let (payload, nread) = match frame {
             Ok(Some(frame)) => frame,
             Ok(None) => return, // clean close, or stop between frames
-            Err(_) => return,   // torn frame or dead peer; nothing to answer
+            Err(_) => return,   // torn frame, budget blown, or dead peer
         };
         state
             .metrics
@@ -165,22 +296,69 @@ fn serve_connection(
         if response.get("ok") != Some(&Value::Bool(true)) {
             state.metrics.request_errors.fetch_add(1, Ordering::Relaxed);
         }
+        // A crashed process does not talk: after an injected crash the
+        // reply (for the crashing request *and* everything queued behind
+        // it) is never written — exactly what a real kill -9 leaves.
+        if state.crashed() {
+            return;
+        }
         let bytes = serde_json::to_string(&response)
             .expect("json write is infallible")
             .into_bytes();
-        match wire::write_frame(&mut stream, &bytes) {
-            Ok(nwrote) => {
-                state
-                    .metrics
-                    .bytes_out
-                    .fetch_add(nwrote as u64, Ordering::Relaxed);
-            }
-            Err(_) => return,
+        if !write_response(&mut stream, &bytes, conn_faults.as_mut(), state) {
+            return;
         }
         if shutdown {
             state.stop.store(true, Ordering::Release);
             return;
         }
+    }
+}
+
+/// Write one response frame through the fault injector. Returns whether
+/// the connection stays usable.
+fn write_response(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    conn_faults: Option<&mut ConnFaults>,
+    state: &ServerState,
+) -> bool {
+    if let Some(faults) = conn_faults {
+        if let Some(delay) = faults.delay() {
+            std::thread::sleep(delay);
+        }
+        match faults.next_write() {
+            WriteFault::Deliver => {}
+            WriteFault::Drop => return false,
+            WriteFault::Torn => {
+                let cut = faults.pick_index(bytes.len());
+                let _ = wire::write_torn_frame(stream, bytes, cut);
+                return false;
+            }
+            WriteFault::Corrupt => {
+                // The frame is fully written, just damaged — the client's
+                // checksum check turns it into a typed transport error.
+                let flip_at = faults.pick_index(bytes.len());
+                if wire::write_corrupt_frame(stream, bytes, flip_at).is_err() {
+                    return false;
+                }
+                state.metrics.bytes_out.fetch_add(
+                    (bytes.len() + wire::FRAME_HEADER_BYTES) as u64,
+                    Ordering::Relaxed,
+                );
+                return true;
+            }
+        }
+    }
+    match wire::write_frame(stream, bytes) {
+        Ok(nwrote) => {
+            state
+                .metrics
+                .bytes_out
+                .fetch_add(nwrote as u64, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -216,8 +394,22 @@ fn handle_payload(
     }
     match handle_request(request, registry, state) {
         Ok(response) => (response, false),
-        Err(e) => (wire::err_response(&e), false),
+        Err(e) => (error_value(&e), false),
     }
+}
+
+/// Turn an internal error string into the wire envelope, extracting the
+/// `[code] message` convention ([`Directory`] uses it for `overloaded`
+/// and `evicted`) into the typed `code` field.
+fn error_value(e: &str) -> Value {
+    if let Some(rest) = e.strip_prefix('[') {
+        if let Some((code, message)) = rest.split_once("] ") {
+            if !code.is_empty() && code.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+                return wire::err_response_coded(code, message);
+            }
+        }
+    }
+    wire::err_response(e)
 }
 
 /// Execute one (non-shutdown) verb against the directory.
@@ -226,6 +418,7 @@ fn handle_request(
     registry: &'static ProtocolRegistry,
     state: &ServerState,
 ) -> Result<Value, String> {
+    let faults = state.faults.as_ref();
     match request {
         Request::Open {
             session,
@@ -236,6 +429,13 @@ fn handle_request(
             scheduling,
             snapshot,
         } => {
+            if state.durability.is_some() && !path_safe(&session) {
+                return Err(format!(
+                    "open: session name {session:?} is not usable as a checkpoint \
+                     directory (allowed: ASCII alphanumerics, '.', '_', '-', not \
+                     dot-leading)"
+                ));
+            }
             let serving = match snapshot {
                 Some(doc) => {
                     let snap = Snapshot::from_json(&doc).map_err(|e| e.to_string())?;
@@ -263,6 +463,7 @@ fn handle_request(
                 }
             };
             let arc = state.directory.insert(serving)?;
+            attach_durability(state, &arc)?;
             let view = arc.view();
             Ok(wire::ok_response(vec![
                 ("session", Value::Str(arc.name.clone())),
@@ -271,9 +472,13 @@ fn handle_request(
                 ("watermark", Value::U64(view.round)),
             ]))
         }
-        Request::Ingest { session, batches } => {
+        Request::Ingest {
+            session,
+            batches,
+            seq,
+        } => {
             let serving = state.directory.get(&session)?;
-            let watermark = serving.ingest(registry, &batches)?;
+            let watermark = serving.ingest(registry, &batches, seq, faults)?;
             state
                 .metrics
                 .rounds
@@ -283,9 +488,13 @@ fn handle_request(
                 ("rounds", Value::U64(batches.len() as u64)),
             ]))
         }
-        Request::Step { session, rounds } => {
+        Request::Step {
+            session,
+            rounds,
+            seq,
+        } => {
             let serving = state.directory.get(&session)?;
-            let watermark = serving.step_quiet(registry, rounds)?;
+            let watermark = serving.step_quiet(registry, rounds, seq, faults)?;
             state.metrics.rounds.fetch_add(rounds, Ordering::Relaxed);
             Ok(wire::ok_response(vec![
                 ("watermark", Value::U64(watermark)),
@@ -351,6 +560,7 @@ fn handle_request(
                         ),
                         ("n".into(), Value::U64(view.session.n() as u64)),
                         ("watermark".into(), Value::U64(view.round)),
+                        ("durable".into(), Value::U64(serving.durable_round())),
                         ("supported_queries".into(), Value::Arr(kinds)),
                         ("summary".into(), view.session.summary().to_value()),
                     ])
@@ -370,6 +580,7 @@ fn handle_request(
                     Value::Obj(vec![
                         ("session".into(), Value::Str(serving.name.clone())),
                         ("watermark".into(), Value::U64(view.round)),
+                        ("durable".into(), Value::U64(serving.durable_round())),
                         ("rounds_served".into(), Value::U64(rounds)),
                         (
                             "rounds_per_sec".into(),

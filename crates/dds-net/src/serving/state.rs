@@ -1,5 +1,6 @@
 //! Serving session state: single-writer ownership with a published
-//! settled-round view for concurrent readers.
+//! settled-round view for concurrent readers, plus the durability and
+//! fault-tolerance machinery behind the fail-stop invariant.
 //!
 //! # The invariant
 //!
@@ -24,16 +25,47 @@
 //! - answers are bit-identical to a local session queried at the
 //!   watermark round, because the published view *is* a checkpoint
 //!   round-trip of the writer at that round.
+//!
+//! # Durability and the fail-stop invariant
+//!
+//! When a session has durability enabled, the snapshot taken for
+//! publication is also written (atomically: tmp + fsync + rename) to the
+//! session's checkpoint directory **before** the view swap. The ordering
+//! is the whole argument: a write verb is acknowledged only after its
+//! state is durable *and* published, so an acked round can always be
+//! recovered, and a crash at any point loses at most un-acked work.
+//! [`CrashPoint`]s bracket exactly the interesting moments — before
+//! persist+publish, after publish before the reply, and midway through
+//! the snapshot file write.
+//!
+//! # Retry deduplication
+//!
+//! A client that retries a write after a transport failure cannot know
+//! whether the original applied. Write verbs therefore carry an optional
+//! client sequence number; the session remembers the last sequenced
+//! write's `(seq, content digest, result)` — under a mutex held across
+//! the *entire* write, so a retry racing the original blocks until the
+//! original's result is recorded — and answers an exact duplicate from
+//! the record instead of re-applying it. The digest (FNV-1a-64 of the
+//! verb + serialized content) keeps a colliding sequence number from a
+//! different client from masquerading as a retry. The record also rides
+//! into `meta.json` next to each persisted snapshot, so deduplication
+//! survives a daemon restart.
 
-use crate::checkpoint::Snapshot;
+use crate::checkpoint::{fnv1a64, scan_snapshot_dir, write_bytes_atomic, Snapshot};
 use crate::engine::ProtocolRegistry;
 use crate::event::EventBatch;
 use crate::ids::Round;
 use crate::session::Session;
 use crate::sim::SimConfig;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use serde::{Serialize, Value};
+
+use super::fault::{CrashPoint, FaultPlan};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// An immutable, fully settled view of a session at one round — what
 /// every reader queries.
@@ -44,18 +76,55 @@ pub struct PublishedView {
     pub round: Round,
 }
 
+/// Durability configuration for one session: where its snapshots go and
+/// how often they are taken.
+#[derive(Clone, Debug)]
+pub struct Durability {
+    /// The session's own checkpoint directory (`checkpoint_NNNNNN.json`
+    /// files plus `meta.json`).
+    pub dir: PathBuf,
+    /// Persist after every `every`-th write verb (1 = every write; the
+    /// durable watermark then always equals the acked watermark).
+    pub every: u64,
+}
+
+/// The record of the last sequenced write — the server-side half of
+/// retry deduplication.
+struct LastWrite {
+    seq: u64,
+    digest: u64,
+    result: Result<Round, String>,
+}
+
+struct DurableState {
+    cfg: Durability,
+    /// Write verbs since the last persisted snapshot.
+    pending: u64,
+}
+
 /// One named session on the daemon: writer side + published view +
 /// per-session gauges.
 pub struct ServingSession {
     /// Directory key.
     pub name: String,
+    /// Outer write lock: held across the whole write verb so a retry
+    /// blocks until the original records its result. Always taken
+    /// before `writer`.
+    last_write: Mutex<Option<LastWrite>>,
     writer: Mutex<Session>,
     published: Mutex<Arc<PublishedView>>,
+    durability: Mutex<Option<DurableState>>,
+    /// The newest round with a fully persisted snapshot (0 when
+    /// durability is off or nothing has been persisted yet).
+    durable_round: AtomicU64,
     /// Rounds executed on this session since it was opened here (warm
     /// starts begin counting at the snapshot round).
     pub rounds_served: AtomicU64,
     /// Peak active-node count observed across served rounds.
     pub peak_active: AtomicU64,
+    /// Idle-tracking epoch; `touched_ms` is measured against it.
+    epoch: Instant,
+    touched_ms: AtomicU64,
 }
 
 impl ServingSession {
@@ -69,10 +138,15 @@ impl ServingSession {
         let view = publish_view(registry, &session)?;
         Ok(ServingSession {
             name: name.to_string(),
+            last_write: Mutex::new(None),
             writer: Mutex::new(session),
             published: Mutex::new(Arc::new(view)),
+            durability: Mutex::new(None),
+            durable_round: AtomicU64::new(0),
             rounds_served: AtomicU64::new(0),
             peak_active: AtomicU64::new(0),
+            epoch: Instant::now(),
+            touched_ms: AtomicU64::new(0),
         })
     }
 
@@ -87,7 +161,8 @@ impl ServingSession {
         ServingSession::new(registry, name, registry.open(protocol, n, cfg)?)
     }
 
-    /// Warm-start from a snapshot (the `--resume` / inline-snapshot path).
+    /// Warm-start from a snapshot (the `--resume` / inline-snapshot /
+    /// `--recover` path).
     pub fn open_from_snapshot(
         registry: &'static ProtocolRegistry,
         name: &str,
@@ -103,25 +178,156 @@ impl ServingSession {
         Arc::clone(&self.published.lock().expect("published view poisoned"))
     }
 
-    /// Run write work under the writer lock, then publish the resulting
-    /// state as the new settled view. The publish happens even when the
-    /// work errors partway: the applied prefix is real, settled state, and
-    /// readers must be able to see it (the error goes back to the writer
-    /// client only). Returns the watermark round.
+    /// Record client activity (any verb touching this session). Idle
+    /// eviction measures from the last touch.
+    pub fn touch(&self) {
+        self.touched_ms
+            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// How long since the last [`ServingSession::touch`].
+    pub fn idle(&self) -> Duration {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.touched_ms.load(Ordering::Relaxed)))
+    }
+
+    /// The newest round whose snapshot is fully on disk.
+    pub fn durable_round(&self) -> Round {
+        self.durable_round.load(Ordering::Acquire)
+    }
+
+    /// Turn on durability: create the directory, persist the current
+    /// state immediately (so the session is recoverable from the moment
+    /// it exists), and persist again after every `cfg.every`-th write
+    /// verb. Returns the durable round.
+    pub fn enable_durability(&self, cfg: Durability) -> Result<Round, String> {
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| format!("checkpoint dir {}: {e}", cfg.dir.display()))?;
+        let seq_digest = {
+            let guard = self.last_write.lock().expect("last-write lock poisoned");
+            guard.as_ref().map(|lw| (lw.seq, lw.digest))
+        };
+        let snap = self
+            .writer
+            .lock()
+            .expect("writer lock poisoned")
+            .checkpoint();
+        let round = snap.header.round;
+        let mut durability = self.durability.lock().expect("durability lock poisoned");
+        persist_snapshot(&cfg.dir, &snap, seq_digest, None)?;
+        self.durable_round.store(round, Ordering::Release);
+        *durability = Some(DurableState { cfg, pending: 0 });
+        Ok(round)
+    }
+
+    /// Seed the retry-dedup record (recovery: replays `meta.json` so a
+    /// client retrying across the restart is still deduplicated).
+    fn seed_last_write(&self, seq: u64, digest: u64, round: Round) {
+        *self.last_write.lock().expect("last-write lock poisoned") = Some(LastWrite {
+            seq,
+            digest,
+            result: Ok(round),
+        });
+    }
+
+    /// Run one write verb end to end: dedup check, execute under the
+    /// writer lock, persist if due, publish, record the result. The
+    /// `last_write` mutex is held for the whole function — that is what
+    /// makes a racing retry block until the original's outcome exists.
+    fn write_verb(
+        &self,
+        registry: &'static ProtocolRegistry,
+        seq: Option<u64>,
+        digest: u64,
+        faults: Option<&FaultPlan>,
+        work: impl FnOnce(&mut MutexGuard<'_, Session>) -> Result<(), String>,
+    ) -> Result<Round, String> {
+        let mut last = self.last_write.lock().expect("last-write lock poisoned");
+        if let (Some(seq), Some(prev)) = (seq, last.as_ref()) {
+            if prev.seq == seq && prev.digest == digest {
+                return prev.result.clone();
+            }
+        }
+        let result = self.write_and_publish(registry, seq.map(|s| (s, digest)), faults, work);
+        *last = seq.map(|seq| LastWrite {
+            seq,
+            digest,
+            result: result.clone(),
+        });
+        result
+    }
+
+    /// Run write work under the writer lock, persist the snapshot when
+    /// durability says so, then publish the resulting state as the new
+    /// settled view. The publish happens even when the work errors
+    /// partway: the applied prefix is real, settled state, and readers
+    /// must be able to see it (the error goes back to the writer client
+    /// only). Returns the watermark round.
+    ///
+    /// Ordering is the durability argument: persist strictly before
+    /// publish, publish strictly before the (caller-written) reply — an
+    /// acknowledged write is always recoverable.
     fn write_and_publish(
         &self,
         registry: &'static ProtocolRegistry,
+        seq_digest: Option<(u64, u64)>,
+        faults: Option<&FaultPlan>,
         work: impl FnOnce(&mut MutexGuard<'_, Session>) -> Result<(), String>,
     ) -> Result<Round, String> {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let outcome = work(&mut writer);
-        // Build the fresh view while still holding the writer lock (the
+        // Capture the snapshot while still holding the writer lock (the
         // state must not advance under the checkpoint), but *not* the
         // view lock: readers keep querying the old view the whole time.
-        let view = publish_view(registry, &writer)?;
-        let round = view.round;
-        *self.published.lock().expect("published view poisoned") = Arc::new(view);
+        let snap = writer.checkpoint();
+        let round = snap.header.round;
+        if let Some(plan) = faults {
+            if plan.crash_due(CrashPoint::BeforePublish) {
+                plan.execute_crash();
+                return Err("daemon crashed before publish (injected)".into());
+            }
+        }
+        self.persist_if_due(&snap, seq_digest, faults)?;
+        let restored = registry.restore(&snap).map_err(|e| {
+            format!(
+                "publishing session state failed to round-trip through a snapshot: {e} \
+                 (protocol {:?})",
+                writer.protocol()
+            )
+        })?;
+        *self.published.lock().expect("published view poisoned") = Arc::new(PublishedView {
+            session: restored,
+            round,
+        });
+        if let Some(plan) = faults {
+            if plan.crash_due(CrashPoint::AfterPublish) {
+                plan.execute_crash();
+                return Err("daemon crashed after publish (injected)".into());
+            }
+        }
         outcome.map(|()| round)
+    }
+
+    /// Persist the snapshot if this write hits the durability cadence.
+    fn persist_if_due(
+        &self,
+        snap: &Snapshot,
+        seq_digest: Option<(u64, u64)>,
+        faults: Option<&FaultPlan>,
+    ) -> Result<(), String> {
+        let mut guard = self.durability.lock().expect("durability lock poisoned");
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        state.pending += 1;
+        if state.pending < state.cfg.every {
+            return Ok(());
+        }
+        persist_snapshot(&state.cfg.dir, snap, seq_digest, faults)?;
+        state.pending = 0;
+        self.durable_round
+            .store(snap.header.round, Ordering::Release);
+        Ok(())
     }
 
     /// Ingest: one round per batch, in order. Returns the new watermark.
@@ -136,8 +342,11 @@ impl ServingSession {
         &self,
         registry: &'static ProtocolRegistry,
         batches: &[EventBatch],
+        seq: Option<u64>,
+        faults: Option<&FaultPlan>,
     ) -> Result<Round, String> {
-        self.write_and_publish(registry, |writer| {
+        let digest = ingest_digest(batches);
+        self.write_verb(registry, seq, digest, faults, |writer| {
             for batch in batches {
                 writer.topology().validate(batch).map_err(|e| {
                     format!(
@@ -160,8 +369,11 @@ impl ServingSession {
         &self,
         registry: &'static ProtocolRegistry,
         rounds: u64,
+        seq: Option<u64>,
+        faults: Option<&FaultPlan>,
     ) -> Result<Round, String> {
-        self.write_and_publish(registry, |writer| {
+        let digest = step_digest(rounds);
+        self.write_verb(registry, seq, digest, faults, |writer| {
             for _ in 0..rounds {
                 writer.step_quiet();
                 self.note_round(writer);
@@ -186,6 +398,80 @@ impl ServingSession {
     }
 }
 
+/// Content digest of an ingest (verb-tagged so an `ingest` and a `step`
+/// can never alias).
+fn ingest_digest(batches: &[EventBatch]) -> u64 {
+    let doc = serde_json::to_string(&batches.to_vec().to_value()).expect("json is infallible");
+    fnv1a64(format!("ingest:{doc}").as_bytes())
+}
+
+/// Content digest of a quiet-step write.
+fn step_digest(rounds: u64) -> u64 {
+    fnv1a64(format!("step:{rounds}").as_bytes())
+}
+
+/// Write `checkpoint_NNNNNN.json` (and `meta.json` when the write was
+/// sequenced) into `dir`, atomically, honoring a scheduled mid-checkpoint
+/// crash: the crash leaves a *torn `.tmp`* — precisely the artifact the
+/// recovery scan must skip.
+fn persist_snapshot(
+    dir: &Path,
+    snap: &Snapshot,
+    seq_digest: Option<(u64, u64)>,
+    faults: Option<&FaultPlan>,
+) -> Result<(), String> {
+    let path = dir.join(format!("checkpoint_{:06}.json", snap.header.round));
+    let bytes = snap.to_json().into_bytes();
+    if let Some(plan) = faults {
+        if plan.crash_due(CrashPoint::MidCheckpoint) {
+            // A real crash mid-write leaves a partial tmp file; fabricate
+            // exactly that, then die. The rename never happens, so no
+            // checkpoint_*.json is ever torn.
+            let tmp = path.with_extension("tmp");
+            let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            plan.execute_crash();
+            return Err("daemon crashed mid-checkpoint (injected)".into());
+        }
+    }
+    write_bytes_atomic(&path, &bytes).map_err(|e| format!("persist checkpoint: {e}"))?;
+    if let Some((seq, digest)) = seq_digest {
+        let meta = Value::Obj(vec![
+            ("v".into(), Value::U64(1)),
+            ("watermark".into(), Value::U64(snap.header.round)),
+            ("seq".into(), Value::U64(seq)),
+            ("digest".into(), Value::U64(digest)),
+        ]);
+        let doc = format!("{}\n", serde_json::to_string(&meta).expect("json"));
+        write_bytes_atomic(&dir.join("meta.json"), doc.as_bytes())
+            .map_err(|e| format!("persist meta: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Read a session directory's `meta.json`, tolerantly: the file is an
+/// optimization (cross-restart retry dedup), so absence or damage just
+/// means no seeding. Returns `(watermark, seq, digest)`.
+fn read_meta(dir: &Path) -> Option<(u64, u64, u64)> {
+    let text = std::fs::read_to_string(dir.join("meta.json")).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    let field = |k: &str| match v.get(k) {
+        Some(Value::U64(x)) => Some(*x),
+        _ => None,
+    };
+    Some((field("watermark")?, field("seq")?, field("digest")?))
+}
+
+/// Is `name` usable as a checkpoint directory component? Conservative:
+/// ASCII alphanumerics plus `.`, `_`, `-`, not empty, not dot-leading —
+/// a session name must never traverse out of the checkpoint base.
+pub fn path_safe(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
 /// Checkpoint-and-restore the session into an independent settled view.
 fn publish_view(
     registry: &'static ProtocolRegistry,
@@ -206,35 +492,173 @@ fn publish_view(
     })
 }
 
-/// The daemon's session directory: name → live session.
+/// What `--recover` found and did.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Recovered sessions as `(name, watermark round)`.
+    pub sessions: Vec<(String, Round)>,
+    /// Corrupt or truncated candidates that were skipped, with the typed
+    /// reason.
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// Scan a checkpoint base directory and rebuild every recoverable
+/// session from its newest valid snapshot.
+///
+/// Layout: each subdirectory of `base` is one session (named by the
+/// directory); `checkpoint_*.json` files directly in `base` (the layout
+/// `dds simulate --checkpoint-dir` produces) recover as one session
+/// named `default_session`. Corrupt or truncated tails are skipped —
+/// walking back to the newest snapshot that restores cleanly — and
+/// reported, never fatal. Returns the recovered sessions paired with
+/// their checkpoint directories (so the caller can re-enable durability
+/// into the same place).
+pub fn recover_sessions(
+    registry: &'static ProtocolRegistry,
+    base: &Path,
+    default_session: &str,
+) -> Result<(Vec<(ServingSession, PathBuf)>, RecoveryReport), String> {
+    fn recover_one(
+        registry: &'static ProtocolRegistry,
+        name: &str,
+        dir: &Path,
+        recovered: &mut Vec<(ServingSession, PathBuf)>,
+        report: &mut RecoveryReport,
+    ) {
+        let scan = match scan_snapshot_dir(dir) {
+            Ok(scan) => scan,
+            Err(e) => {
+                report.skipped.push((dir.to_path_buf(), e.to_string()));
+                return;
+            }
+        };
+        for (path, err) in scan.skipped {
+            report.skipped.push((path, err.to_string()));
+        }
+        let Some((_path, round, snap)) = scan.latest else {
+            return;
+        };
+        match ServingSession::open_from_snapshot(registry, name, &snap) {
+            Ok(session) => {
+                if let Some((watermark, seq, digest)) = read_meta(dir) {
+                    // The meta record only describes the snapshot it was
+                    // written next to; an older snapshot (corrupt tail
+                    // skipped) must not inherit it.
+                    if watermark == round {
+                        session.seed_last_write(seq, digest, round);
+                    }
+                }
+                session.durable_round.store(round, Ordering::Release);
+                report.sessions.push((name.to_string(), round));
+                recovered.push((session, dir.to_path_buf()));
+            }
+            Err(e) => report.skipped.push((dir.to_path_buf(), e)),
+        }
+    }
+    let mut report = RecoveryReport::default();
+    let mut recovered = Vec::new();
+    // Flat checkpoint files in the base: the default session.
+    recover_one(registry, default_session, base, &mut recovered, &mut report);
+    // One subdirectory per named session.
+    let entries =
+        std::fs::read_dir(base).map_err(|e| format!("recover {}: {e}", base.display()))?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(name) = dir.file_name().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if !path_safe(name) {
+            continue;
+        }
+        if name == default_session && report.sessions.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        recover_one(registry, name, &dir, &mut recovered, &mut report);
+    }
+    Ok((recovered, report))
+}
+
+/// The daemon's session directory: name → live session, with an optional
+/// capacity cap and a memory of evicted names (so a client of an evicted
+/// session gets a typed `[evicted]` error, not a confusing "no session").
 #[derive(Default)]
 pub struct Directory {
     sessions: Mutex<BTreeMap<String, Arc<ServingSession>>>,
+    evicted: Mutex<BTreeSet<String>>,
+    /// 0 = unlimited.
+    cap: AtomicUsize,
 }
 
 impl Directory {
+    /// Cap the number of live sessions (0 = unlimited). Inserts beyond
+    /// the cap fail with a typed `[overloaded]` error.
+    pub fn set_session_cap(&self, cap: usize) {
+        self.cap.store(cap, Ordering::Relaxed);
+    }
+
     /// Insert a newly opened session. Errors when the name is taken —
     /// sessions are single-writer, so a second opener must not silently
-    /// share one.
+    /// share one — or when the session cap is reached.
     pub fn insert(&self, session: ServingSession) -> Result<Arc<ServingSession>, String> {
         let mut map = self.sessions.lock().expect("directory lock poisoned");
         let name = session.name.clone();
         if map.contains_key(&name) {
             return Err(format!("session {name:?} is already open"));
         }
+        let cap = self.cap.load(Ordering::Relaxed);
+        if cap > 0 && map.len() >= cap {
+            return Err(format!(
+                "[overloaded] session cap of {cap} reached — close an idle session \
+                 or raise --max-sessions"
+            ));
+        }
+        session.touch();
         let arc = Arc::new(session);
-        map.insert(name, Arc::clone(&arc));
+        map.insert(name.clone(), Arc::clone(&arc));
+        drop(map);
+        // Reopening an evicted name is a fresh session, not a zombie.
+        self.evicted
+            .lock()
+            .expect("evicted set poisoned")
+            .remove(&name);
         Ok(arc)
     }
 
-    /// Look up a session by name.
+    /// Look up a session by name (marks it touched for idle eviction).
     pub fn get(&self, name: &str) -> Result<Arc<ServingSession>, String> {
-        self.sessions
+        let found = self
+            .sessions
             .lock()
             .expect("directory lock poisoned")
             .get(name)
-            .cloned()
-            .ok_or_else(|| format!("no session named {name:?} (open it first)"))
+            .cloned();
+        match found {
+            Some(arc) => {
+                arc.touch();
+                Ok(arc)
+            }
+            None => {
+                if self
+                    .evicted
+                    .lock()
+                    .expect("evicted set poisoned")
+                    .contains(name)
+                {
+                    Err(format!(
+                        "[evicted] session {name:?} was evicted after idling past the \
+                         daemon's idle timeout — reopen it (a durable session recovers \
+                         from its checkpoint directory)"
+                    ))
+                } else {
+                    Err(format!("no session named {name:?} (open it first)"))
+                }
+            }
+        }
     }
 
     /// Remove a session. In-flight readers holding its view finish
@@ -248,6 +672,28 @@ impl Directory {
             .ok_or_else(|| format!("no session named {name:?}"))
     }
 
+    /// Evict every session idle longer than `timeout`; returns the
+    /// evicted names. Evicted names answer `[evicted]` until reopened.
+    pub fn evict_idle(&self, timeout: Duration) -> Vec<String> {
+        let mut map = self.sessions.lock().expect("directory lock poisoned");
+        let stale: Vec<String> = map
+            .iter()
+            .filter(|(_, s)| s.idle() > timeout)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in &stale {
+            map.remove(name);
+        }
+        drop(map);
+        if !stale.is_empty() {
+            let mut evicted = self.evicted.lock().expect("evicted set poisoned");
+            for name in &stale {
+                evicted.insert(name.clone());
+            }
+        }
+        stale
+    }
+
     /// All live sessions, in name order.
     pub fn all(&self) -> Vec<Arc<ServingSession>> {
         self.sessions
@@ -256,5 +702,32 @@ impl Directory {
             .values()
             .cloned()
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_safety_is_conservative() {
+        for good in ["main", "er-16", "a.b_c-7", "X9"] {
+            assert!(path_safe(good), "{good:?} should be path-safe");
+        }
+        for bad in ["", ".", "..", ".hidden", "a/b", "a\\b", "a b", "naïve"] {
+            assert!(!path_safe(bad), "{bad:?} must not be path-safe");
+        }
+    }
+
+    #[test]
+    fn digests_separate_verbs_and_contents() {
+        use crate::ids::edge;
+        let a = ingest_digest(&[EventBatch::insert(edge(0, 1))]);
+        let b = ingest_digest(&[EventBatch::insert(edge(0, 2))]);
+        let c = ingest_digest(&[EventBatch::insert(edge(0, 1))]);
+        assert_ne!(a, b, "different contents, different digests");
+        assert_eq!(a, c, "same contents, same digest");
+        assert_ne!(step_digest(3), step_digest(4));
+        assert_ne!(a, step_digest(1), "verbs never alias");
     }
 }

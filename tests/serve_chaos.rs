@@ -1,0 +1,722 @@
+//! Chaos lockdown for the fail-stop serving contract: under seeded fault
+//! injection — dropped, torn, and corrupted response frames, injected
+//! daemon crashes before/after publish and mid-checkpoint — every client
+//! interaction must yield either an answer **bit-identical** to a clean
+//! local session at the reply's watermark, or a typed error. Never a
+//! stale, torn, or silently corrupt answer. And a restarted daemon must
+//! recover exactly the last durable watermark, byte-identically.
+//!
+//! Fault schedules are deterministic in the plan seed and the accept-order
+//! connection id, so every failure found here replays exactly; one test
+//! pins that replay identity itself.
+
+use dynamic_subgraphs::net::serving::{
+    recover_sessions, Client, ClientConfig, Durability, DurabilityOptions, FaultPlan, QueryOutcome,
+    Server, ServerOptions, ServingSession, WriteFault,
+};
+use dynamic_subgraphs::net::{edge, Answer, NodeId, Query, Response, Session, SimConfig, Trace};
+use dynamic_subgraphs::workloads::{registry, Params};
+use proptest::prelude::*;
+use std::path::Path;
+
+fn trace_for(workload: &str, n: u64, rounds: u64, seed: u64) -> Trace {
+    let params = Params::new()
+        .with("n", n)
+        .with("rounds", rounds)
+        .with("seed", seed);
+    registry::build_trace(workload, &params).unwrap_or_else(|e| panic!("{workload}: {e}"))
+}
+
+/// Boot an in-process daemon with explicit options; returns the address,
+/// join handle, and a stop closure.
+fn boot_with(options: ServerOptions) -> (String, std::thread::JoinHandle<()>, impl Fn()) {
+    let server =
+        Server::bind_with("127.0.0.1:0", dds_bench::protocols(), options).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, join, move || handle.stop())
+}
+
+/// The fixed probe set the truth vectors are computed for.
+fn probe_set() -> Vec<(NodeId, Query)> {
+    vec![
+        (NodeId(0), Query::Edge(edge(0, 1))),
+        (NodeId(3), Query::Edge(edge(3, 9))),
+        (NodeId(7), Query::Edge(edge(7, 8))),
+        (NodeId(2), Query::Edge(edge(2, 5))),
+    ]
+}
+
+/// Local ground truth for the probe set at every round 0..=rounds.
+fn truth_vectors(protocol: &str, trace: &Trace) -> (Session, Vec<Vec<Response<Answer>>>) {
+    let probes = probe_set();
+    let mut local = dds_bench::protocols()
+        .open(protocol, trace.n, SimConfig::default())
+        .expect("local open");
+    let record = |s: &Session| {
+        probes
+            .iter()
+            .map(|(at, q)| s.query(*at, q).expect("local query"))
+            .collect::<Vec<_>>()
+    };
+    let mut truth = vec![record(&local)];
+    for batch in &trace.batches {
+        local.step(batch);
+        truth.push(record(&local));
+    }
+    (local, truth)
+}
+
+fn assert_outcome_matches(served: &QueryOutcome, local: &Response<Answer>, context: &str) {
+    match (served, local) {
+        (QueryOutcome::Answer(a), Response::Answer(b)) => {
+            assert_eq!(a, b, "{context}: answers diverge")
+        }
+        (QueryOutcome::Inconsistent, Response::Inconsistent) => {}
+        other => panic!("{context}: outcome shape diverges: {other:?}"),
+    }
+}
+
+/// Open a session through a faulty wire: the open verb is not idempotent
+/// (a retried open races its own first attempt's server-side effect), so
+/// tolerate "already open" as success and reconnect on transport damage.
+fn open_resilient(addr: &str, name: &str, protocol: &str, n: usize) {
+    for _ in 0..32 {
+        let Ok(mut c) = Client::connect(addr) else {
+            continue;
+        };
+        match c.open(name, protocol, n) {
+            Ok(_) => return,
+            Err(e) if e.contains("already open") => return,
+            Err(_) => continue,
+        }
+    }
+    panic!("could not open session {name:?} through the fault plan");
+}
+
+// ---- deterministic fault schedules ------------------------------------
+
+#[test]
+fn same_seed_fault_plans_replay_identically() {
+    let spec = "seed=42,drop=0.2,torn=0.2,corrupt=0.1,delay-ms=1";
+    let draw = |plan: &FaultPlan| -> Vec<Vec<WriteFault>> {
+        (0..8)
+            .map(|conn| {
+                let mut stream = plan.connection(conn);
+                (0..32).map(|_| stream.next_write()).collect()
+            })
+            .collect()
+    };
+    let a = draw(&FaultPlan::parse(spec).expect("parse"));
+    let b = draw(&FaultPlan::parse(spec).expect("parse"));
+    assert_eq!(a, b, "same spec, same schedule — always");
+
+    let other = draw(&FaultPlan::parse("seed=43,drop=0.2,torn=0.2,corrupt=0.1").expect("parse"));
+    assert_ne!(a, other, "a different seed draws a different schedule");
+
+    // The spec round-trips through describe() → parse().
+    let plan = FaultPlan::parse(spec).expect("parse");
+    let redescribed = FaultPlan::parse(&plan.describe()).expect("describe reparses");
+    assert_eq!(draw(&plan), draw(&redescribed));
+}
+
+// ---- the fail-stop differential under active chaos --------------------
+
+/// One full chaos run: ingest a trace round by round through a tolerant
+/// client while the daemon drops/tears/corrupts response frames, probing
+/// after every round. Returns a replay fingerprint.
+fn chaos_run(protocol: &str, spec: &str) -> (u64, u64, Vec<String>, String) {
+    let plan = FaultPlan::parse(spec).expect("parse");
+    let (addr, join, stop) = boot_with(ServerOptions {
+        faults: Some(plan),
+        ..ServerOptions::default()
+    });
+    let trace = trace_for("er", 16, 30, 11);
+    let (local, truth) = truth_vectors(protocol, &trace);
+    open_resilient(&addr, "chaos", protocol, trace.n);
+
+    // Generous retry budget: the wire is unreliable by design here, and
+    // this test asserts what gets *through* is exact, not that the wire
+    // is reliable.
+    let mut cfg = ClientConfig::tolerant(0xC0FFEE);
+    cfg.retries = 16;
+    let mut client = Client::connect_with(&addr, cfg).expect("connect");
+    let probes = probe_set();
+    let mut fingerprints = Vec::new();
+    for (i, batch) in trace.batches.iter().enumerate() {
+        let watermark = client
+            .ingest("chaos", vec![batch.clone()])
+            .unwrap_or_else(|e| panic!("ingest round {}: {e}", i + 1));
+        assert_eq!(
+            watermark,
+            i as u64 + 1,
+            "retried ingests must be applied exactly once"
+        );
+        let reply = client
+            .query("chaos", probes.clone())
+            .unwrap_or_else(|e| panic!("query at round {}: {e}", i + 1));
+        let expected = &truth[reply.watermark as usize];
+        for (p, served) in reply.outcomes.iter().enumerate() {
+            let context = format!("{protocol} probe {p} at watermark {}", reply.watermark);
+            assert_outcome_matches(served, &expected[p], &context);
+        }
+        fingerprints.push(format!("w{}:{:?}", reply.watermark, reply.outcomes));
+    }
+    assert!(
+        client.retries() + client.reconnects() > 0,
+        "the fault plan never fired — this run exercised nothing"
+    );
+
+    // The chaos-facing session must land bit-exactly where the clean
+    // local session lands.
+    let snap = client.checkpoint("chaos").expect("checkpoint");
+    assert_eq!(
+        snap.to_json(),
+        local.checkpoint().to_json(),
+        "{protocol}: chaos-served state diverged from the clean local run"
+    );
+    let fingerprint = (
+        client.retries(),
+        client.reconnects(),
+        fingerprints,
+        snap.to_json(),
+    );
+    drop(client);
+    stop();
+    join.join().expect("server thread");
+    fingerprint
+}
+
+#[test]
+fn chaos_answers_are_bit_identical_or_typed_errors() {
+    let spec = "seed=7,drop=0.15,torn=0.1,corrupt=0.1";
+    for protocol in ["two-hop", "triangle"] {
+        let first = chaos_run(protocol, spec);
+        let second = chaos_run(protocol, spec);
+        assert_eq!(
+            first, second,
+            "{protocol}: the same fault spec must replay to the same retries, \
+             reconnects, answers, and final state"
+        );
+    }
+}
+
+#[test]
+fn fragile_clients_get_typed_errors_never_wrong_answers() {
+    // No retries at all: every injected fault surfaces as an error to the
+    // caller. The contract is that those errors are typed (non-empty,
+    // descriptive) and that every reply that *does* arrive is exact.
+    let plan = FaultPlan::parse("seed=3,drop=0.25,torn=0.15,corrupt=0.15").expect("parse");
+    let (addr, join, stop) = boot_with(ServerOptions {
+        faults: Some(plan),
+        ..ServerOptions::default()
+    });
+    let trace = trace_for("er", 16, 20, 5);
+    let (_, truth) = truth_vectors("two-hop", &trace);
+    open_resilient(&addr, "fragile", "two-hop", trace.n);
+
+    // Drive the watermark forward on a reliable-enough tolerant writer.
+    let mut cfg = ClientConfig::tolerant(0xFEED);
+    cfg.retries = 16;
+    let mut writer = Client::connect_with(&addr, cfg).expect("connect writer");
+    let probes = probe_set();
+    let mut errors = 0u64;
+    let mut answered = 0u64;
+    let mut reader: Option<Client> = None;
+    for (i, batch) in trace.batches.iter().enumerate() {
+        writer
+            .ingest("fragile", vec![batch.clone()])
+            .unwrap_or_else(|e| panic!("ingest round {}: {e}", i + 1));
+        let mut c = match reader.take() {
+            Some(c) => c,
+            None => match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => continue,
+            },
+        };
+        match c.query("fragile", probes.clone()) {
+            Ok(reply) => {
+                answered += 1;
+                let expected = &truth[reply.watermark as usize];
+                for (p, served) in reply.outcomes.iter().enumerate() {
+                    let context = format!("fragile probe {p} at watermark {}", reply.watermark);
+                    assert_outcome_matches(served, &expected[p], &context);
+                }
+                reader = Some(c);
+            }
+            Err(e) => {
+                errors += 1;
+                assert!(!e.is_empty(), "errors must be typed, not blank");
+                // A faulted connection is dead or desynced; drop it.
+            }
+        }
+    }
+    assert!(errors > 0, "the plan should have faulted some reads");
+    assert!(answered > 0, "some reads should have survived");
+    drop(writer);
+    drop(reader);
+    stop();
+    join.join().expect("server thread");
+}
+
+// ---- durable checkpoints + crash recovery -----------------------------
+
+/// Ingest `trace` rounds one write verb at a time (seq = round) against a
+/// state-level durable session, expecting the `fail_at`-th write to fail
+/// with `expect_err` under `plan`. Returns the session.
+fn ingest_until_crash(
+    session: &ServingSession,
+    trace: &Trace,
+    plan: &FaultPlan,
+    fail_at: u64,
+    expect_err: &str,
+) {
+    let registry = dds_bench::protocols();
+    for (i, batch) in trace.batches.iter().enumerate() {
+        let seq = i as u64 + 1;
+        let got = session.ingest(registry, std::slice::from_ref(batch), Some(seq), Some(plan));
+        if seq < fail_at {
+            assert_eq!(got, Ok(seq), "write {seq} should be acked");
+        } else {
+            let err = got.expect_err("the scheduled crash must fail the write");
+            assert!(err.contains(expect_err), "typed crash error, got: {err}");
+            assert!(plan.crashed(), "the soft crash must be marked");
+            return;
+        }
+    }
+    panic!("crash never fired");
+}
+
+/// Local truth at round `r` of the trace.
+fn local_at(protocol: &str, trace: &Trace, r: usize) -> Session {
+    let mut local = dds_bench::protocols()
+        .open(protocol, trace.n, SimConfig::default())
+        .expect("local open");
+    for batch in &trace.batches[..r] {
+        local.step(batch);
+    }
+    local
+}
+
+#[test]
+fn crash_before_publish_recovers_the_acked_prefix() {
+    let registry = dds_bench::protocols();
+    let dir = tempdir("crash-before-publish");
+    let trace = trace_for("er", 16, 12, 21);
+    let plan = FaultPlan::parse("crash=before-publish:5").expect("parse");
+    let session = ServingSession::open(registry, "main", "two-hop", trace.n, SimConfig::default())
+        .expect("open");
+    session
+        .enable_durability(Durability {
+            dir: dir.clone(),
+            every: 1,
+        })
+        .expect("enable durability");
+    ingest_until_crash(&session, &trace, &plan, 5, "crashed before publish");
+    assert_eq!(session.durable_round(), 4, "only acked writes are durable");
+    drop(session);
+
+    // Recover: exactly the acked prefix, byte-identical to a clean run.
+    let (recovered, report) = recover_sessions(registry, &dir, "main").expect("recover");
+    assert_eq!(report.sessions, vec![("main".to_string(), 4)]);
+    assert!(
+        report.skipped.is_empty(),
+        "nothing torn: {:?}",
+        report.skipped
+    );
+    let (session, _) = recovered.into_iter().next().expect("one session");
+    assert_eq!(
+        session.checkpoint().to_json(),
+        local_at("two-hop", &trace, 4).checkpoint().to_json(),
+        "recovered state must be byte-identical to the clean run at the durable watermark"
+    );
+
+    // The un-acked write 5 was lost — exactly fail-stop — so the client
+    // re-sends it and the session continues to the full run.
+    for (i, batch) in trace.batches.iter().enumerate().skip(4) {
+        let seq = i as u64 + 1;
+        assert_eq!(
+            session.ingest(registry, std::slice::from_ref(batch), Some(seq), None),
+            Ok(seq)
+        );
+    }
+    let full = trace.batches.len();
+    assert_eq!(
+        session.checkpoint().to_json(),
+        local_at("two-hop", &trace, full).checkpoint().to_json(),
+        "post-recovery ingest must converge to the clean full run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_after_publish_dedups_the_retry_across_restart() {
+    let registry = dds_bench::protocols();
+    let dir = tempdir("crash-after-publish");
+    let trace = trace_for("er", 16, 10, 31);
+    let plan = FaultPlan::parse("crash=after-publish:4").expect("parse");
+    let session = ServingSession::open(registry, "main", "two-hop", trace.n, SimConfig::default())
+        .expect("open");
+    session
+        .enable_durability(Durability {
+            dir: dir.clone(),
+            every: 1,
+        })
+        .expect("enable durability");
+    ingest_until_crash(&session, &trace, &plan, 4, "crashed after publish");
+    // The crash happened *after* persist + publish: write 4 is durable
+    // even though its ack never reached the client.
+    assert_eq!(session.durable_round(), 4);
+    drop(session);
+
+    let (recovered, report) = recover_sessions(registry, &dir, "main").expect("recover");
+    assert_eq!(report.sessions, vec![("main".to_string(), 4)]);
+    let (session, _) = recovered.into_iter().next().expect("one session");
+    let before_retry = session.checkpoint().to_json();
+
+    // The client never saw the ack, so it retries write 4 against the
+    // restarted daemon. meta.json seeded the dedup record: same seq, same
+    // content — acknowledged without being applied twice.
+    assert_eq!(
+        session.ingest(
+            registry,
+            std::slice::from_ref(&trace.batches[3]),
+            Some(4),
+            None
+        ),
+        Ok(4),
+        "the cross-restart retry must be deduplicated, not re-applied"
+    );
+    assert_eq!(
+        session.checkpoint().to_json(),
+        before_retry,
+        "a deduplicated retry must not move the state"
+    );
+
+    for (i, batch) in trace.batches.iter().enumerate().skip(4) {
+        let seq = i as u64 + 1;
+        assert_eq!(
+            session.ingest(registry, std::slice::from_ref(batch), Some(seq), None),
+            Ok(seq)
+        );
+    }
+    assert_eq!(
+        session.checkpoint().to_json(),
+        local_at("two-hop", &trace, trace.batches.len())
+            .checkpoint()
+            .to_json()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_checkpoint_crash_leaves_a_torn_tmp_that_recovery_skips() {
+    let registry = dds_bench::protocols();
+    let dir = tempdir("crash-mid-checkpoint");
+    let trace = trace_for("er", 16, 10, 41);
+    let plan = FaultPlan::parse("crash=mid-checkpoint:5").expect("parse");
+    let session = ServingSession::open(registry, "main", "two-hop", trace.n, SimConfig::default())
+        .expect("open");
+    session
+        .enable_durability(Durability {
+            dir: dir.clone(),
+            every: 1,
+        })
+        .expect("enable durability");
+    ingest_until_crash(&session, &trace, &plan, 5, "crashed mid-checkpoint");
+    drop(session);
+
+    // The crash left a half-written `.tmp` and never renamed it: by
+    // construction no `checkpoint_*.json` is ever torn.
+    let torn = dir.join("checkpoint_000005.tmp");
+    assert!(torn.exists(), "the injected crash fabricates a torn tmp");
+    assert!(!dir.join("checkpoint_000005.json").exists());
+
+    let (recovered, report) = recover_sessions(registry, &dir, "main").expect("recover");
+    assert_eq!(report.sessions, vec![("main".to_string(), 4)]);
+    assert!(report.skipped.is_empty(), "a tmp orphan is not a candidate");
+    let (session, _) = recovered.into_iter().next().expect("one session");
+    assert_eq!(
+        session.checkpoint().to_json(),
+        local_at("two-hop", &trace, 4).checkpoint().to_json()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_skips_corrupt_and_truncated_tails() {
+    let registry = dds_bench::protocols();
+    let dir = tempdir("corrupt-tails");
+    let trace = trace_for("er", 16, 6, 51);
+    let session = ServingSession::open(registry, "main", "two-hop", trace.n, SimConfig::default())
+        .expect("open");
+    session
+        .enable_durability(Durability {
+            dir: dir.clone(),
+            every: 1,
+        })
+        .expect("enable durability");
+    for (i, batch) in trace.batches.iter().enumerate() {
+        session
+            .ingest(
+                registry,
+                std::slice::from_ref(batch),
+                Some(i as u64 + 1),
+                None,
+            )
+            .expect("ingest");
+    }
+    drop(session);
+
+    // Damage the tail two ways: truncate the newest snapshot mid-document
+    // and plant a newer file of pure garbage.
+    let newest = dir.join("checkpoint_000006.json");
+    let bytes = std::fs::read(&newest).expect("read newest");
+    std::fs::write(&newest, &bytes[..bytes.len() / 3]).expect("truncate");
+    std::fs::write(dir.join("checkpoint_000099.json"), b"{ not json").expect("plant garbage");
+
+    let (recovered, report) = recover_sessions(registry, &dir, "main").expect("recover");
+    assert_eq!(
+        report.sessions,
+        vec![("main".to_string(), 5)],
+        "recovery walks back to the newest snapshot that validates"
+    );
+    assert_eq!(report.skipped.len(), 2, "both damaged tails are reported");
+    let (session, _) = recovered.into_iter().next().expect("one session");
+    assert_eq!(
+        session.checkpoint().to_json(),
+        local_at("two-hop", &trace, 5).checkpoint().to_json()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn server_level_kill_recover_continue_is_seamless() {
+    // The full daemon path: durable server, ingest a prefix, soft-crash
+    // it mid-ingest, boot a second daemon with --recover semantics, and
+    // finish the trace through the wire. End state == clean local run.
+    let base = tempdir("server-recover");
+    let trace = trace_for("er", 16, 14, 61);
+    let split = 6usize;
+
+    let plan = FaultPlan::parse("crash=before-publish:7").expect("parse");
+    let (addr, join, _stop) = boot_with(ServerOptions {
+        faults: Some(plan),
+        durability: Some(DurabilityOptions {
+            base: base.clone(),
+            every: 1,
+        }),
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    client.open("live", "two-hop", trace.n).expect("open");
+    for batch in &trace.batches[..split] {
+        client.ingest("live", vec![batch.clone()]).expect("ingest");
+    }
+    // Write 7 crashes the daemon before publish: no ack, daemon silent.
+    let err = client
+        .ingest("live", vec![trace.batches[split].clone()])
+        .expect_err("the crashing write must not be acked");
+    assert!(!err.is_empty());
+    join.join().expect("crashed server thread exits its loop");
+
+    // Second daemon: recover from the same base. The durable watermark is
+    // the acked prefix.
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        dds_bench::protocols(),
+        ServerOptions {
+            durability: Some(DurabilityOptions {
+                base: base.clone(),
+                every: 1,
+            }),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind recovery server");
+    let report = server.recover(&base, "main").expect("recover");
+    assert_eq!(report.sessions, vec![("live".to_string(), split as u64)]);
+    let addr2 = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let join2 = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client2 =
+        Client::connect_with(&addr2, ClientConfig::tolerant(0xD00D)).expect("connect");
+    for batch in &trace.batches[split..] {
+        client2.ingest("live", vec![batch.clone()]).expect("ingest");
+    }
+    let snap = client2.checkpoint("live").expect("checkpoint");
+    assert_eq!(
+        snap.to_json(),
+        local_at("two-hop", &trace, trace.batches.len())
+            .checkpoint()
+            .to_json(),
+        "kill → recover → continue must converge to the clean run"
+    );
+    drop(client2);
+    handle.stop();
+    join2.join().expect("server thread");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+// ---- graceful degradation ---------------------------------------------
+
+#[test]
+fn overload_and_eviction_yield_typed_errors() {
+    let (addr, join, stop) = boot_with(ServerOptions {
+        max_sessions: 1,
+        idle_timeout: Some(std::time::Duration::from_millis(200)),
+        ..ServerOptions::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    client.open("one", "two-hop", 8).expect("open");
+
+    let err = client
+        .open("two", "two-hop", 8)
+        .expect_err("the cap must refuse a second session");
+    assert!(err.starts_with("[overloaded]"), "typed code, got: {err}");
+
+    // Idle past the timeout; the accept loop sweeps every 500ms.
+    std::thread::sleep(std::time::Duration::from_millis(1_200));
+    let err = client
+        .query("one", vec![(NodeId(0), Query::Edge(edge(0, 1)))])
+        .expect_err("the idle session must have been evicted");
+    assert!(err.starts_with("[evicted]"), "typed code, got: {err}");
+
+    // Eviction freed capacity: reopening works and serves.
+    client
+        .open("one", "two-hop", 8)
+        .expect("reopen after eviction");
+    let reply = client
+        .query("one", vec![(NodeId(0), Query::Edge(edge(0, 1)))])
+        .expect("query after reopen");
+    assert_eq!(reply.watermark, 0);
+    drop(client);
+    stop();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn slow_loris_frames_are_cut_off_by_the_read_budget() {
+    use std::io::{Read, Write};
+    let (addr, join, stop) = boot_with(ServerOptions {
+        frame_budget: std::time::Duration::from_millis(300),
+        ..ServerOptions::default()
+    });
+    // A well-behaved client is unaffected.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.open("ok", "two-hop", 8).expect("open");
+
+    // The loris: start a frame, never finish it. The daemon must close
+    // the connection once the per-frame budget lapses instead of pinning
+    // a thread forever.
+    let mut loris = std::net::TcpStream::connect(&addr).expect("loris connect");
+    loris.write_all(&[0, 0, 1, 0, 9]).expect("partial header");
+    loris.flush().ok();
+    loris
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut buf = [0u8; 16];
+    let t0 = std::time::Instant::now();
+    let n = loris.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "the daemon must close, not answer, a stalled frame");
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(8),
+        "the close must come from the budget, not the test timeout"
+    );
+
+    // And the daemon is still fully alive for everyone else.
+    let reply = client
+        .query("ok", vec![(NodeId(0), Query::Edge(edge(0, 1)))])
+        .expect("query after loris");
+    assert_eq!(reply.watermark, 0);
+    drop(client);
+    stop();
+    join.join().expect("server thread");
+}
+
+// ---- property: no schedule produces a wrong non-error answer ----------
+
+fn spec_from(seed: u64, drop: u16, torn: u16, corrupt: u16, crash_pick: usize) -> String {
+    let crash = match crash_pick {
+        1 => ",crash=before-publish:3",
+        2 => ",crash=after-publish:3",
+        3 => ",crash=mid-checkpoint:3",
+        _ => "",
+    };
+    format!("seed={seed},drop=0.{drop:02},torn=0.{torn:02},corrupt=0.{corrupt:02}{crash}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn no_fault_schedule_panics_or_yields_wrong_answers(
+        seed in 0u64..1_000_000,
+        p_drop in 0u16..30,
+        p_torn in 0u16..20,
+        p_corrupt in 0u16..20,
+        crash_pick in 0usize..4,
+    ) {
+        let spec = spec_from(seed, p_drop, p_torn, p_corrupt, crash_pick);
+        let plan = FaultPlan::parse(&spec).expect("generated specs parse");
+        let dir = tempdir(&format!("prop-{seed}-{p_drop}-{p_torn}-{p_corrupt}-{crash_pick}"));
+        let (addr, join, stop) = boot_with(ServerOptions {
+            faults: Some(plan),
+            durability: Some(DurabilityOptions { base: dir.clone(), every: 1 }),
+            ..ServerOptions::default()
+        });
+        let trace = trace_for("er", 12, 6, seed ^ 0xA5A5);
+        let (_, truth) = truth_vectors("two-hop", &trace);
+        open_resilient(&addr, "prop", "two-hop", trace.n);
+
+        let mut cfg = ClientConfig::tolerant(seed);
+        cfg.retries = 4;
+        let mut client = Client::connect_with(&addr, cfg).expect("connect");
+        let probes = probe_set();
+        let mut reached = 0u64;
+        for batch in &trace.batches {
+            // Under an injected crash the daemon legitimately goes dark;
+            // everything after that is typed errors, which is fine.
+            match client.ingest("prop", vec![batch.clone()]) {
+                Ok(w) => {
+                    prop_assert_eq!(w, reached + 1, "no double-apply under retries");
+                    reached = w;
+                }
+                Err(e) => {
+                    prop_assert!(!e.is_empty(), "errors must be typed");
+                    break;
+                }
+            }
+            match client.query("prop", probes.clone()) {
+                Ok(reply) => {
+                    prop_assert!(reply.watermark <= reached);
+                    let expected = &truth[reply.watermark as usize];
+                    for (p, served) in reply.outcomes.iter().enumerate() {
+                        match (served, &expected[p]) {
+                            (QueryOutcome::Answer(a), Response::Answer(b)) => {
+                                prop_assert_eq!(a, b, "wrong non-error answer at watermark {}", reply.watermark);
+                            }
+                            (QueryOutcome::Inconsistent, Response::Inconsistent) => {}
+                            other => prop_assert!(false, "outcome shape diverges: {:?}", other),
+                        }
+                    }
+                }
+                Err(e) => prop_assert!(!e.is_empty(), "errors must be typed"),
+            }
+        }
+        drop(client);
+        stop();
+        join.join().expect("server thread");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A unique temp directory under the target dir (kept out of the repo
+/// tree; removed by each test on success).
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("serve_chaos_{tag}"));
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&base).expect("create tempdir");
+    base
+}
